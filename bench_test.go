@@ -1,0 +1,230 @@
+// Benchmarks regenerating every table and figure of the Turbo paper's
+// evaluation, one benchmark per figure (see DESIGN.md §4 for the
+// experiment index and EXPERIMENTS.md for paper-vs-measured results).
+//
+// Each benchmark runs the corresponding experiment at ScaleSmall — the
+// same qualitative shapes as the paper at seconds of wall-clock — and
+// reports the headline metric of that figure via b.ReportMetric:
+//
+//   - budget curves report the final consumed budget per system and
+//     Turbo's improvement factor over the best baseline;
+//   - the convergence study reports updates-to-convergence at the
+//     theoretical and the best empirical learning rate;
+//   - the runtime study reports ms per execution path.
+//
+// Full paper-scale runs: go run ./cmd/turbo-bench -exp=all -scale=paper.
+package repro
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// run executes an experiment once per benchmark iteration and returns the
+// last result.
+func run(b *testing.B, exp func(bench.Scale) (bench.Result, error)) bench.Result {
+	b.Helper()
+	var res bench.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = exp(bench.ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if os.Getenv("TURBO_BENCH_DUMP") != "" {
+		_ = res.WriteTable(os.Stdout)
+	}
+	return res
+}
+
+// reportFinals publishes each series' final budget as a metric.
+func reportFinals(b *testing.B, res bench.Result) {
+	for _, s := range res.Series {
+		b.ReportMetric(s.Last(), s.Name+"-final")
+	}
+}
+
+func BenchmarkFig3Demo(b *testing.B) {
+	res := run(b, bench.Fig3)
+	reportFinals(b, res)
+	b.ReportMetric(res.SeriesByName("laplace").Last()/res.SeriesByName("pmw-bypass").Last(), "bypass-vs-laplace-x")
+	b.ReportMetric(res.SeriesByName("pmw").Last()/res.SeriesByName("pmw-bypass").Last(), "bypass-vs-pmw-x")
+}
+
+func BenchmarkFig8a(b *testing.B) {
+	res := run(b, bench.Fig8a)
+	reportFinals(b, res)
+	b.ReportMetric(res.Improvement("turbo"), "turbo-improvement-x")
+}
+
+func BenchmarkFig8b(b *testing.B) {
+	res := run(b, bench.Fig8b)
+	reportFinals(b, res)
+	b.ReportMetric(res.Improvement("turbo"), "turbo-improvement-x")
+}
+
+func BenchmarkFig8c(b *testing.B) {
+	res := run(b, bench.Fig8c)
+	reportFinals(b, res)
+	b.ReportMetric(res.Improvement("turbo"), "turbo-improvement-x")
+}
+
+func BenchmarkFig8d(b *testing.B) {
+	res := run(b, bench.Fig8d)
+	// Convergence at the theoretical lr (α/8 = 0.00625) vs the best lr.
+	byp := res.SeriesByName("pmw-bypass")
+	if len(byp.Points) > 0 {
+		b.ReportMetric(byp.Points[0].Y, "bypass-updates-at-lr-alpha8")
+		best := byp.Points[0].Y
+		for _, p := range byp.Points {
+			if p.Y < best {
+				best = p.Y
+			}
+		}
+		b.ReportMetric(best, "bypass-updates-at-best-lr")
+	}
+}
+
+func BenchmarkFig9a(b *testing.B) {
+	res := run(b, bench.Fig9a)
+	reportFinals(b, res)
+}
+
+func BenchmarkFig9b(b *testing.B) {
+	res := run(b, bench.Fig9b)
+	reportFinals(b, res)
+}
+
+func BenchmarkQ4Heuristics(b *testing.B) {
+	res := run(b, func(sc bench.Scale) (bench.Result, error) { return bench.Q4Heuristics(sc, 1) })
+	// Best budget per design across the C0 grid, plus the adaptive
+	// design's spread (its ease-of-configuration claim).
+	for _, s := range res.Series {
+		best, worst := s.Points[0].Y, s.Points[0].Y
+		for _, p := range s.Points {
+			if p.Y < best {
+				best = p.Y
+			}
+			if p.Y > worst {
+				worst = p.Y
+			}
+		}
+		b.ReportMetric(best, s.Name+"-best")
+		if s.Name == "adaptive-per-bin" || s.Name == "static-per-bin" {
+			b.ReportMetric(worst/best, s.Name+"-spread-x")
+		}
+	}
+}
+
+func BenchmarkFig10a(b *testing.B) {
+	res := run(b, bench.Fig10a)
+	reportFinals(b, res)
+	b.ReportMetric(res.Improvement("turbo"), "turbo-improvement-x")
+}
+
+func BenchmarkFig10b(b *testing.B) {
+	res := run(b, bench.Fig10b)
+	reportFinals(b, res)
+	b.ReportMetric(res.Improvement("turbo"), "turbo-improvement-x")
+}
+
+func BenchmarkFig10c(b *testing.B) {
+	res := run(b, bench.Fig10c)
+	reportFinals(b, res)
+	b.ReportMetric(res.Improvement("turbo"), "turbo-improvement-x")
+}
+
+func BenchmarkQ6TreeVsFlat(b *testing.B) {
+	res := run(b, bench.Q6TreeVsFlat)
+	tree := res.SeriesByName("tree")
+	flat := res.SeriesByName("flat")
+	if len(tree.Points) > 0 && len(flat.Points) > 0 {
+		b.ReportMetric(flat.Points[0].Y/tree.Points[0].Y, "small-window-flat-vs-tree")
+		b.ReportMetric(flat.Last()/tree.Last(), "large-window-flat-vs-tree")
+	}
+}
+
+func BenchmarkFig11a(b *testing.B) {
+	res := run(b, bench.Fig11a)
+	reportFinals(b, res)
+	b.ReportMetric(res.Improvement("turbo-warm"), "warm-improvement-x")
+}
+
+func BenchmarkFig11b(b *testing.B) {
+	res := run(b, bench.Fig11b)
+	reportFinals(b, res)
+	b.ReportMetric(res.Improvement("turbo-warm"), "warm-improvement-x")
+}
+
+func BenchmarkFig11c(b *testing.B) {
+	res := run(b, bench.Fig11c)
+	reportFinals(b, res)
+	b.ReportMetric(res.Improvement("turbo-warm"), "warm-improvement-x")
+}
+
+func BenchmarkFig11dRuntime(b *testing.B) {
+	res := run(b, bench.Fig11d)
+	paths := []string{"exact-hit", "r1", "r2", "r3"}
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			b.ReportMetric(p.Y, fmt.Sprintf("%s-%s-ms", s.Name, paths[int(p.X)]))
+		}
+	}
+}
+
+func BenchmarkMemory(b *testing.B) {
+	res := run(b, bench.Memory)
+	pts := res.Series[0].Points
+	if len(pts) == 2 {
+		b.ReportMetric(pts[0].Y/1e6, "covid-MB")
+		b.ReportMetric(pts[1].Y/1e6, "citibike-MB")
+	}
+}
+
+func BenchmarkAblationTau(b *testing.B) {
+	res := run(b, bench.TauSweep)
+	for _, p := range res.SeriesByName("final-budget").Points {
+		b.ReportMetric(p.Y, fmt.Sprintf("budget-tau-%g", p.X))
+	}
+}
+
+func BenchmarkAblationWarmStart(b *testing.B) {
+	res := run(b, bench.WarmStartPriors)
+	pts := res.SeriesByName("updates-to-converge").Points
+	labels := []string{"uniform", "good-prior", "wrong-prior"}
+	for _, p := range pts {
+		b.ReportMetric(p.Y, labels[int(p.X)]+"-updates")
+	}
+}
+
+func BenchmarkAblationRDPvsPure(b *testing.B) {
+	res := run(b, bench.RDPvsPure)
+	pts := res.Series[0].Points
+	if len(pts) == 2 {
+		b.ReportMetric(pts[0].Y, "pure-payments")
+		b.ReportMetric(pts[1].Y, "rdp-payments")
+		b.ReportMetric(pts[1].Y/pts[0].Y, "rdp-advantage-x")
+	}
+}
+
+func BenchmarkAblationDrain(b *testing.B) {
+	res := run(b, bench.AdversarialDrain)
+	b.ReportMetric(res.SeriesByName("no-cutoff").Last(), "drain-budget")
+	b.ReportMetric(res.SeriesByName("cutoff-k500").Last(), "cutoff-budget")
+}
+
+func BenchmarkAppendixC(b *testing.B) {
+	res := run(b, bench.AppendixC)
+	an := res.SeriesByName("analytic-crossover").Points
+	if len(an) == 3 {
+		b.ReportMetric(an[0].Y, "crossover-queries-X128")
+	}
+	sim := res.SeriesByName("simulated-crossover-n128").Points
+	if len(sim) == 1 {
+		b.ReportMetric(sim[0].Y, "simulated-crossover")
+	}
+}

@@ -1,0 +1,105 @@
+// turbo-bench regenerates the tables and figures of the Turbo paper's
+// evaluation (§6). Each experiment prints the same rows/series the paper
+// plots, as aligned text columns suitable for plotting.
+//
+// Usage:
+//
+//	turbo-bench -exp=fig3                 # one experiment, small scale
+//	turbo-bench -exp=all -scale=paper     # full reproduction (slow)
+//	turbo-bench -list                     # enumerate experiments
+//	turbo-bench -exp=fig10a -out=results  # write results/<name>.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "fig3", "experiment name or 'all'")
+		scale   = flag.String("scale", "small", "small | paper")
+		outDir  = flag.String("out", "", "directory for per-experiment output files (default stdout)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		queries = flag.Int("queries", 0, "override workload length")
+		weeks   = flag.Int("weeks", 0, "override partition count")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments {
+			fmt.Printf("%-8s %s\n", e.Name, e.Paper)
+		}
+		return
+	}
+
+	sc := bench.ScaleSmall
+	switch *scale {
+	case "small":
+	case "paper":
+		sc = bench.ScalePaper
+	default:
+		fmt.Fprintf(os.Stderr, "turbo-bench: unknown scale %q (small|paper)\n", *scale)
+		os.Exit(2)
+	}
+	if *queries > 0 {
+		sc.Queries = *queries
+		sc.PartitionedQueries = *queries
+	}
+	if *weeks > 0 {
+		sc.Weeks = *weeks
+	}
+
+	var todo []bench.Experiment
+	if *exp == "all" {
+		todo = bench.Experiments
+	} else {
+		e, err := bench.Lookup(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		todo = []bench.Experiment{e}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		res, err := e.Run(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "turbo-bench: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		out := os.Stdout
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f, err := os.Create(filepath.Join(*outDir, res.Name+".txt"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			out = f
+		}
+		fmt.Fprintf(out, "# experiment: %s (%s), scale=%s, wall=%v\n", e.Name, e.Paper, sc.Name, elapsed)
+		if err := res.WriteTable(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if imp := res.Improvement("turbo"); imp > 0 {
+			fmt.Fprintf(out, "# turbo improvement over best baseline: %.2fx\n", imp)
+		}
+		fmt.Fprintln(out)
+		if out != os.Stdout {
+			_ = out.Close()
+			fmt.Printf("%s: wrote %s (%v)\n", e.Name, filepath.Join(*outDir, res.Name+".txt"), elapsed)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// turbo-server serves a Turbo-cached DP database over HTTP: the trusted
+// aggregate-only interface of the paper's motivating scenario. Analysts
+// POST linear SQL to /query; /budget and /schema expose the public
+// accounting and schema state.
+//
+//	turbo-server -addr :8080 -dataset covid -mode partitioned
+//	curl -s localhost:8080/query -d '{"sql":"SELECT COUNT(*) FROM covid WHERE positive = 1"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/server"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		datasetName = flag.String("dataset", "covid", "covid | citibike")
+		mode        = flag.String("mode", "partitioned", "non-partitioned | partitioned | streaming")
+		rows        = flag.Int("rows", 2_000_000, "synthetic dataset rows")
+		weeks       = flag.Int("weeks", 16, "time partitions")
+		alpha       = flag.Float64("alpha", 0.05, "accuracy target α")
+		beta        = flag.Float64("beta", 0.001, "failure probability β")
+		epsG        = flag.Float64("epsg", 10, "global privacy budget ε_G")
+		seed        = flag.Uint64("seed", 42, "deterministic seed")
+	)
+	flag.Parse()
+
+	var (
+		ds    *dataset.Dataset
+		table string
+		err   error
+	)
+	switch *datasetName {
+	case "covid":
+		ds, err = workload.BuildCovid(workload.CovidConfig{Rows: *rows, Weeks: *weeks, Seed: *seed})
+		table = "covid"
+	case "citibike":
+		ds, err = workload.BuildCitiBike(workload.CitiBikeConfig{Rows: *rows, Weeks: *weeks, Small: true, Seed: *seed})
+		table = "citibike"
+	default:
+		log.Fatalf("turbo-server: unknown dataset %q", *datasetName)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var m core.Mode
+	switch *mode {
+	case "non-partitioned":
+		m = core.NonPartitioned
+	case "partitioned":
+		m = core.Partitioned
+	case "streaming":
+		m = core.Streaming
+	default:
+		log.Fatalf("turbo-server: unknown mode %q", *mode)
+	}
+	sess, err := core.NewSession(core.Config{
+		Mode: m, Alpha: *alpha, Beta: *beta, EpsilonGlobal: *epsG,
+		Structure: tree.Binary, NodeExactCache: true, Seed: *seed,
+	}, ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(sess, table)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("turbo-server: %s over %s (%d rows, %d partitions) with (α=%g, β=%g), ε_G=%g\n",
+		m, ds.Domain(), ds.NRowsAll(), ds.Partitions(), *alpha, *beta, *epsG)
+	fmt.Printf("listening on http://%s  (POST /query, GET /budget, GET /schema)\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,257 @@
+// Package accountant implements Turbo's privacy budget accounting: a
+// pure-DP privacy filter (App. B), a per-partition block accountant that
+// realizes DP parallel composition for partitioned databases (§4.4), and a
+// Rényi-DP accountant with the Laplace, Gaussian and Sparse-Vector curves
+// used by the Gaussian PMW-Bypass extension (§A.6).
+//
+// The privacy budget is a system resource: every DP mechanism must Pay
+// before running, and the accountant stops the system when the global
+// (ε_G, δ_G) guarantee would be exceeded.
+package accountant
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// ErrBudgetExhausted is returned by Pay when executing a mechanism would
+// exceed the global guarantee. The DP engine must stop answering (§3.3).
+var ErrBudgetExhausted = errors.New("accountant: privacy budget exhausted")
+
+// Accountant is the minimal surface Turbo needs from a privacy accountant,
+// mirroring the PrivacyAccountant interface of the Turbo API (Fig. 7b).
+type Accountant interface {
+	// Pay deducts a pure-DP cost ε, or returns ErrBudgetExhausted without
+	// deducting anything.
+	Pay(eps float64) error
+	// HasBudget reports whether any further positive payment could succeed.
+	HasBudget() bool
+	// Spent returns the cumulative ε consumed so far.
+	Spent() float64
+}
+
+// Filter is a pure-DP privacy filter with a fixed global budget ε_G
+// (Thm B.2 with α → ∞). It is safe for concurrent use.
+type Filter struct {
+	mu     sync.Mutex
+	global float64
+	spent  float64
+}
+
+// NewFilter creates a filter enforcing ε_G = global.
+func NewFilter(global float64) *Filter {
+	if global <= 0 || math.IsNaN(global) {
+		panic(fmt.Sprintf("accountant: bad global budget %g", global))
+	}
+	return &Filter{global: global}
+}
+
+// Pay implements the filter stopping rule: accept iff spent + eps ≤ ε_G.
+func (f *Filter) Pay(eps float64) error {
+	if eps < 0 || math.IsNaN(eps) {
+		return fmt.Errorf("accountant: bad payment %g", eps)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.spent+eps > f.global+1e-12 {
+		return fmt.Errorf("%w: spent %.6g + %.6g > %.6g", ErrBudgetExhausted, f.spent, eps, f.global)
+	}
+	f.spent += eps
+	return nil
+}
+
+// HasBudget reports whether the filter can still accept some payment.
+func (f *Filter) HasBudget() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.spent < f.global-1e-12
+}
+
+// Spent returns cumulative consumption.
+func (f *Filter) Spent() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.spent
+}
+
+// Global returns ε_G.
+func (f *Filter) Global() float64 { return f.global }
+
+// Remaining returns ε_G minus consumption.
+func (f *Filter) Remaining() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.global - f.spent
+}
+
+// Block tracks per-partition budgets and realizes parallel composition
+// (block composition, §4.4 and [41]): a mechanism touching partitions
+// I pays ε against each i ∈ I, and the global guarantee holds as long as
+// every partition individually stays within ε_G. New partitions may arrive
+// over time (streaming databases). Block is safe for concurrent use.
+type Block struct {
+	mu     sync.Mutex
+	global float64
+	spent  []float64
+}
+
+// NewBlock creates a block accountant with the given number of initial
+// partitions, each with budget ε_G = global.
+func NewBlock(global float64, partitions int) *Block {
+	if global <= 0 || math.IsNaN(global) {
+		panic(fmt.Sprintf("accountant: bad global budget %g", global))
+	}
+	if partitions < 0 {
+		panic(fmt.Sprintf("accountant: bad partition count %d", partitions))
+	}
+	return &Block{global: global, spent: make([]float64, partitions)}
+}
+
+// AddPartition registers a newly-arrived partition (streaming use case) and
+// returns its index.
+func (b *Block) AddPartition() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.spent = append(b.spent, 0)
+	return len(b.spent) - 1
+}
+
+// Partitions returns the number of registered partitions.
+func (b *Block) Partitions() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.spent)
+}
+
+// PayRange charges eps against every partition in [start, end] inclusive.
+// The charge is atomic: if any partition would exceed ε_G, nothing is
+// deducted and ErrBudgetExhausted is returned.
+func (b *Block) PayRange(start, end int, eps float64) error {
+	if eps < 0 || math.IsNaN(eps) {
+		return fmt.Errorf("accountant: bad payment %g", eps)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if start < 0 || end >= len(b.spent) || start > end {
+		return fmt.Errorf("accountant: bad partition range [%d,%d] of %d", start, end, len(b.spent))
+	}
+	for i := start; i <= end; i++ {
+		if b.spent[i]+eps > b.global+1e-12 {
+			return fmt.Errorf("%w: partition %d at %.6g + %.6g > %.6g",
+				ErrBudgetExhausted, i, b.spent[i], eps, b.global)
+		}
+	}
+	for i := start; i <= end; i++ {
+		b.spent[i] += eps
+	}
+	return nil
+}
+
+// SpentAt returns the budget consumed on partition i.
+func (b *Block) SpentAt(i int) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spent[i]
+}
+
+// AverageSpent returns the average consumed budget across all partitions —
+// the "avg. cumulative budget" metric plotted throughout §6.3 and §6.4.
+func (b *Block) AverageSpent() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.spent) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range b.spent {
+		sum += s
+	}
+	return sum / float64(len(b.spent))
+}
+
+// MaxSpent returns the highest per-partition consumption: the binding
+// constraint on the global guarantee under parallel composition.
+func (b *Block) MaxSpent() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	max := 0.0
+	for _, s := range b.spent {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// HasBudgetRange reports whether all partitions of [start, end] retain some
+// budget.
+func (b *Block) HasBudgetRange(start, end int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if start < 0 || end >= len(b.spent) || start > end {
+		return false
+	}
+	for i := start; i <= end; i++ {
+		if b.spent[i] >= b.global-1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// Global returns the per-partition ε_G.
+func (b *Block) Global() float64 { return b.global }
+
+// SpentVector returns a copy of the per-partition consumption, for
+// persisting accountant state.
+func (b *Block) SpentVector() []float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]float64(nil), b.spent...)
+}
+
+// RestoreSpent replaces the per-partition consumption with a previously
+// exported vector. Restoring consumption can only be monotone-safe: every
+// value must lie in [0, ε_G] and the vector must cover at least the
+// current partitions (missing trailing partitions are an error).
+func (b *Block) RestoreSpent(v []float64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(v) != len(b.spent) {
+		return fmt.Errorf("accountant: restore vector has %d partitions, want %d", len(v), len(b.spent))
+	}
+	for i, s := range v {
+		if s < 0 || s > b.global+1e-12 || math.IsNaN(s) {
+			return fmt.Errorf("accountant: bad restored spend %g at partition %d", s, i)
+		}
+	}
+	copy(b.spent, v)
+	return nil
+}
+
+// Window adapts a partition range of a Block into the scalar Accountant
+// interface, so PMW-Bypass instances can pay against "their" partitions
+// without knowing about the tree.
+type Window struct {
+	Block      *Block
+	Start, End int
+}
+
+// Pay charges eps to every partition of the window.
+func (w Window) Pay(eps float64) error { return w.Block.PayRange(w.Start, w.End, eps) }
+
+// HasBudget reports whether every partition of the window has budget left.
+func (w Window) HasBudget() bool { return w.Block.HasBudgetRange(w.Start, w.End) }
+
+// Spent returns the maximum spend across the window's partitions.
+func (w Window) Spent() float64 {
+	max := 0.0
+	for i := w.Start; i <= w.End; i++ {
+		if s := w.Block.SpentAt(i); s > max {
+			max = s
+		}
+	}
+	return max
+}

@@ -1,0 +1,121 @@
+// Concurrent composition of interactive mechanisms with adaptively chosen
+// parameters (Appendix B, Alg. 3 of the Turbo paper).
+//
+// Classic privacy filters compose *sequential* mechanisms; Turbo needs
+// more: its sparse vectors are interactive (they answer many requests
+// over their lifetime) and live concurrently (the tree keeps one SV per
+// node set, interleaving their query streams), with budgets chosen
+// adaptively as queries arrive. Thm B.1/B.2 show the natural filter —
+// admit a new mechanism iff the sum of all registered budgets stays
+// within ε_G — remains valid in this setting.
+//
+// ConcurrentFilter realizes the protocol: callers register an interactive
+// mechanism with its (upfront-declared) budget, receive a handle, and
+// interact through it; registration is refused when the global budget
+// would be exceeded. The underlying scalar Filter provides the stopping
+// rule, so the guarantee inherits its tests.
+
+package accountant
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Interactive is a long-lived DP mechanism: it answers a stream of
+// requests under the budget declared at registration. The filter never
+// inspects requests; it only gates the mechanism's admission.
+type Interactive interface {
+	// Budget returns the mechanism's total pure-DP cost, fixed at
+	// registration (the SV's 3ε, for example).
+	Budget() float64
+}
+
+// Handle identifies a registered mechanism within a ConcurrentFilter.
+type Handle struct {
+	id   int
+	mech Interactive
+}
+
+// Mechanism returns the registered mechanism.
+func (h Handle) Mechanism() Interactive { return h.mech }
+
+// ErrClosed is returned when interacting with a retired handle.
+var ErrClosed = errors.New("accountant: mechanism handle closed")
+
+// ConcurrentFilter admits adaptively-chosen interactive mechanisms while
+// Σ budgets ≤ ε_G (Alg. 3's stopping rule). Safe for concurrent use.
+type ConcurrentFilter struct {
+	mu     sync.Mutex
+	filter *Filter
+	nextID int
+	live   map[int]Interactive
+}
+
+// NewConcurrentFilter creates a filter enforcing ε_G across all admitted
+// mechanisms.
+func NewConcurrentFilter(epsG float64) *ConcurrentFilter {
+	return &ConcurrentFilter{
+		filter: NewFilter(epsG),
+		live:   make(map[int]Interactive),
+	}
+}
+
+// Register admits a new mechanism, deducting its declared budget. The
+// adversary may choose the mechanism and its budget based on every answer
+// observed so far — the adaptivity Alg. 3 models.
+func (c *ConcurrentFilter) Register(m Interactive) (Handle, error) {
+	if m == nil {
+		return Handle{}, errors.New("accountant: nil mechanism")
+	}
+	b := m.Budget()
+	if b < 0 {
+		return Handle{}, fmt.Errorf("accountant: negative mechanism budget %g", b)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.filter.Pay(b); err != nil {
+		return Handle{}, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.live[id] = m
+	return Handle{id: id, mech: m}, nil
+}
+
+// Interact checks that the handle is live and runs fn against its
+// mechanism while holding the registry's consistency (interleavings of
+// different mechanisms are the concurrency Thm B.1 covers; serializing
+// each individual interaction is a correctness convenience, not a privacy
+// requirement).
+func (c *ConcurrentFilter) Interact(h Handle, fn func(Interactive) error) error {
+	c.mu.Lock()
+	m, ok := c.live[h.id]
+	c.mu.Unlock()
+	if !ok || m != h.mech {
+		return ErrClosed
+	}
+	return fn(m)
+}
+
+// Retire removes a mechanism from the live set. Its budget remains spent:
+// DP consumption is irrevocable.
+func (c *ConcurrentFilter) Retire(h Handle) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.live, h.id)
+}
+
+// Live returns the number of concurrently-registered mechanisms.
+func (c *ConcurrentFilter) Live() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.live)
+}
+
+// Spent returns the total admitted budget.
+func (c *ConcurrentFilter) Spent() float64 { return c.filter.Spent() }
+
+// Remaining returns the unadmitted budget.
+func (c *ConcurrentFilter) Remaining() float64 { return c.filter.Remaining() }

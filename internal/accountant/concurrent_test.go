@@ -1,0 +1,131 @@
+package accountant
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// fixedBudget is a trivial Interactive for tests.
+type fixedBudget float64
+
+func (f fixedBudget) Budget() float64 { return float64(f) }
+
+func TestConcurrentFilterAdmission(t *testing.T) {
+	c := NewConcurrentFilter(1.0)
+	h1, err := c.Register(fixedBudget(0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := c.Register(fixedBudget(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register(fixedBudget(0.2)); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("over-budget registration: %v", err)
+	}
+	if c.Spent() != 0.9 {
+		t.Fatalf("Spent = %g", c.Spent())
+	}
+	if c.Live() != 2 {
+		t.Fatalf("Live = %d", c.Live())
+	}
+	_ = h1
+	_ = h2
+	// Exactly filling the remainder is fine.
+	if _, err := c.Register(fixedBudget(0.1)); err != nil {
+		t.Fatalf("exact fill refused: %v", err)
+	}
+}
+
+func TestConcurrentFilterInteraction(t *testing.T) {
+	c := NewConcurrentFilter(1.0)
+	h, err := c.Register(fixedBudget(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	// Interleaved interactions with a live mechanism succeed arbitrarily
+	// often — interaction itself is free; only registration pays.
+	for i := 0; i < 10; i++ {
+		if err := c.Interact(h, func(Interactive) error { calls++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 10 {
+		t.Fatalf("calls = %d", calls)
+	}
+	if c.Spent() != 0.3 {
+		t.Fatal("interaction changed consumption")
+	}
+	// Retirement closes the handle but keeps the budget spent.
+	c.Retire(h)
+	if err := c.Interact(h, func(Interactive) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("retired interact: %v", err)
+	}
+	if c.Spent() != 0.3 {
+		t.Fatal("retirement refunded budget")
+	}
+}
+
+func TestConcurrentFilterValidation(t *testing.T) {
+	c := NewConcurrentFilter(1.0)
+	if _, err := c.Register(nil); err == nil {
+		t.Fatal("nil mechanism accepted")
+	}
+	if _, err := c.Register(fixedBudget(-0.1)); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+func TestConcurrentFilterAdaptiveInterleaving(t *testing.T) {
+	// Adversarial pattern from Alg. 3: budgets chosen based on previous
+	// outcomes, mechanisms interleaved, total never exceeding ε_G.
+	c := NewConcurrentFilter(1.5)
+	var handles []Handle
+	budget := 0.8
+	for budget > 1e-6 {
+		h, err := c.Register(fixedBudget(budget))
+		if err != nil {
+			// 0.8+0.4+0.2+0.1 = 1.5 exactly fills ε_G; the fifth
+			// registration (0.05) must be the one refused.
+			if len(handles) != 4 {
+				t.Fatalf("refused after %d registrations", len(handles))
+			}
+			break
+		}
+		handles = append(handles, h)
+		budget /= 2 // adaptively shrink, as a draining adversary would
+	}
+	if c.Spent() > 2.0+1e-12 {
+		t.Fatalf("admitted %g > eps_G", c.Spent())
+	}
+	for _, h := range handles {
+		if err := c.Interact(h, func(Interactive) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConcurrentFilterThreadSafety(t *testing.T) {
+	c := NewConcurrentFilter(100)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if h, err := c.Register(fixedBudget(0.05)); err == nil {
+					_ = c.Interact(h, func(Interactive) error { return nil })
+					if i%3 == 0 {
+						c.Retire(h)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Spent() > 100+1e-9 {
+		t.Fatalf("concurrent registrations exceeded eps_G: %g", c.Spent())
+	}
+}

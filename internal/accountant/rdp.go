@@ -1,0 +1,204 @@
+// Rényi-DP accounting for the Gaussian PMW-Bypass extension (§A.6, App. B).
+//
+// RDP tracks a privacy curve ε(α) over a set of orders α > 1. Composition is
+// additive per order, and an RDP guarantee converts to (ε, δ)-DP via
+// ε = ε(α) + ln(1/δ)/(α−1), minimized over orders. The filter accepts a new
+// mechanism as long as at least one order remains within its budget
+// (Thm B.2: reject only when every order would bust).
+
+package accountant
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// DefaultOrders is a standard grid of RDP orders covering the regimes where
+// either the Laplace or the Gaussian curve is tight.
+var DefaultOrders = []float64{
+	1.25, 1.5, 1.75, 2, 2.5, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32, 48, 64, 128, 256,
+}
+
+// Curve is an RDP privacy curve sampled at a fixed order grid: Eps[i] is
+// ε(Orders[i]).
+type Curve struct {
+	Orders []float64
+	Eps    []float64
+}
+
+// NewCurve allocates a zero curve over orders.
+func NewCurve(orders []float64) Curve {
+	return Curve{Orders: append([]float64(nil), orders...), Eps: make([]float64, len(orders))}
+}
+
+// Add accumulates another curve (RDP composition). Both curves must share
+// the order grid.
+func (c Curve) Add(o Curve) (Curve, error) {
+	if len(c.Orders) != len(o.Orders) {
+		return Curve{}, fmt.Errorf("accountant: curve order grids differ")
+	}
+	out := NewCurve(c.Orders)
+	for i := range c.Eps {
+		if c.Orders[i] != o.Orders[i] {
+			return Curve{}, fmt.Errorf("accountant: curve order grids differ at %d", i)
+		}
+		out.Eps[i] = c.Eps[i] + o.Eps[i]
+	}
+	return out, nil
+}
+
+// ToDP converts the curve into an (ε, δ)-DP guarantee for the given δ,
+// minimizing ε(α) + ln(1/δ)/(α−1) over the grid.
+func (c Curve) ToDP(delta float64) float64 {
+	if delta <= 0 || delta >= 1 {
+		panic(fmt.Sprintf("accountant: bad delta %g", delta))
+	}
+	best := math.Inf(1)
+	for i, a := range c.Orders {
+		if a <= 1 {
+			continue
+		}
+		eps := c.Eps[i] + math.Log(1/delta)/(a-1)
+		if eps < best {
+			best = eps
+		}
+	}
+	return best
+}
+
+// LaplaceCurve returns the RDP curve of a Laplace mechanism that is ε-DP in
+// the pure sense (noise Lap(Δ/ε) on a Δ-sensitive query):
+//
+//	ε(α) = 1/(α−1) · ln( α/(2α−1)·e^{ε(α−1)} + (α−1)/(2α−1)·e^{−εα} )
+//
+// (Mironov 2017, as quoted in §A.6).
+func LaplaceCurve(orders []float64, eps float64) Curve {
+	c := NewCurve(orders)
+	for i, a := range orders {
+		c.Eps[i] = laplaceRDP(a, eps)
+	}
+	return c
+}
+
+func laplaceRDP(a, eps float64) float64 {
+	if a <= 1 {
+		return eps // α→1 limit is bounded by ε; keep grid entries usable
+	}
+	t1 := math.Log(a/(2*a-1)) + eps*(a-1)
+	t2 := math.Log((a-1)/(2*a-1)) - eps*a
+	// log-sum-exp for numerical stability.
+	m := math.Max(t1, t2)
+	return (math.Log(math.Exp(t1-m)+math.Exp(t2-m)) + m) / (a - 1)
+}
+
+// GaussianCurve returns the RDP curve of a Gaussian mechanism with noise
+// N(0, σ²) on a query with ℓ2 sensitivity Δ: ε(α) = α·Δ²/(2σ²).
+func GaussianCurve(orders []float64, sigma, delta2Sensitivity float64) Curve {
+	if sigma <= 0 {
+		panic("accountant: bad sigma")
+	}
+	c := NewCurve(orders)
+	for i, a := range orders {
+		c.Eps[i] = a * delta2Sensitivity * delta2Sensitivity / (2 * sigma * sigma)
+	}
+	return c
+}
+
+// SVInitCurve returns the RDP cost of initializing one Sparse Vector run
+// whose internal Laplace variables use Lap(1/εn) (§A.6, after [65] Thm 8
+// point 3): the Laplace curve at 2ε plus the constant 2ε.
+func SVInitCurve(orders []float64, eps float64) Curve {
+	c := NewCurve(orders)
+	for i, a := range orders {
+		c.Eps[i] = laplaceRDP(a, 2*eps) + 2*eps
+	}
+	return c
+}
+
+// RDPFilter is a privacy filter over a full RDP curve (Thm B.2): a payment
+// is accepted when at least one order stays within its per-order global
+// budget; it is rejected (nothing deducted) only when every order would
+// exceed. Safe for concurrent use.
+type RDPFilter struct {
+	mu     sync.Mutex
+	global Curve
+	spent  Curve
+}
+
+// NewRDPFilter creates a filter enforcing the per-order budgets of global.
+func NewRDPFilter(global Curve) *RDPFilter {
+	return &RDPFilter{global: global, spent: NewCurve(global.Orders)}
+}
+
+// NewRDPFilterForDP builds a filter whose per-order budgets jointly enforce
+// a target (ε_G, δ_G)-DP guarantee: each order α gets budget
+// ε_G − ln(1/δ_G)/(α−1) (clamped at 0), so any accepted history converts to
+// at most ε_G at δ_G.
+func NewRDPFilterForDP(orders []float64, epsG, deltaG float64) *RDPFilter {
+	if epsG <= 0 || deltaG <= 0 || deltaG >= 1 {
+		panic(fmt.Sprintf("accountant: bad DP target (%g,%g)", epsG, deltaG))
+	}
+	g := NewCurve(orders)
+	for i, a := range orders {
+		if a <= 1 {
+			continue
+		}
+		b := epsG - math.Log(1/deltaG)/(a-1)
+		if b < 0 {
+			b = 0
+		}
+		g.Eps[i] = b
+	}
+	return &RDPFilter{global: g, spent: NewCurve(orders)}
+}
+
+// Pay attempts to deduct the curve cost. It fails with ErrBudgetExhausted
+// when no order remains within budget.
+func (f *RDPFilter) Pay(cost Curve) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(cost.Orders) != len(f.global.Orders) {
+		return fmt.Errorf("accountant: cost curve grid mismatch")
+	}
+	ok := false
+	for i := range f.global.Orders {
+		if f.spent.Eps[i]+cost.Eps[i] <= f.global.Eps[i]+1e-12 && f.global.Eps[i] > 0 {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return fmt.Errorf("%w: all RDP orders exceeded", ErrBudgetExhausted)
+	}
+	for i := range f.spent.Eps {
+		f.spent.Eps[i] += cost.Eps[i]
+	}
+	return nil
+}
+
+// HasBudget reports whether some order retains budget.
+func (f *RDPFilter) HasBudget() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range f.global.Orders {
+		if f.global.Eps[i] > 0 && f.spent.Eps[i] < f.global.Eps[i]-1e-12 {
+			return true
+		}
+	}
+	return false
+}
+
+// Spent returns a copy of the consumed curve.
+func (f *RDPFilter) Spent() Curve {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := NewCurve(f.spent.Orders)
+	copy(out.Eps, f.spent.Eps)
+	return out
+}
+
+// SpentDP converts consumption to an (ε, δ)-DP figure at the given δ.
+func (f *RDPFilter) SpentDP(delta float64) float64 {
+	return f.Spent().ToDP(delta)
+}

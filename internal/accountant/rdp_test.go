@@ -1,0 +1,188 @@
+package accountant
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestCurveAdd(t *testing.T) {
+	a := LaplaceCurve(DefaultOrders, 0.1)
+	b := LaplaceCurve(DefaultOrders, 0.2)
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sum.Eps {
+		if math.Abs(sum.Eps[i]-(a.Eps[i]+b.Eps[i])) > 1e-15 {
+			t.Fatalf("order %g: add mismatch", sum.Orders[i])
+		}
+	}
+	if _, err := a.Add(NewCurve([]float64{2})); err == nil {
+		t.Error("grid mismatch accepted")
+	}
+}
+
+func TestLaplaceCurveBounds(t *testing.T) {
+	// The RDP curve of an ε-DP Laplace mechanism is at most ε at every
+	// order (it converges to ε as α→∞) and positive for ε>0.
+	eps := 0.5
+	c := LaplaceCurve(DefaultOrders, eps)
+	for i, a := range c.Orders {
+		if c.Eps[i] <= 0 {
+			t.Fatalf("order %g: non-positive rdp %g", a, c.Eps[i])
+		}
+		if c.Eps[i] > eps+1e-9 {
+			t.Fatalf("order %g: rdp %g exceeds pure eps %g", a, c.Eps[i], eps)
+		}
+	}
+	// Monotone non-decreasing in order (Rényi divergences are).
+	for i := 1; i < len(c.Orders); i++ {
+		if c.Orders[i-1] <= 1 {
+			continue
+		}
+		if c.Eps[i] < c.Eps[i-1]-1e-12 {
+			t.Fatalf("curve not monotone at order %g", c.Orders[i])
+		}
+	}
+}
+
+func TestGaussianCurve(t *testing.T) {
+	c := GaussianCurve(DefaultOrders, 2.0, 1.0)
+	for i, a := range c.Orders {
+		want := a / (2 * 4)
+		if math.Abs(c.Eps[i]-want) > 1e-15 {
+			t.Fatalf("order %g: %g, want %g", a, c.Eps[i], want)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("sigma=0 did not panic")
+			}
+		}()
+		GaussianCurve(DefaultOrders, 0, 1)
+	}()
+}
+
+func TestSVInitCurve(t *testing.T) {
+	eps := 0.3
+	c := SVInitCurve(DefaultOrders, eps)
+	lap := LaplaceCurve(DefaultOrders, 2*eps)
+	for i := range c.Eps {
+		want := lap.Eps[i] + 2*eps
+		if math.Abs(c.Eps[i]-want) > 1e-12 {
+			t.Fatalf("order %g: %g, want %g", c.Orders[i], c.Eps[i], want)
+		}
+	}
+}
+
+func TestToDPBeatsBasicComposition(t *testing.T) {
+	// Composing k ε-DP Laplace mechanisms under RDP then converting at a
+	// reasonable δ must beat basic composition (k·ε) for large enough k.
+	eps := 0.05
+	k := 200
+	curve := NewCurve(DefaultOrders)
+	var err error
+	for i := 0; i < k; i++ {
+		curve, err = curve.Add(LaplaceCurve(DefaultOrders, eps))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rdpEps := curve.ToDP(1e-6)
+	basic := float64(k) * eps
+	if rdpEps >= basic {
+		t.Fatalf("RDP composition %g not better than basic %g at k=%d", rdpEps, basic, k)
+	}
+}
+
+func TestToDPPanicsOnBadDelta(t *testing.T) {
+	c := LaplaceCurve(DefaultOrders, 0.1)
+	for _, d := range []float64{0, 1, -0.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ToDP(%g) did not panic", d)
+				}
+			}()
+			c.ToDP(d)
+		}()
+	}
+}
+
+func TestRDPFilterAcceptReject(t *testing.T) {
+	global := GaussianCurve(DefaultOrders, 1.0, 1.0) // budget = α/2 per order
+	f := NewRDPFilter(global)
+	cost := GaussianCurve(DefaultOrders, 2.0, 1.0) // α/8 per order
+	for i := 0; i < 4; i++ {
+		if err := f.Pay(cost); err != nil {
+			t.Fatalf("payment %d rejected: %v", i, err)
+		}
+	}
+	// Fifth identical payment exceeds every order simultaneously.
+	if err := f.Pay(cost); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if f.HasBudget() {
+		t.Fatal("exhausted RDP filter reports budget")
+	}
+	// Rejection must not deduct.
+	spent := f.Spent()
+	for i := range spent.Eps {
+		if spent.Eps[i] > global.Eps[i]+1e-12 {
+			t.Fatalf("order %g: spent %g exceeds budget %g", spent.Orders[i], spent.Eps[i], global.Eps[i])
+		}
+	}
+}
+
+func TestRDPFilterSomeOrderSuffices(t *testing.T) {
+	// Thm B.2: accept as long as at least one order stays within budget.
+	orders := []float64{2, 64}
+	global := NewCurve(orders)
+	global.Eps = []float64{1.0, 0.1}
+	f := NewRDPFilter(global)
+	cost := NewCurve(orders)
+	cost.Eps = []float64{0.2, 0.2} // busts order 64 immediately, fits order 2
+	for i := 0; i < 5; i++ {
+		if err := f.Pay(cost); err != nil {
+			t.Fatalf("payment %d rejected: %v", i, err)
+		}
+	}
+	if err := f.Pay(cost); err == nil {
+		t.Fatal("payment beyond every order accepted")
+	}
+}
+
+func TestNewRDPFilterForDP(t *testing.T) {
+	epsG, deltaG := 2.0, 1e-6
+	f := NewRDPFilterForDP(DefaultOrders, epsG, deltaG)
+	// Spend in small Gaussian increments until exhausted, then verify the
+	// consumed curve still converts to at most ε_G at δ_G.
+	cost := GaussianCurve(DefaultOrders, 10, 1)
+	for i := 0; i < 1_000_000; i++ {
+		if err := f.Pay(cost); err != nil {
+			break
+		}
+	}
+	if got := f.SpentDP(deltaG); got > epsG+1e-6 {
+		t.Fatalf("accepted history converts to %g > eps_G %g", got, epsG)
+	}
+	for _, bad := range [][2]float64{{0, 0.1}, {1, 0}, {1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRDPFilterForDP(%v) did not panic", bad)
+				}
+			}()
+			NewRDPFilterForDP(DefaultOrders, bad[0], bad[1])
+		}()
+	}
+}
+
+func TestRDPFilterGridMismatch(t *testing.T) {
+	f := NewRDPFilter(LaplaceCurve(DefaultOrders, 1))
+	if err := f.Pay(NewCurve([]float64{2})); err == nil {
+		t.Fatal("grid mismatch accepted")
+	}
+}

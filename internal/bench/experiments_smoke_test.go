@@ -1,0 +1,39 @@
+package bench
+
+import "testing"
+
+// Smoke tests for the experiments whose shapes are asserted elsewhere at
+// the benchmark level: every registered experiment must run to completion
+// at tiny scale and produce non-empty series with finite values.
+func TestAllExperimentsRunAtTinyScale(t *testing.T) {
+	sc := tiny()
+	sc.Queries = 2500
+	sc.PartitionedQueries = 600
+	// q6 iterates (window sizes × structures) full workloads; trim
+	// further via the shared scale.
+	for _, e := range Experiments {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			res, err := e.Run(sc)
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			if res.Name == "" || len(res.Series) == 0 {
+				t.Fatalf("%s: empty result", e.Name)
+			}
+			for _, s := range res.Series {
+				if s.Name == "" {
+					t.Fatalf("%s: unnamed series", e.Name)
+				}
+				if len(s.Points) == 0 {
+					t.Fatalf("%s: series %s has no points", e.Name, s.Name)
+				}
+				for _, p := range s.Points {
+					if p.Y != p.Y || p.Y < 0 {
+						t.Fatalf("%s/%s: bad point %+v", e.Name, s.Name, p)
+					}
+				}
+			}
+		})
+	}
+}

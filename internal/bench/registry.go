@@ -1,0 +1,58 @@
+// Experiment registry shared by cmd/turbo-bench and tests.
+
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is a named, runnable reproduction of one paper table/figure.
+type Experiment struct {
+	Name string
+	// Paper identifies the table/figure being reproduced.
+	Paper string
+	Run   func(Scale) (Result, error)
+}
+
+// Experiments lists every reproducible table and figure.
+var Experiments = []Experiment{
+	{"fig3", "Fig. 3 (demo: PMW vs Laplace vs Exact-Cache vs PMW-Bypass)", Fig3},
+	{"fig8a", "Fig. 8(a) non-partitioned Covid kzipf=0", Fig8a},
+	{"fig8b", "Fig. 8(b) non-partitioned Covid kzipf=1", Fig8b},
+	{"fig8c", "Fig. 8(c) non-partitioned CitiBike kzipf=0", Fig8c},
+	{"fig8d", "Fig. 8(d) empirical convergence vs learning rate", Fig8d},
+	{"fig9a", "Fig. 9(a) heuristic C0 sweep", Fig9a},
+	{"fig9b", "Fig. 9(b) learning-rate sweep", Fig9b},
+	{"q4", "§6.2 Q4 heuristic ablation (kzipf=1)", func(sc Scale) (Result, error) { return Q4Heuristics(sc, 1) }},
+	{"q4skew", "§6.2 Q4 heuristic ablation (kzipf=1.5)", func(sc Scale) (Result, error) { return Q4Heuristics(sc, 1.5) }},
+	{"fig10a", "Fig. 10(a) partitioned static Covid kzipf=0", Fig10a},
+	{"fig10b", "Fig. 10(b) partitioned static Covid kzipf=1", Fig10b},
+	{"fig10c", "Fig. 10(c) partitioned static CitiBike kzipf=0", Fig10c},
+	{"q6", "§6.3 Q6 tree vs flat structure", Q6TreeVsFlat},
+	{"fig11a", "Fig. 11(a) streaming Covid kzipf=0", Fig11a},
+	{"fig11b", "Fig. 11(b) streaming Covid kzipf=1", Fig11b},
+	{"fig11c", "Fig. 11(c) streaming CitiBike kzipf=0", Fig11c},
+	{"fig11d", "Fig. 11(d) runtime per execution path", Fig11d},
+	{"mem", "§6.5 memory footprint", Memory},
+	{"appc", "Appendix C Laplace Histogram crossover", AppendixC},
+	{"tau", "ablation: external-update margin τ (§4.3)", TauSweep},
+	{"warmstart", "ablation: warm-start prior quality (Thm A.9)", WarmStartPriors},
+	{"rdp", "ablation: RDP vs pure-DP composition (§A.6)", RDPvsPure},
+	{"drain", "ablation: adversarial budget drain and §A.5 cutoff", AdversarialDrain},
+}
+
+// Lookup finds an experiment by name.
+func Lookup(name string) (Experiment, error) {
+	for _, e := range Experiments {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	names := make([]string, 0, len(Experiments))
+	for _, e := range Experiments {
+		names = append(names, e.Name)
+	}
+	sort.Strings(names)
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have %v)", name, names)
+}

@@ -1,0 +1,94 @@
+// Package cache implements Turbo's exact-match caching objects: the
+// Exact-Cache that fronts every caching pipeline (§3.3), and the Tree
+// Exact-Cache baseline for partitioned databases (§6.3), which corresponds
+// to the CacheDP-style design the paper compares against.
+//
+// An exact cache stores previous DP results keyed by the query's canonical
+// predicate, its partition window, and the data version of that window:
+// re-serving a stored DP result is free (post-processing) as long as the
+// underlying data is unchanged.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/kvstore"
+	"repro/internal/query"
+)
+
+// Entry is one cached DP result.
+type Entry struct {
+	Value   float64 // the released DP result (a row fraction)
+	Eps     float64 // budget that was paid to produce it
+	Version int     // data version of the window at creation time
+}
+
+// Exact is an exact-match cache backed by the KV store (the prototype's
+// Redis role), with a decoded-entry fast path in front of it — the
+// client-side caching pattern Redis deployments use — so repeat hits skip
+// deserialization (keeping the exact-hit path the cheapest one, Fig. 11d).
+// Not safe for concurrent use; the session layer serializes.
+type Exact struct {
+	store *kvstore.Store
+	ns    string
+	fast  map[string]Entry
+
+	hits, misses int
+}
+
+// NewExact creates an exact cache using namespace ns of store. Multiple
+// caches (e.g. one per tree node) share one store under different
+// namespaces.
+func NewExact(store *kvstore.Store, ns string) *Exact {
+	if store == nil {
+		store = kvstore.New()
+	}
+	return &Exact{store: store, ns: ns, fast: make(map[string]Entry)}
+}
+
+// Get returns the cached result for q at the given data version.
+func (c *Exact) Get(q *query.Query, version int) (Entry, bool) {
+	key := q.KeyWithWindow()
+	if e, ok := c.fast[key]; ok && e.Version == version {
+		c.hits++
+		return e, true
+	}
+	var e Entry
+	ok, err := c.store.Get(c.ns, key, &e)
+	if err != nil || !ok || e.Version != version {
+		c.misses++
+		return Entry{}, false
+	}
+	c.fast[key] = e
+	c.hits++
+	return e, true
+}
+
+// Put stores a freshly-computed DP result.
+func (c *Exact) Put(q *query.Query, version int, value, eps float64) error {
+	key := q.KeyWithWindow()
+	e := Entry{Value: value, Eps: eps, Version: version}
+	if err := c.store.Set(c.ns, key, e); err != nil {
+		return err
+	}
+	c.fast[key] = e
+	return nil
+}
+
+// Stats returns hit and miss counts.
+func (c *Exact) Stats() (hits, misses int) { return c.hits, c.misses }
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (c *Exact) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Len returns the number of cached entries in this cache's namespace.
+func (c *Exact) Len() int { return len(c.store.Keys(c.ns)) }
+
+// String identifies the cache.
+func (c *Exact) String() string { return fmt.Sprintf("exact-cache(%s)", c.ns) }

@@ -1,0 +1,99 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/domain"
+	"repro/internal/kvstore"
+	"repro/internal/query"
+)
+
+func dom() *domain.Domain {
+	return domain.MustNew(
+		domain.Attribute{Name: "a", Card: 2},
+		domain.Attribute{Name: "b", Card: 3},
+	)
+}
+
+func TestPutGet(t *testing.T) {
+	c := NewExact(nil, "t")
+	q := query.MustNew(dom(), map[int][]int{0: {1}})
+	if _, ok := c.Get(q, 1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if err := c.Put(q, 1, 0.42, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := c.Get(q, 1)
+	if !ok || e.Value != 0.42 || e.Eps != 0.01 {
+		t.Fatalf("Get = %+v, %v", e, ok)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d, %d", hits, misses)
+	}
+	if c.HitRate() != 0.5 {
+		t.Fatalf("HitRate = %g", c.HitRate())
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestVersionInvalidation(t *testing.T) {
+	c := NewExact(nil, "t")
+	q := query.MustNew(dom(), map[int][]int{0: {1}})
+	_ = c.Put(q, 1, 0.42, 0.01)
+	if _, ok := c.Get(q, 2); ok {
+		t.Fatal("stale entry served after data change")
+	}
+}
+
+func TestWindowDistinguishesEntries(t *testing.T) {
+	c := NewExact(nil, "t")
+	q := query.MustNew(dom(), map[int][]int{0: {1}})
+	w1 := q.WithWindow(0, 1)
+	w2 := q.WithWindow(0, 2)
+	_ = c.Put(w1, 1, 0.1, 0.01)
+	if _, ok := c.Get(w2, 1); ok {
+		t.Fatal("different window hit the same entry")
+	}
+	if _, ok := c.Get(w1, 1); !ok {
+		t.Fatal("same window missed")
+	}
+}
+
+func TestSharedStoreNamespaces(t *testing.T) {
+	store := kvstore.New()
+	a := NewExact(store, "a")
+	b := NewExact(store, "b")
+	q := query.MustNew(dom(), nil)
+	_ = a.Put(q, 1, 1.0, 0.1)
+	if _, ok := b.Get(q, 1); ok {
+		t.Fatal("namespace leak between caches")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	c := NewExact(nil, "t")
+	q := query.MustNew(dom(), nil)
+	_ = c.Put(q, 1, 0.1, 0.01)
+	_ = c.Put(q, 2, 0.2, 0.02)
+	e, ok := c.Get(q, 2)
+	if !ok || e.Value != 0.2 {
+		t.Fatalf("overwrite failed: %+v %v", e, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len after overwrite = %d", c.Len())
+	}
+}
+
+func TestHitRateEmpty(t *testing.T) {
+	c := NewExact(nil, "t")
+	if c.HitRate() != 0 {
+		t.Fatal("empty cache hit rate nonzero")
+	}
+	if c.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/domain"
+	"repro/internal/query"
+	"repro/internal/sqlparser"
+)
+
+// rareDataset holds 10,000 rows of which only 10 are positive.
+func rareDataset(t *testing.T, dom *domain.Domain) *dataset.Dataset {
+	t.Helper()
+	ds := dataset.New(dom, 1)
+	if err := ds.AddCount(0, dom.Encode([]int{1, 0}), 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AddCount(0, dom.Encode([]int{0, 0}), 9990); err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestAnswerGroups(t *testing.T) {
+	dom, ds := buildDS(t, 1)
+	s, err := NewSession(defaultCfg(NonPartitioned), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sqlparser.New(dom)
+	gs, err := p.ParseGrouped("SELECT COUNT(*) FROM covid WHERE p = 1 GROUP BY a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]*query.Query, len(gs.Groups))
+	for i, g := range gs.Groups {
+		queries[i] = g.Query
+	}
+	answers, err := s.AnswerGroups(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 4 {
+		t.Fatalf("answers = %d", len(answers))
+	}
+	// Group fractions sum to the base predicate's fraction.
+	base := query.MustNew(dom, map[int][]int{0: {1}})
+	truth, _ := ds.TrueFraction(base, 0, 0)
+	sum := 0.0
+	for _, a := range answers {
+		sum += a.Value
+	}
+	if math.Abs(sum-truth) > 4*0.05 {
+		t.Fatalf("group sum %g vs base truth %g", sum, truth)
+	}
+}
+
+func TestAnswerGroupsStopsOnError(t *testing.T) {
+	dom, ds := buildDS(t, 1)
+	cfg := defaultCfg(NonPartitioned)
+	cfg.EpsilonGlobal = 1e-9
+	s, _ := NewSession(cfg, ds)
+	qs := []*query.Query{
+		query.MustNew(dom, map[int][]int{1: {0}}),
+		query.MustNew(dom, map[int][]int{1: {1}}),
+	}
+	answers, err := s.AnswerGroups(qs)
+	if err == nil {
+		t.Fatal("exhausted session answered groups")
+	}
+	if len(answers) != 0 {
+		t.Fatalf("partial answers = %d, want 0", len(answers))
+	}
+}
+
+func TestAnswerAverage(t *testing.T) {
+	dom, ds := buildDS(t, 1)
+	s, err := NewSession(defaultCfg(NonPartitioned), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average age-bracket midpoint among positive rows. Scale maps
+	// bracket index to a nominal midpoint.
+	midpoints := []float64{10, 30, 55, 75}
+	base := query.MustNew(dom, map[int][]int{0: {1}})
+	res, err := s.AnswerAverage(base, 1, func(v int) float64 { return midpoints[v] })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground truth from the raw counts.
+	num, den := 0.0, 0.0
+	for a := 0; a < 4; a++ {
+		q := query.MustNew(dom, map[int][]int{0: {1}, 1: {a}})
+		f, _ := ds.TrueFraction(q, 0, 0)
+		num += midpoints[a] * f
+		den += f
+	}
+	truth := num / den
+	if math.Abs(res.Value-truth) > res.ErrorBound {
+		t.Fatalf("average %g vs truth %g outside bound %g", res.Value, truth, res.ErrorBound)
+	}
+	if res.Paid <= 0 {
+		t.Fatal("average consumed nothing despite cold caches")
+	}
+	if res.ErrorBound <= 0 {
+		t.Fatal("no error bound")
+	}
+}
+
+func TestAnswerAverageValidation(t *testing.T) {
+	dom, ds := buildDS(t, 1)
+	s, _ := NewSession(defaultCfg(NonPartitioned), ds)
+	base := query.MustNew(dom, map[int][]int{0: {1}})
+	if _, err := s.AnswerAverage(base, 9, func(int) float64 { return 0 }); err == nil {
+		t.Error("attr out of range accepted")
+	}
+	if _, err := s.AnswerAverage(base, 1, nil); err == nil {
+		t.Error("nil scale accepted")
+	}
+	constrained := query.MustNew(dom, map[int][]int{1: {0}})
+	if _, err := s.AnswerAverage(constrained, 1, func(int) float64 { return 0 }); err == nil {
+		t.Error("constrained attribute accepted")
+	}
+}
+
+func TestAnswerAverageTinySelection(t *testing.T) {
+	// A base predicate selecting fewer than ~α·n rows cannot support a
+	// stable released average: the guard must refuse.
+	dom, _ := buildDS(t, 1)
+	ds := rareDataset(t, dom)
+	s, err := NewSession(defaultCfg(NonPartitioned), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := query.MustNew(dom, map[int][]int{0: {1}}) // positives are 0.1% of rows
+	if _, err := s.AnswerAverage(base, 1, func(int) float64 { return 1 }); err == nil {
+		t.Error("tiny selection accepted")
+	}
+}

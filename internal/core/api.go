@@ -1,0 +1,47 @@
+// The Turbo API surface (Fig. 7b of the paper): the contract between
+// turbo-lib and the DP system hosting it. The dataset-backed session in
+// this package is one implementation; integrating Turbo into another DP
+// engine (the paper does Tumult Analytics) means implementing these three
+// interfaces over that engine's primitives.
+
+package core
+
+import "repro/internal/query"
+
+// TurboQuery is the engine-agnostic view of a query that Turbo's caching
+// objects need: aggregation type, data view identity and size, and the
+// predicate. Our native query.Query carries all of this; a foreign engine
+// wraps its own query representation.
+type TurboQuery interface {
+	// AggregationType names the linear aggregate ("count" in the
+	// evaluated artifact; sums/averages extend the same machinery).
+	AggregationType() string
+	// DataViewID identifies the dataset/partition view the query runs
+	// on; Turbo state is keyed by it.
+	DataViewID() string
+	// DataViewSize returns the public number of rows in the view.
+	DataViewSize() int
+	// Query returns the parsed linear query.
+	Query() *query.Query
+}
+
+// PrivacyAccountant is the deduction interface Turbo requires from the
+// host DP system (Fig. 7b): the ability to consume budget that is not tied
+// to executing a measurement, e.g. SV resets.
+type PrivacyAccountant interface {
+	// Consume deducts a pure-DP budget, failing when the global
+	// guarantee would be exceeded.
+	Consume(eps float64) error
+}
+
+// QueryExecutor is the execution interface Turbo requires from the host DP
+// system: DP execution, plus non-private execution whose result is used
+// only inside SV checks (executeNPQuery in Fig. 7b) or re-noised by
+// executeDPQuery to avoid scanning the data twice.
+type QueryExecutor interface {
+	// ExecuteNP returns the true, non-private result of q.
+	ExecuteNP(q TurboQuery) (float64, error)
+	// ExecuteDP returns a DP result calibrated to eps, reusing
+	// trueResult when the caller already obtained it (NaN otherwise).
+	ExecuteDP(q TurboQuery, eps float64, trueResult float64) (float64, error)
+}

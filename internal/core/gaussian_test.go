@@ -1,0 +1,92 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/accountant"
+	"repro/internal/query"
+)
+
+func TestGaussianSessionAccuracyAndAccounting(t *testing.T) {
+	dom, ds := buildDS(t, 1)
+	cfg := defaultCfg(NonPartitioned)
+	cfg.Gaussian = true
+	cfg.DeltaGlobal = 1e-6
+	s, err := NewSession(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RDP() == nil {
+		t.Fatal("Gaussian session has no RDP filter")
+	}
+	q := query.MustNew(dom, map[int][]int{0: {1}})
+	truth, _ := ds.TrueFraction(q, 0, 0)
+	a, err := s.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Value-truth) > 0.05 {
+		t.Fatalf("Gaussian answer %g vs truth %g", a.Value, truth)
+	}
+	if s.AverageSpent() <= 0 {
+		t.Fatal("Gaussian accounting reports zero consumption")
+	}
+	// Accepted history converts within the target.
+	if s.AverageSpent() > cfg.EpsilonGlobal+1e-9 {
+		t.Fatalf("converted spend %g exceeds ε_G", s.AverageSpent())
+	}
+}
+
+func TestGaussianSessionExhausts(t *testing.T) {
+	dom, ds := buildDS(t, 1)
+	cfg := defaultCfg(NonPartitioned)
+	cfg.Gaussian = true
+	cfg.DeltaGlobal = 1e-6
+	cfg.EpsilonGlobal = 0.2
+	s, err := NewSession(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enumerate distinct predicates (repeats would hit the exact cache
+	// for free): subsets of age × values of positive.
+	var answerErr error
+loop:
+	for mask := 1; mask < 16; mask++ {
+		var ages []int
+		for v := 0; v < 4; v++ {
+			if mask&(1<<v) != 0 {
+				ages = append(ages, v)
+			}
+		}
+		for p := 0; p < 2; p++ {
+			q := query.MustNew(dom, map[int][]int{0: {p}, 1: ages})
+			if _, answerErr = s.Answer(q); answerErr != nil {
+				break loop
+			}
+		}
+	}
+	if !errors.Is(answerErr, accountant.ErrBudgetExhausted) {
+		t.Fatalf("session never exhausted a 0.2 RDP budget: %v", answerErr)
+	}
+	if s.AverageSpent() > 0.2+1e-9 {
+		t.Fatalf("spend %g exceeds tiny ε_G", s.AverageSpent())
+	}
+}
+
+func TestGaussianSessionValidation(t *testing.T) {
+	_, ds := buildDS(t, 4)
+	cfg := defaultCfg(Partitioned)
+	cfg.Gaussian = true
+	cfg.DeltaGlobal = 1e-6
+	if _, err := NewSession(cfg, ds); err == nil {
+		t.Fatal("Gaussian partitioned session accepted")
+	}
+	_, ds1 := buildDS(t, 1)
+	cfg2 := defaultCfg(NonPartitioned)
+	cfg2.Gaussian = true // missing δ
+	if _, err := NewSession(cfg2, ds1); err == nil {
+		t.Fatal("Gaussian session without δ_G accepted")
+	}
+}

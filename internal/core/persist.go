@@ -1,0 +1,127 @@
+// Session persistence: the prototype keeps all caching state in Redis
+// (§5); here a session can serialize that state — exact caches, PMW
+// histograms, heuristic thresholds, and the accountant — to any
+// io.Writer, and a fresh session over the same dataset can restore it.
+//
+// Sparse-vector state is intentionally not persisted: a restored session
+// re-initializes SVs on first use (one 3ε payment per SV), which is
+// always safe. Restoring must happen before the new session answers any
+// query.
+
+package core
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/heuristic"
+	"repro/internal/histogram"
+	"repro/internal/kvstore"
+	"repro/internal/tree"
+)
+
+// sessionState is the gob wire format of a session's caching state.
+type sessionState struct {
+	Mode             Mode
+	DatasetVersion   int
+	Partitions       int
+	Spent            []float64
+	Single           *histogram.State
+	SingleThresholds []float64
+	Nodes            []tree.NodeState
+	Queries          int
+	BySource         map[Source]int
+}
+
+// SaveState serializes the session's caching and accounting state.
+func (s *Session) SaveState(w io.Writer) error {
+	st := sessionState{
+		Mode:           s.cfg.Mode,
+		DatasetVersion: s.ds.Version(),
+		Partitions:     s.ds.Partitions(),
+		Spent:          s.block.SpentVector(),
+		Queries:        s.queries,
+		BySource:       s.SourceCounts(),
+	}
+	if s.rdp != nil {
+		return errors.New("core: SaveState does not support Gaussian/RDP sessions")
+	}
+	if s.single != nil {
+		hs := s.single.Histogram().State()
+		st.Single = &hs
+		if ap, ok := s.single.Heuristic().(*heuristic.AdaptivePerBin); ok {
+			_, _, st.SingleThresholds = ap.State()
+		}
+	}
+	if s.tree != nil {
+		st.Nodes = s.tree.ExportNodes()
+	}
+	if err := gob.NewEncoder(w).Encode(st); err != nil {
+		return fmt.Errorf("core: save state: %w", err)
+	}
+	// The KV store carries the exact-cache entries.
+	return s.store.Snapshot(w)
+}
+
+// LoadState restores previously saved state into a freshly-created
+// session over the same dataset (same partition count and version). It
+// must run before any query is answered.
+func (s *Session) LoadState(r io.Reader) error {
+	if s.queries > 0 {
+		return errors.New("core: LoadState after queries were served")
+	}
+	var st sessionState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("core: load state: %w", err)
+	}
+	if st.Mode != s.cfg.Mode {
+		return fmt.Errorf("core: snapshot mode %v != session mode %v", st.Mode, s.cfg.Mode)
+	}
+	if st.Partitions != s.ds.Partitions() {
+		return fmt.Errorf("core: snapshot has %d partitions, dataset has %d", st.Partitions, s.ds.Partitions())
+	}
+	if st.DatasetVersion != s.ds.Version() {
+		return fmt.Errorf("core: snapshot taken at dataset version %d, have %d — cached results would be stale",
+			st.DatasetVersion, s.ds.Version())
+	}
+	if err := s.block.RestoreSpent(st.Spent); err != nil {
+		return err
+	}
+	if s.single != nil {
+		if st.Single == nil {
+			return errors.New("core: snapshot lacks the PMW histogram")
+		}
+		h, err := histogram.FromState(*st.Single)
+		if err != nil {
+			return err
+		}
+		if err := s.single.WarmStart(h, nil); err != nil {
+			return err
+		}
+		if ap, ok := s.single.Heuristic().(*heuristic.AdaptivePerBin); ok && st.SingleThresholds != nil {
+			ap.SetThresholds(st.SingleThresholds)
+		}
+	}
+	if s.tree != nil {
+		if err := s.tree.RestoreNodes(st.Nodes); err != nil {
+			return err
+		}
+	}
+	// Restore exact-cache contents. Replace the store in place so the
+	// cache objects (which hold a reference) observe the entries; the
+	// kvstore Restore method swaps contents under its own lock.
+	if err := restoreStore(s.store, r); err != nil {
+		return err
+	}
+	s.queries = st.Queries
+	for k, v := range st.BySource {
+		s.bySource[k] = v
+	}
+	return nil
+}
+
+func restoreStore(store *kvstore.Store, r io.Reader) error {
+	return store.Restore(r)
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/query"
+)
+
+func TestSaveLoadNonPartitioned(t *testing.T) {
+	dom, ds := buildDS(t, 1)
+	cfg := defaultCfg(NonPartitioned)
+	s1, err := NewSession(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qs []*query.Query
+	for p := 0; p < 2; p++ {
+		for a := 0; a < 4; a++ {
+			qs = append(qs, query.MustNew(dom, map[int][]int{0: {p}, 1: {a}}))
+		}
+	}
+	for _, q := range qs {
+		if _, err := s1.Answer(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s1.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A restored session over the same dataset picks up where the first
+	// left off: same budget, exact hits for repeats, trained histogram.
+	s2, err := NewSession(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s2.AverageSpent() != s1.AverageSpent() {
+		t.Fatalf("restored spend %g != original %g", s2.AverageSpent(), s1.AverageSpent())
+	}
+	if s2.Queries() != s1.Queries() {
+		t.Fatalf("restored queries %d != %d", s2.Queries(), s1.Queries())
+	}
+	spent := s2.AverageSpent()
+	a, err := s2.Answer(qs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Source != SourceExactHit {
+		t.Fatalf("repeat after restore = %s, want exact-hit", a.Source)
+	}
+	if s2.AverageSpent() != spent {
+		t.Fatal("restored exact hit consumed budget")
+	}
+	// Histogram survived: its training state matches.
+	if s2.PMW().Histogram().Updates() != s1.PMW().Histogram().Updates() {
+		t.Fatal("histogram update count lost")
+	}
+}
+
+func TestSaveLoadPartitioned(t *testing.T) {
+	dom, ds := buildDS(t, 8)
+	cfg := defaultCfg(Partitioned)
+	s1, err := NewSession(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.MustNew(dom, map[int][]int{0: {1}}).WithWindow(0, 5)
+	for i := 0; i < 10; i++ {
+		if _, err := s1.Answer(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nodesBefore := s1.Tree().Nodes()
+	var buf bytes.Buffer
+	if err := s1.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSession(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Tree().Nodes() != nodesBefore {
+		t.Fatalf("restored %d nodes, want %d", s2.Tree().Nodes(), nodesBefore)
+	}
+	// Same window: exact hit for free.
+	spent := s2.AverageSpent()
+	a, err := s2.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Source != SourceExactHit || s2.AverageSpent() != spent {
+		t.Fatalf("repeat after restore = %+v", a)
+	}
+}
+
+func TestLoadStateValidation(t *testing.T) {
+	dom, ds := buildDS(t, 2)
+	cfg := defaultCfg(Partitioned)
+	s1, _ := NewSession(cfg, ds)
+	q := query.MustNew(dom, map[int][]int{0: {1}}).WithWindow(0, 1)
+	if _, err := s1.Answer(q); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := s1.SaveState(&snap); err != nil {
+		t.Fatal(err)
+	}
+	raw := snap.Bytes()
+
+	// Mode mismatch.
+	_, dsB := buildDS(t, 2)
+	wrongMode, _ := NewSession(defaultCfg(NonPartitioned), dsB)
+	if err := wrongMode.LoadState(bytes.NewReader(raw)); err == nil {
+		t.Fatal("mode mismatch accepted")
+	}
+	// Dataset mutated since snapshot: stale caches must be refused.
+	_ = ds.AddCount(0, 0, 1)
+	s3, _ := NewSession(cfg, ds)
+	if err := s3.LoadState(bytes.NewReader(raw)); err == nil ||
+		!strings.Contains(err.Error(), "stale") {
+		t.Fatalf("stale snapshot accepted: %v", err)
+	}
+	// Loading after queries is refused.
+	_, dsC := buildDS(t, 2)
+	s4, _ := NewSession(cfg, dsC)
+	if _, err := s4.Answer(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := s4.LoadState(bytes.NewReader(raw)); err == nil {
+		t.Fatal("LoadState after queries accepted")
+	}
+	// Garbage input.
+	_, dsD := buildDS(t, 2)
+	s5, _ := NewSession(cfg, dsD)
+	if err := s5.LoadState(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}
+
+func TestSaveStateGaussianUnsupported(t *testing.T) {
+	_, ds := buildDS(t, 1)
+	cfg := defaultCfg(NonPartitioned)
+	cfg.Gaussian = true
+	cfg.DeltaGlobal = 1e-6
+	s, err := NewSession(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.SaveState(&buf); err == nil {
+		t.Fatal("Gaussian SaveState accepted")
+	}
+}

@@ -1,0 +1,379 @@
+// Package core is turbo-lib: the Turbo caching layer itself (Fig. 1 of the
+// paper). A Session wraps a dataset with Turbo's caching objects — an
+// exact-match cache in front of either a single PMW-Bypass (non-partitioned
+// databases) or a tree-structured PMW-Bypass (partitioned and streaming
+// databases) — and answers linear queries (α, β)-accurately under a global
+// (ε_G, 0)-DP guarantee enforced by a privacy accountant.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/accountant"
+	"repro/internal/cache"
+	"repro/internal/dataset"
+	"repro/internal/heuristic"
+	"repro/internal/kvstore"
+	"repro/internal/noise"
+	"repro/internal/pmw"
+	"repro/internal/query"
+	"repro/internal/tree"
+)
+
+// Mode selects the use case (§3.2).
+type Mode int
+
+const (
+	// NonPartitioned treats the store as one static database: a single
+	// Exact-Cache and PMW-Bypass (use case 1).
+	NonPartitioned Mode = iota
+	// Partitioned uses the tree-structured PMW-Bypass over a static
+	// partitioned database (use case 2).
+	Partitioned
+	// Streaming is Partitioned plus histogram warm-start for partitions
+	// arriving over time (use case 3).
+	Streaming
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case NonPartitioned:
+		return "non-partitioned"
+	case Partitioned:
+		return "partitioned"
+	case Streaming:
+		return "streaming"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Source labels how an answer was produced, for the runtime evaluation
+// (Fig. 11d) and diagnostics.
+type Source string
+
+const (
+	// SourceExactHit is a free exact-cache hit.
+	SourceExactHit Source = "exact-hit"
+	// SourceR1 is a free histogram answer (SV passed).
+	SourceR1 Source = "pmw-r1"
+	// SourceR2 is a paid PMW miss (SV failed).
+	SourceR2 Source = "pmw-r2"
+	// SourceR3 is a paid bypass execution.
+	SourceR3 Source = "pmw-r3"
+	// SourceTree is a tree-combined answer (mixed branches).
+	SourceTree Source = "tree"
+)
+
+// Config parameterizes a Turbo session.
+type Config struct {
+	// Mode selects the use case; default NonPartitioned.
+	Mode Mode
+	// Alpha, Beta are the per-query accuracy target (G2).
+	Alpha, Beta float64
+	// EpsilonGlobal is ε_G, enforced per partition under parallel
+	// composition (G1).
+	EpsilonGlobal float64
+	// Tau is the external-update margin; default 0.05.
+	Tau float64
+	// LR builds learning-rate schedules; nil defaults to constant α/8.
+	LR func() pmw.Schedule
+	// Heuristic builds readiness heuristics; nil defaults to Turbo's
+	// adaptive per-bin (C0=100, S0=5).
+	Heuristic heuristic.Factory
+	// Structure selects the histogram arrangement in partitioned modes.
+	Structure tree.Structure
+	// NodeExactCache enables per-node exact caches inside the tree.
+	NodeExactCache bool
+	// Seed makes the session's randomness reproducible.
+	Seed uint64
+	// MCSamples tunes the tree's Monte-Carlo calibration.
+	MCSamples int
+	// Gaussian switches the DP executor to the Gaussian mechanism with
+	// Rényi-DP accounting (§A.6): the session then enforces
+	// (EpsilonGlobal, DeltaGlobal)-DP. Non-partitioned mode only.
+	Gaussian bool
+	// DeltaGlobal is δ_G for Gaussian mode; ignored otherwise.
+	DeltaGlobal float64
+}
+
+func (c *Config) fill() error {
+	if c.Alpha <= 0 || c.Alpha >= 1 || c.Beta <= 0 || c.Beta >= 1 {
+		return fmt.Errorf("core: bad accuracy target (%g,%g)", c.Alpha, c.Beta)
+	}
+	if c.EpsilonGlobal <= 0 {
+		return fmt.Errorf("core: bad global budget %g", c.EpsilonGlobal)
+	}
+	if c.Tau == 0 {
+		c.Tau = 0.05
+	}
+	if c.Tau < 0 || c.Tau > 0.5 {
+		return fmt.Errorf("core: tau %g out of (0,1/2]", c.Tau)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return nil
+}
+
+// Answer is one released query result.
+type Answer struct {
+	Value  float64
+	Source Source
+	// Paid is the pure-DP budget consumed (summed over partitions for
+	// tree answers).
+	Paid float64
+}
+
+// Session is a Turbo-fronted DP database session. Not safe for concurrent
+// use: DP SQL engines serialize query admission against the accountant
+// anyway.
+type Session struct {
+	cfg   Config
+	ds    *dataset.Dataset
+	exec  *dataset.Executor
+	block *accountant.Block
+	store *kvstore.Store
+	exact *cache.Exact
+	rng   *noise.Rng
+
+	// Non-partitioned machinery.
+	single *pmw.PMW
+	// rdp is set in Gaussian mode and replaces block for accounting.
+	rdp *accountant.RDPFilter
+	// Partitioned machinery.
+	tree *tree.Tree
+
+	queries  int
+	exhaust  bool
+	bySource map[Source]int
+}
+
+// NewSession creates a Turbo session over ds.
+func NewSession(cfg Config, ds *dataset.Dataset) (*Session, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if ds == nil || ds.Partitions() == 0 {
+		return nil, errors.New("core: dataset must have at least one partition")
+	}
+	rng := noise.NewRng(cfg.Seed)
+	store := kvstore.New()
+	s := &Session{
+		cfg:      cfg,
+		ds:       ds,
+		exec:     dataset.NewExecutor(ds, rng.Fork()),
+		block:    accountant.NewBlock(cfg.EpsilonGlobal, ds.Partitions()),
+		store:    store,
+		exact:    cache.NewExact(store, "session-exact"),
+		rng:      rng,
+		bySource: make(map[Source]int),
+	}
+	switch cfg.Mode {
+	case NonPartitioned:
+		n := ds.NRowsAll()
+		if n == 0 {
+			return nil, errors.New("core: empty dataset")
+		}
+		var lr pmw.Schedule
+		if cfg.LR != nil {
+			lr = cfg.LR()
+		}
+		var h heuristic.Heuristic
+		if cfg.Heuristic != nil {
+			h = cfg.Heuristic()
+		}
+		full := pmw.RangeExecutor{Exec: s.exec, Start: 0, End: ds.Partitions() - 1}
+		eps := noise.EpsilonForAccuracy(cfg.Alpha, cfg.Beta, n)
+		var payer pmw.Payer
+		if cfg.Gaussian {
+			if cfg.DeltaGlobal <= 0 || cfg.DeltaGlobal >= 1 {
+				return nil, fmt.Errorf("core: Gaussian mode needs δ_G in (0,1), got %g", cfg.DeltaGlobal)
+			}
+			sigma := noise.GaussianSigmaForBypass(cfg.Alpha, n, eps, cfg.Tau)
+			s.exec.WithGaussian(sigma)
+			s.rdp = accountant.NewRDPFilterForDP(accountant.DefaultOrders, cfg.EpsilonGlobal, cfg.DeltaGlobal)
+			payer = pmw.RDPPayer{
+				Filter: s.rdp, Orders: accountant.DefaultOrders,
+				Eps: eps, GaussianSigma: sigma, N: n,
+			}
+		} else {
+			payer = pmw.PurePayer{
+				Acct: accountant.Window{Block: s.block, Start: 0, End: ds.Partitions() - 1},
+				Eps:  eps,
+			}
+		}
+		p, err := pmw.New(pmw.Config{
+			Alpha: cfg.Alpha, Beta: cfg.Beta, N: n,
+			DomainSize: ds.Domain().Size(),
+			Tau:        cfg.Tau, LR: lr, Heuristic: h,
+		}, full, payer, rng.Fork())
+		if err != nil {
+			return nil, err
+		}
+		s.single = p
+	case Partitioned, Streaming:
+		if cfg.Gaussian {
+			return nil, errors.New("core: Gaussian/RDP mode is non-partitioned only")
+		}
+		t, err := tree.New(tree.Config{
+			Alpha: cfg.Alpha, Beta: cfg.Beta, Tau: cfg.Tau,
+			LR: cfg.LR, Heuristic: cfg.Heuristic,
+			Structure:      cfg.Structure,
+			WarmStart:      cfg.Mode == Streaming,
+			NodeExactCache: cfg.NodeExactCache,
+			MCSamples:      cfg.MCSamples,
+		}, s.exec, s.block, store, rng.Fork())
+		if err != nil {
+			return nil, err
+		}
+		s.tree = t
+	default:
+		return nil, fmt.Errorf("core: unknown mode %v", cfg.Mode)
+	}
+	return s, nil
+}
+
+// Dataset returns the underlying store.
+func (s *Session) Dataset() *dataset.Dataset { return s.ds }
+
+// AppendPartition registers a newly-arrived stream partition with both the
+// store and the accountant, returning its index. Callers then load data
+// with Dataset().AddRow / AddCount before issuing queries over it.
+func (s *Session) AppendPartition() int {
+	s.block.AddPartition()
+	return s.ds.AppendPartition()
+}
+
+// Answer runs one linear query through the Turbo pipeline of Fig. 1:
+// exact cache, then PMW-Bypass (single or tree). It returns
+// accountant.ErrBudgetExhausted (wrapped) once the global guarantee binds.
+func (s *Session) Answer(q *query.Query) (Answer, error) {
+	if q.Domain() != nil && !q.Domain().Equal(s.ds.Domain()) {
+		return Answer{}, errors.New("core: query domain does not match session dataset")
+	}
+	start, end := 0, s.ds.Partitions()-1
+	if a, b, ok := q.Window(); ok {
+		start, end = a, b
+		if a < 0 || b >= s.ds.Partitions() {
+			return Answer{}, fmt.Errorf("core: window [%d,%d] out of range", a, b)
+		}
+	}
+	version, err := s.ds.RangeVersion(start, end)
+	if err != nil {
+		return Answer{}, err
+	}
+	if e, ok := s.exact.Get(q, version); ok {
+		s.record(SourceExactHit)
+		return Answer{Value: e.Value, Source: SourceExactHit}, nil
+	}
+
+	var ans Answer
+	if s.single != nil {
+		res, err := s.single.Run(q)
+		if err != nil {
+			s.noteErr(err)
+			return Answer{}, err
+		}
+		ans = Answer{Value: res.Value, Paid: res.Paid}
+		switch res.Path {
+		case pmw.PathR1:
+			ans.Source = SourceR1
+		case pmw.PathR2:
+			ans.Source = SourceR2
+		default:
+			ans.Source = SourceR3
+		}
+	} else {
+		res, err := s.tree.Run(q)
+		if err != nil {
+			s.noteErr(err)
+			return Answer{}, err
+		}
+		ans = Answer{Value: res.Value, Source: SourceTree, Paid: res.Paid}
+	}
+	if err := s.exact.Put(q, version, ans.Value, ans.Paid); err != nil {
+		return Answer{}, err
+	}
+	s.record(ans.Source)
+	return ans, nil
+}
+
+// Run satisfies the experiment harness's System interface.
+func (s *Session) Run(q *query.Query) (float64, error) {
+	a, err := s.Answer(q)
+	return a.Value, err
+}
+
+// Name identifies the system in experiment output.
+func (s *Session) Name() string { return "turbo(" + s.cfg.Mode.String() + ")" }
+
+func (s *Session) record(src Source) {
+	s.queries++
+	s.bySource[src]++
+}
+
+func (s *Session) noteErr(err error) {
+	if errors.Is(err, accountant.ErrBudgetExhausted) {
+		s.exhaust = true
+	}
+}
+
+// Exhausted reports whether the session has hit the global guarantee.
+func (s *Session) Exhausted() bool { return s.exhaust }
+
+// Queries returns the number of answered queries.
+func (s *Session) Queries() int { return s.queries }
+
+// SourceCounts returns a copy of the per-source answer counts.
+func (s *Session) SourceCounts() map[Source]int {
+	out := make(map[Source]int, len(s.bySource))
+	for k, v := range s.bySource {
+		out[k] = v
+	}
+	return out
+}
+
+// AverageSpent returns the average per-partition consumed budget — the
+// paper's headline metric. In Gaussian mode it returns the RDP
+// consumption converted to (ε, δ_G)-DP.
+func (s *Session) AverageSpent() float64 {
+	if s.rdp != nil {
+		return s.rdp.SpentDP(s.cfg.DeltaGlobal)
+	}
+	return s.block.AverageSpent()
+}
+
+// RDP exposes the Rényi-DP filter in Gaussian mode (nil otherwise).
+func (s *Session) RDP() *accountant.RDPFilter { return s.rdp }
+
+// MaxSpent returns the maximum per-partition consumed budget.
+func (s *Session) MaxSpent() float64 { return s.block.MaxSpent() }
+
+// Accountant exposes the block accountant for harness metrics.
+func (s *Session) Accountant() *accountant.Block { return s.block }
+
+// PMW exposes the single PMW-Bypass in non-partitioned mode (nil
+// otherwise), for convergence metrics.
+func (s *Session) PMW() *pmw.PMW { return s.single }
+
+// Tree exposes the tree in partitioned modes (nil otherwise).
+func (s *Session) Tree() *tree.Tree { return s.tree }
+
+// ExactCache exposes the window-level exact cache.
+func (s *Session) ExactCache() *cache.Exact { return s.exact }
+
+// MemoryBytes reports resident caching-state size: histograms plus the KV
+// store (§6.5).
+func (s *Session) MemoryBytes() int {
+	total := s.store.MemoryBytes()
+	if s.single != nil {
+		total += s.single.Histogram().MemoryBytes()
+	}
+	if s.tree != nil {
+		total += s.tree.MemoryBytes()
+	}
+	return total
+}

@@ -1,0 +1,253 @@
+// Package dataset is Turbo's database substrate: an in-memory columnar
+// timeseries store standing in for the TimescaleDB/PostgreSQL backend of
+// the paper's prototype (§5).
+//
+// Turbo needs exactly three things from the DBMS: (1) the true, non-private
+// result of a linear query over a partition range (for SV checks and as the
+// value the DP executor perturbs); (2) the public row count n per partition;
+// and (3) partitions arriving over time for streaming workloads. A store
+// keeping one dense count vector over the domain per time partition
+// provides all three with the same semantics as a row store, since every
+// linear counting query is a function of those counts alone.
+//
+// Rows can be ingested individually (AddRow) or in bulk via per-bin counts
+// (AddCount), which is how the synthetic workload generators materialize
+// paper-scale datasets (tens of millions of rows) without storing rows.
+package dataset
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/domain"
+	"repro/internal/query"
+)
+
+// Partition is one time slice of the database: a dense histogram of true
+// counts over the domain plus its public size.
+type Partition struct {
+	counts  []float64
+	n       int
+	version int
+}
+
+// N returns the partition's public row count.
+func (p *Partition) N() int { return p.n }
+
+// Count returns the true number of rows in bin.
+func (p *Partition) Count(bin int) float64 { return p.counts[bin] }
+
+// Dataset is a partitioned timeseries store. For the non-partitioned use
+// case it simply holds one partition. Safe for concurrent reads with
+// serialized writes.
+type Dataset struct {
+	mu      sync.RWMutex
+	dom     *domain.Domain
+	parts   []*Partition
+	version int
+}
+
+// New creates an empty dataset over dom with the given number of (empty)
+// partitions.
+func New(dom *domain.Domain, partitions int) *Dataset {
+	if partitions < 0 {
+		panic(fmt.Sprintf("dataset: bad partition count %d", partitions))
+	}
+	ds := &Dataset{dom: dom}
+	for i := 0; i < partitions; i++ {
+		ds.appendPartitionLocked()
+	}
+	return ds
+}
+
+func (ds *Dataset) appendPartitionLocked() int {
+	ds.parts = append(ds.parts, &Partition{counts: make([]float64, ds.dom.Size())})
+	return len(ds.parts) - 1
+}
+
+// AppendPartition registers a new, empty time partition (streaming arrival)
+// and returns its index.
+func (ds *Dataset) AppendPartition() int {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	ds.version++
+	return ds.appendPartitionLocked()
+}
+
+// Domain returns the dataset's domain.
+func (ds *Dataset) Domain() *domain.Domain { return ds.dom }
+
+// Partition returns a read-only view of partition i (its fields are
+// unexported, so callers can inspect counts but not mutate them).
+func (ds *Dataset) Partition(i int) *Partition {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return ds.parts[i]
+}
+
+// Partitions returns the current number of partitions.
+func (ds *Dataset) Partitions() int {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return len(ds.parts)
+}
+
+// Version increases whenever data changes; exact caches key on it so stale
+// results are never served after ingestion.
+func (ds *Dataset) Version() int {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return ds.version
+}
+
+// AddRow ingests one row with the given attribute values into partition p.
+func (ds *Dataset) AddRow(p int, tuple []int) error {
+	bin := ds.dom.Encode(tuple)
+	return ds.AddCount(p, bin, 1)
+}
+
+// AddCount ingests count identical rows whose encoded value is bin into
+// partition p. Used by bulk loaders.
+func (ds *Dataset) AddCount(p, bin int, count int) error {
+	if count < 0 {
+		return fmt.Errorf("dataset: negative count %d", count)
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if p < 0 || p >= len(ds.parts) {
+		return fmt.Errorf("dataset: partition %d out of range [0,%d)", p, len(ds.parts))
+	}
+	if bin < 0 || bin >= ds.dom.Size() {
+		return fmt.Errorf("dataset: bin %d out of range [0,%d)", bin, ds.dom.Size())
+	}
+	ds.parts[p].counts[bin] += float64(count)
+	ds.parts[p].n += count
+	ds.parts[p].version++
+	ds.version++
+	return nil
+}
+
+// RangeVersion summarizes the mutation state of partitions [start, end];
+// exact caches record it so a cached result is served only while the data
+// it was computed on is unchanged. Appending new partitions does not
+// invalidate results on old ranges.
+func (ds *Dataset) RangeVersion(start, end int) (int, error) {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	if start < 0 || end >= len(ds.parts) || start > end {
+		return 0, fmt.Errorf("dataset: bad range [%d,%d] of %d partitions", start, end, len(ds.parts))
+	}
+	v := 0
+	for i := start; i <= end; i++ {
+		v += ds.parts[i].version
+	}
+	return v, nil
+}
+
+// BulkLoad adds per-bin row counts to partition p in one call. Workload
+// generators use it to materialize paper-scale datasets (tens of millions
+// of rows) without per-row ingestion.
+func (ds *Dataset) BulkLoad(p int, counts []int) error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if p < 0 || p >= len(ds.parts) {
+		return fmt.Errorf("dataset: partition %d out of range [0,%d)", p, len(ds.parts))
+	}
+	if len(counts) != ds.dom.Size() {
+		return fmt.Errorf("dataset: BulkLoad got %d bins for domain size %d", len(counts), ds.dom.Size())
+	}
+	part := ds.parts[p]
+	for bin, c := range counts {
+		if c < 0 {
+			return fmt.Errorf("dataset: negative count %d at bin %d", c, bin)
+		}
+		part.counts[bin] += float64(c)
+		part.n += c
+	}
+	part.version++
+	ds.version++
+	return nil
+}
+
+// NRows returns the public total row count of partitions [start, end].
+func (ds *Dataset) NRows(start, end int) (int, error) {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	if start < 0 || end >= len(ds.parts) || start > end {
+		return 0, fmt.Errorf("dataset: bad range [%d,%d] of %d partitions", start, end, len(ds.parts))
+	}
+	n := 0
+	for i := start; i <= end; i++ {
+		n += ds.parts[i].n
+	}
+	return n, nil
+}
+
+// NRowsAll returns the public total row count.
+func (ds *Dataset) NRowsAll() int {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	n := 0
+	for _, p := range ds.parts {
+		n += p.n
+	}
+	return n
+}
+
+// PartitionN returns the public row count of partition i.
+func (ds *Dataset) PartitionN(i int) int {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return ds.parts[i].n
+}
+
+// TrueFraction executes q without DP over partitions [start, end],
+// returning the fraction of rows matching the predicate. This is the
+// executeNPQuery path of the Turbo API (Fig. 7b): its result is only ever
+// used inside SV checks or perturbed by the DP executor, never released.
+func (ds *Dataset) TrueFraction(q *query.Query, start, end int) (float64, error) {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	if start < 0 || end >= len(ds.parts) || start > end {
+		return 0, fmt.Errorf("dataset: bad range [%d,%d] of %d partitions", start, end, len(ds.parts))
+	}
+	matched, n := 0.0, 0
+	for i := start; i <= end; i++ {
+		p := ds.parts[i]
+		if p.n == 0 {
+			continue
+		}
+		matched += q.Eval(p.counts)
+		n += p.n
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return matched / float64(n), nil
+}
+
+// TrueDistribution returns the normalized distribution over bins of
+// partitions [start, end] — the ground-truth p that the convergence
+// metrics compare histograms against. The returned slice is freshly
+// allocated.
+func (ds *Dataset) TrueDistribution(start, end int) ([]float64, error) {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	if start < 0 || end >= len(ds.parts) || start > end {
+		return nil, fmt.Errorf("dataset: bad range [%d,%d] of %d partitions", start, end, len(ds.parts))
+	}
+	out := make([]float64, ds.dom.Size())
+	n := 0.0
+	for i := start; i <= end; i++ {
+		for b, c := range ds.parts[i].counts {
+			out[b] += c
+		}
+		n += float64(ds.parts[i].n)
+	}
+	if n > 0 {
+		for b := range out {
+			out[b] /= n
+		}
+	}
+	return out, nil
+}

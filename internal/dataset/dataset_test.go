@@ -1,0 +1,302 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/domain"
+	"repro/internal/noise"
+	"repro/internal/query"
+)
+
+func dom() *domain.Domain {
+	return domain.MustNew(
+		domain.Attribute{Name: "p", Card: 2},
+		domain.Attribute{Name: "a", Card: 4},
+	)
+}
+
+func TestIngestionAndTrueFraction(t *testing.T) {
+	d := dom()
+	ds := New(d, 2)
+	// Partition 0: 3 positive rows with a=0, 1 negative with a=1.
+	for i := 0; i < 3; i++ {
+		if err := ds.AddRow(0, []int{1, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ds.AddRow(0, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Partition 1: 4 negative rows with a=2.
+	if err := ds.AddCount(1, d.Encode([]int{0, 2}), 4); err != nil {
+		t.Fatal(err)
+	}
+
+	q := query.MustNew(d, map[int][]int{0: {1}})
+	got, err := ds.TrueFraction(q, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.75 {
+		t.Fatalf("TrueFraction p0 = %g, want 0.75", got)
+	}
+	got, err = ds.TrueFraction(q, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3.0/8 {
+		t.Fatalf("TrueFraction all = %g, want 0.375", got)
+	}
+	if n, _ := ds.NRows(0, 1); n != 8 {
+		t.Fatalf("NRows = %d", n)
+	}
+	if ds.PartitionN(1) != 4 {
+		t.Fatalf("PartitionN(1) = %d", ds.PartitionN(1))
+	}
+	if ds.NRowsAll() != 8 {
+		t.Fatalf("NRowsAll = %d", ds.NRowsAll())
+	}
+}
+
+func TestEmptyRangeAnswersZero(t *testing.T) {
+	ds := New(dom(), 3)
+	q := query.MustNew(dom(), nil)
+	got, err := ds.TrueFraction(q, 0, 2)
+	if err != nil || got != 0 {
+		t.Fatalf("TrueFraction on empty = %g, %v", got, err)
+	}
+}
+
+func TestRangeValidation(t *testing.T) {
+	ds := New(dom(), 2)
+	for _, r := range [][2]int{{-1, 0}, {0, 2}, {1, 0}} {
+		if _, err := ds.TrueFraction(query.MustNew(dom(), nil), r[0], r[1]); err == nil {
+			t.Errorf("TrueFraction(%v) accepted", r)
+		}
+		if _, err := ds.NRows(r[0], r[1]); err == nil {
+			t.Errorf("NRows(%v) accepted", r)
+		}
+		if _, err := ds.RangeVersion(r[0], r[1]); err == nil {
+			t.Errorf("RangeVersion(%v) accepted", r)
+		}
+		if _, err := ds.TrueDistribution(r[0], r[1]); err == nil {
+			t.Errorf("TrueDistribution(%v) accepted", r)
+		}
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	ds := New(dom(), 1)
+	if err := ds.AddCount(0, -1, 1); err == nil {
+		t.Error("negative bin accepted")
+	}
+	if err := ds.AddCount(0, 99, 1); err == nil {
+		t.Error("out-of-range bin accepted")
+	}
+	if err := ds.AddCount(5, 0, 1); err == nil {
+		t.Error("bad partition accepted")
+	}
+	if err := ds.AddCount(0, 0, -2); err == nil {
+		t.Error("negative count accepted")
+	}
+	if err := ds.BulkLoad(0, []int{1, 2}); err == nil {
+		t.Error("short bulk load accepted")
+	}
+	if err := ds.BulkLoad(0, append(make([]int, 7), -1)); err == nil {
+		t.Error("negative bulk count accepted")
+	}
+	if err := ds.BulkLoad(9, make([]int, 8)); err == nil {
+		t.Error("bad bulk partition accepted")
+	}
+}
+
+func TestVersioning(t *testing.T) {
+	ds := New(dom(), 2)
+	v0, _ := ds.RangeVersion(0, 0)
+	if err := ds.AddRow(0, []int{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := ds.RangeVersion(0, 0)
+	if v1 == v0 {
+		t.Fatal("mutation did not change range version")
+	}
+	// Mutating partition 1 leaves partition 0's range version alone.
+	if err := ds.AddRow(1, []int{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := ds.RangeVersion(0, 0)
+	if v2 != v1 {
+		t.Fatal("unrelated mutation changed range version")
+	}
+	full0, _ := ds.RangeVersion(0, 1)
+	if err := ds.AddRow(1, []int{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	full1, _ := ds.RangeVersion(0, 1)
+	if full1 == full0 {
+		t.Fatal("range version insensitive to member partition")
+	}
+	if ds.Version() == 0 {
+		t.Fatal("global version not bumped")
+	}
+}
+
+func TestStreamingAppend(t *testing.T) {
+	ds := New(dom(), 1)
+	idx := ds.AppendPartition()
+	if idx != 1 || ds.Partitions() != 2 {
+		t.Fatalf("AppendPartition = %d, Partitions = %d", idx, ds.Partitions())
+	}
+	if err := ds.AddRow(1, []int{1, 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadMatchesAddRow(t *testing.T) {
+	d := dom()
+	a, b := New(d, 1), New(d, 1)
+	counts := make([]int, d.Size())
+	counts[d.Encode([]int{1, 2})] = 5
+	counts[d.Encode([]int{0, 0})] = 3
+	if err := a.BulkLoad(0, counts); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		_ = b.AddRow(0, []int{1, 2})
+	}
+	for i := 0; i < 3; i++ {
+		_ = b.AddRow(0, []int{0, 0})
+	}
+	q := query.MustNew(d, map[int][]int{0: {1}})
+	fa, _ := a.TrueFraction(q, 0, 0)
+	fb, _ := b.TrueFraction(q, 0, 0)
+	if fa != fb {
+		t.Fatalf("bulk %g != rows %g", fa, fb)
+	}
+}
+
+func TestTrueDistribution(t *testing.T) {
+	d := dom()
+	ds := New(d, 2)
+	_ = ds.AddCount(0, 0, 3)
+	_ = ds.AddCount(1, 1, 1)
+	dist, err := ds.TrueDistribution(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[0] != 0.75 || dist[1] != 0.25 {
+		t.Fatalf("dist = %v", dist[:2])
+	}
+	sum := 0.0
+	for _, p := range dist {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("distribution sums to %g", sum)
+	}
+}
+
+func TestExecutorLaplaceNoiseScale(t *testing.T) {
+	d := dom()
+	ds := New(d, 1)
+	_ = ds.AddCount(0, 0, 1000)
+	exec := NewExecutor(ds, noise.NewRng(9))
+	q := query.MustNew(d, map[int][]int{0: {0}})
+	trueVal, _ := ds.TrueFraction(q, 0, 0)
+
+	eps := 0.5
+	const trials = 20000
+	sumSq := 0.0
+	for i := 0; i < trials; i++ {
+		r, err := exec.ExecuteDP(q, 0, 0, eps, math.NaN())
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := r - trueVal
+		sumSq += e * e
+	}
+	// Var[Lap(1/εn)] = 2/(εn)².
+	want := 2 / math.Pow(eps*1000, 2)
+	got := sumSq / trials
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("noise variance = %g, want %g", got, want)
+	}
+	np, dp := exec.Stats()
+	if dp != trials {
+		t.Fatalf("dp executions = %d", dp)
+	}
+	if np != trials {
+		t.Fatalf("np executions = %d (ExecuteDP computes truth when NaN)", np)
+	}
+}
+
+func TestExecutorReusesTrueResult(t *testing.T) {
+	d := dom()
+	ds := New(d, 1)
+	_ = ds.AddCount(0, 0, 100)
+	exec := NewExecutor(ds, noise.NewRng(3))
+	q := query.MustNew(d, nil)
+	if _, err := exec.ExecuteDP(q, 0, 0, 1.0, 0.42); err != nil {
+		t.Fatal(err)
+	}
+	np, _ := exec.Stats()
+	if np != 0 {
+		t.Fatal("ExecuteDP with precomputed truth still scanned data")
+	}
+}
+
+func TestExecutorErrors(t *testing.T) {
+	d := dom()
+	ds := New(d, 1)
+	exec := NewExecutor(ds, noise.NewRng(3))
+	q := query.MustNew(d, nil)
+	if _, err := exec.ExecuteDP(q, 0, 0, 0, math.NaN()); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := exec.ExecuteDP(q, 0, 0, -1, math.NaN()); err == nil {
+		t.Error("negative eps accepted")
+	}
+	// Empty range: DP execution must refuse (nothing to protect or
+	// release).
+	if _, err := exec.ExecuteDP(q, 0, 0, 1, math.NaN()); err == nil {
+		t.Error("DP execution over empty partition accepted")
+	}
+}
+
+func TestExecutorGaussian(t *testing.T) {
+	d := dom()
+	ds := New(d, 1)
+	_ = ds.AddCount(0, 0, 1000)
+	exec := NewExecutor(ds, noise.NewRng(4)).WithGaussian(0.01)
+	if exec.Mechanism() != Gaussian {
+		t.Fatal("mechanism not switched")
+	}
+	if Gaussian.String() != "gaussian" || Laplace.String() != "laplace" {
+		t.Fatal("mechanism names wrong")
+	}
+	q := query.MustNew(d, nil)
+	trueVal := 1.0
+	const trials = 20000
+	sumSq := 0.0
+	for i := 0; i < trials; i++ {
+		r, err := exec.ExecuteDP(q, 0, 0, 1.0, trueVal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumSq += (r - trueVal) * (r - trueVal)
+	}
+	want := math.Pow(0.01, 2) // N(0, σ²) on the fraction
+	got := sumSq / trials
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("Gaussian variance = %g, want %g", got, want)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("WithGaussian(0) did not panic")
+			}
+		}()
+		exec.WithGaussian(0)
+	}()
+}

@@ -1,0 +1,277 @@
+// Package histogram implements the multiplicative-weights histogram at the
+// heart of PMW and PMW-Bypass (Alg. 1 of the Turbo paper).
+//
+// A histogram is a probability distribution h over the data domain X,
+// initialized uniform and updated multiplicatively from DP query results:
+//
+//	g(v) ← h(v)·exp(s·q(v))    for a signed step s = ±lr
+//	h(v) ← g(v) / Σ_w g(w)     (renormalize)
+//
+// Since Turbo's queries are predicates (q(v) ∈ {0,1}), an update multiplies
+// exactly the bins in the query's support by e^s and renormalizes.
+//
+// The histogram also tracks per-bin purposeful-update counters c (Fig. 2 and
+// Fig. 5 in the paper), which Turbo's readiness heuristic consumes. Counters
+// are float64 because warm-starting internal tree nodes averages children,
+// yielding fractional counts (Fig. 5 shows e.g. c=0.5).
+package histogram
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/query"
+)
+
+// Histogram is a normalized distribution over domain bins with per-bin
+// update counters. It is not safe for concurrent mutation.
+type Histogram struct {
+	weights []float64
+	counts  []float64
+	updates int // total number of purposeful updates applied
+}
+
+// NewUniform returns the uniform distribution over a domain of the given
+// size, with all counters zero.
+func NewUniform(size int) *Histogram {
+	if size <= 0 {
+		panic(fmt.Sprintf("histogram: bad size %d", size))
+	}
+	h := &Histogram{
+		weights: make([]float64, size),
+		counts:  make([]float64, size),
+	}
+	w := 1.0 / float64(size)
+	for i := range h.weights {
+		h.weights[i] = w
+	}
+	return h
+}
+
+// FromWeights builds a histogram from an arbitrary non-negative weight
+// vector, normalizing it. At least one weight must be positive.
+func FromWeights(w []float64) (*Histogram, error) {
+	sum := 0.0
+	for i, x := range w {
+		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("histogram: bad weight %g at bin %d", x, i)
+		}
+		sum += x
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("histogram: all weights zero")
+	}
+	h := &Histogram{weights: make([]float64, len(w)), counts: make([]float64, len(w))}
+	for i, x := range w {
+		h.weights[i] = x / sum
+	}
+	return h, nil
+}
+
+// Size returns the number of bins.
+func (h *Histogram) Size() int { return len(h.weights) }
+
+// Weight returns h(bin).
+func (h *Histogram) Weight(bin int) float64 { return h.weights[bin] }
+
+// Weights returns the underlying weight vector. Callers must not modify it.
+func (h *Histogram) Weights() []float64 { return h.weights }
+
+// Count returns the purposeful-update counter of bin.
+func (h *Histogram) Count(bin int) float64 { return h.counts[bin] }
+
+// Updates returns the total number of purposeful updates applied to h,
+// including those inherited through warm-start.
+func (h *Histogram) Updates() int { return h.updates }
+
+// Eval returns the histogram's estimate q(h) = q·h for a linear query.
+func (h *Histogram) Eval(q *query.Query) float64 { return q.Eval(h.weights) }
+
+// Update applies one multiplicative-weights step of signed size step
+// (s = ±lr in Alg. 1) for query q, renormalizes, and increments the support
+// bins' counters. A step of 0 is a no-op (the external-update rule emits 0
+// when not confident; see Alg. 1 l.33).
+func (h *Histogram) Update(q *query.Query, step float64) {
+	if step == 0 {
+		return
+	}
+	if math.IsNaN(step) || math.IsInf(step, 0) {
+		panic(fmt.Sprintf("histogram: bad step %g", step))
+	}
+	factor := math.Exp(step)
+	// Support mass before the update; the new total is
+	// 1 + (factor-1)·mass, so we renormalize with a single pass.
+	mass := 0.0
+	q.ForEachBin(func(bin int) {
+		mass += h.weights[bin]
+		h.weights[bin] *= factor
+		h.counts[bin]++
+	})
+	total := 1 + (factor-1)*mass
+	inv := 1 / total
+	for i := range h.weights {
+		h.weights[i] *= inv
+	}
+	h.updates++
+}
+
+// MinSupportCount returns the smallest per-bin counter among the bins in
+// q's support — the quantity Turbo's per-bin readiness heuristic thresholds.
+func (h *Histogram) MinSupportCount(q *query.Query) float64 {
+	min := math.Inf(1)
+	q.ForEachBin(func(bin int) {
+		if h.counts[bin] < min {
+			min = h.counts[bin]
+		}
+	})
+	return min
+}
+
+// LeastUpdatedBins returns the support bins whose counter equals the support
+// minimum. The heuristic penalizes only these bins after an SV failure, so a
+// single untrained bin cannot set back queries that use trained bins only
+// (§4.3 "Heuristic ISHISTOGRAMREADY").
+func (h *Histogram) LeastUpdatedBins(q *query.Query) []int {
+	min := h.MinSupportCount(q)
+	var bins []int
+	q.ForEachBin(func(bin int) {
+		if h.counts[bin] == min {
+			bins = append(bins, bin)
+		}
+	})
+	return bins
+}
+
+// Clone returns a deep copy of h, counters included. Used by the warm-start
+// leaf procedure (§4.5): a new leaf copies the previous partition's leaf.
+func (h *Histogram) Clone() *Histogram {
+	c := &Histogram{
+		weights: append([]float64(nil), h.weights...),
+		counts:  append([]float64(nil), h.counts...),
+		updates: h.updates,
+	}
+	return c
+}
+
+// Average returns the bin-wise average of the given histograms, used by the
+// warm-start procedure for non-leaf tree nodes (§4.5). Counters and the
+// update total are averaged too. All inputs must share a size.
+func Average(hs ...*Histogram) (*Histogram, error) {
+	if len(hs) == 0 {
+		return nil, fmt.Errorf("histogram: Average of nothing")
+	}
+	size := hs[0].Size()
+	out := &Histogram{
+		weights: make([]float64, size),
+		counts:  make([]float64, size),
+	}
+	totalUpdates := 0
+	for _, h := range hs {
+		if h.Size() != size {
+			return nil, fmt.Errorf("histogram: Average size mismatch %d vs %d", h.Size(), size)
+		}
+		for i := range out.weights {
+			out.weights[i] += h.weights[i]
+			out.counts[i] += h.counts[i]
+		}
+		totalUpdates += h.updates
+	}
+	inv := 1 / float64(len(hs))
+	for i := range out.weights {
+		out.weights[i] *= inv
+		out.counts[i] *= inv
+	}
+	out.updates = totalUpdates / len(hs)
+	return out, nil
+}
+
+// MinWeight returns the smallest bin weight. Warm-start convergence
+// (Thm A.9) requires h0(x) ≥ 1/(λ|X|); λ = 1/(MinWeight·|X|).
+func (h *Histogram) MinWeight() float64 {
+	min := math.Inf(1)
+	for _, w := range h.weights {
+		if w < min {
+			min = w
+		}
+	}
+	return min
+}
+
+// Lambda returns the warm-start prior-flatness parameter λ ≥ 1 such that
+// h(x) ≥ 1/(λ|X|) for all x (Thm A.9).
+func (h *Histogram) Lambda() float64 {
+	mw := h.MinWeight()
+	if mw <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / (mw * float64(len(h.weights)))
+}
+
+// RelativeEntropy computes D(p‖h) = Σ p(x)·ln(p(x)/h(x)), the potential
+// tracked by the convergence proofs (Thm A.4). p must be a distribution of
+// the same size; bins where p(x)=0 contribute zero.
+func (h *Histogram) RelativeEntropy(p []float64) float64 {
+	if len(p) != len(h.weights) {
+		panic(fmt.Sprintf("histogram: RelativeEntropy got %d-vector for %d bins", len(p), len(h.weights)))
+	}
+	d := 0.0
+	for i, px := range p {
+		if px <= 0 {
+			continue
+		}
+		d += px * math.Log(px/h.weights[i])
+	}
+	return d
+}
+
+// Normalized reports whether the weights form a distribution within tol.
+// It exists for tests and debug assertions.
+func (h *Histogram) Normalized(tol float64) bool {
+	sum := 0.0
+	for _, w := range h.weights {
+		if w < 0 || math.IsNaN(w) {
+			return false
+		}
+		sum += w
+	}
+	return math.Abs(sum-1) <= tol
+}
+
+// MemoryBytes estimates the resident size of the histogram state: two
+// float64 vectors over the domain. Used by the §6.5 memory evaluation.
+func (h *Histogram) MemoryBytes() int {
+	return 16 * len(h.weights)
+}
+
+// State is the serializable form of a histogram, for persisting caching
+// state the way the prototype keeps it in Redis (§5).
+type State struct {
+	Weights []float64
+	Counts  []float64
+	Updates int
+}
+
+// State exports a copy of the histogram's state.
+func (h *Histogram) State() State {
+	return State{
+		Weights: append([]float64(nil), h.weights...),
+		Counts:  append([]float64(nil), h.counts...),
+		Updates: h.updates,
+	}
+}
+
+// FromState reconstructs a histogram, validating normalization.
+func FromState(s State) (*Histogram, error) {
+	if len(s.Weights) == 0 || len(s.Weights) != len(s.Counts) {
+		return nil, fmt.Errorf("histogram: bad state (%d weights, %d counts)", len(s.Weights), len(s.Counts))
+	}
+	h := &Histogram{
+		weights: append([]float64(nil), s.Weights...),
+		counts:  append([]float64(nil), s.Counts...),
+		updates: s.Updates,
+	}
+	if !h.Normalized(1e-6) {
+		return nil, fmt.Errorf("histogram: state not normalized")
+	}
+	return h, nil
+}

@@ -1,0 +1,17 @@
+package interval
+
+import "testing"
+
+func BenchmarkSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Split(3, 1000+i%100)
+	}
+}
+
+func BenchmarkLargestContiguousSubset(b *testing.B) {
+	nodes := Split(1, 1022)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = LargestContiguousSubset(nodes)
+	}
+}

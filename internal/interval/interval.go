@@ -1,0 +1,178 @@
+// Package interval implements the binary-tree decomposition of partition
+// ranges underlying Turbo's tree-structured caching objects (§4.4, Alg. 2).
+//
+// The node set over T time partitions is
+//
+//	I = {(a, b) : b−a+1 = 2^k and a ≡ 0 (mod 2^k)}
+//
+// i.e. the dyadic intervals of a segment tree. SPLITQUERY maps a requested
+// window [a, b] to the unique smallest set of nodes covering it (the
+// "min-cuts" of §4.4); a window over T partitions splits into at most
+// 2·⌈log2 T⌉ + 1 nodes (and at most 2m for a window within a tree of depth
+// m, the bound Thm A.7 uses).
+package interval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node is one dyadic interval [Start, End], inclusive, with
+// End−Start+1 = 2^k and Start ≡ 0 mod 2^k.
+type Node struct {
+	Start, End int
+}
+
+// Len returns the number of partitions the node spans.
+func (n Node) Len() int { return n.End - n.Start + 1 }
+
+// IsLeaf reports whether the node covers a single partition.
+func (n Node) IsLeaf() bool { return n.Start == n.End }
+
+// Level returns k with Len = 2^k.
+func (n Node) Level() int {
+	k := 0
+	for l := n.Len(); l > 1; l >>= 1 {
+		k++
+	}
+	return k
+}
+
+// Children returns the two half-nodes of a non-leaf node.
+func (n Node) Children() (left, right Node) {
+	if n.IsLeaf() {
+		panic(fmt.Sprintf("interval: leaf %v has no children", n))
+	}
+	mid := n.Start + n.Len()/2
+	return Node{n.Start, mid - 1}, Node{mid, n.End}
+}
+
+// Parent returns the dyadic node one level up containing n.
+func (n Node) Parent() Node {
+	l := n.Len()
+	start := n.Start - n.Start%(2*l)
+	return Node{start, start + 2*l - 1}
+}
+
+// String implements fmt.Stringer with the paper's [a,b] notation.
+func (n Node) String() string { return fmt.Sprintf("[%d,%d]", n.Start, n.End) }
+
+// Valid reports whether n is a dyadic node.
+func (n Node) Valid() bool {
+	l := n.End - n.Start + 1
+	if n.Start < 0 || l <= 0 || l&(l-1) != 0 {
+		return false
+	}
+	return n.Start%l == 0
+}
+
+// Split decomposes the window [start, end] into the minimal set of dyadic
+// nodes covering it exactly, ordered left to right (SPLITQUERY, Alg. 2
+// l.4). It panics on an invalid window since windows come from validated
+// queries.
+func Split(start, end int) []Node {
+	if start < 0 || start > end {
+		panic(fmt.Sprintf("interval: bad window [%d,%d]", start, end))
+	}
+	var nodes []Node
+	a := start
+	for a <= end {
+		// Largest power-of-two block that starts at a (alignment) and
+		// fits within the window (size).
+		size := a & -a // alignment constraint; 0 means unbounded
+		if a == 0 {
+			size = 1 << 62
+		}
+		for size > end-a+1 {
+			size >>= 1
+		}
+		nodes = append(nodes, Node{a, a + size - 1})
+		a += size
+	}
+	return nodes
+}
+
+// MaxSplitNodes returns the worst-case number of nodes Split can return for
+// any window within [0, 2^m − 1]: 2m for m ≥ 1 (the bound used by
+// Thm A.7), and 1 for m = 0.
+func MaxSplitNodes(m int) int {
+	if m <= 0 {
+		return 1
+	}
+	return 2 * m
+}
+
+// LargestContiguousSubset returns the largest subset J of the given nodes
+// that forms one contiguous partition range (Alg. 2 l.9;
+// LARGESTCONTIGUOUSSUBSET in §A.3's notation). Nodes must be disjoint; the
+// input order does not matter. Ties prefer the leftmost run. The returned
+// slice is ordered left to right; its second return value is the number of
+// partitions covered.
+func LargestContiguousSubset(nodes []Node) ([]Node, int) {
+	if len(nodes) == 0 {
+		return nil, 0
+	}
+	sorted := append([]Node(nil), nodes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	bestLo, bestHi, bestSpan := 0, 0, sorted[0].Len()
+	lo := 0
+	span := 0
+	for hi := 0; hi < len(sorted); hi++ {
+		if hi > 0 && sorted[hi].Start != sorted[hi-1].End+1 {
+			lo = hi
+			span = 0
+		}
+		span += sorted[hi].Len()
+		if span > bestSpan {
+			bestLo, bestHi, bestSpan = lo, hi, span
+		}
+	}
+	return sorted[bestLo : bestHi+1], bestSpan
+}
+
+// Ancestors enumerates every dyadic node over [0, T) that contains
+// partition p, leaf first. Used to size tree state.
+func Ancestors(p, numPartitions int) []Node {
+	if p < 0 || p >= numPartitions {
+		panic(fmt.Sprintf("interval: partition %d out of [0,%d)", p, numPartitions))
+	}
+	var out []Node
+	n := Node{p, p}
+	for {
+		out = append(out, n)
+		parent := n.Parent()
+		if parent.End >= numPartitions || parent == n {
+			break
+		}
+		n = parent
+	}
+	return out
+}
+
+// AllNodes enumerates every dyadic node fully contained in [0, T), ordered
+// by level then start. This is the node set the tree cache may
+// materialize; histograms are created lazily so most are never allocated.
+func AllNodes(numPartitions int) []Node {
+	var out []Node
+	for size := 1; size <= numPartitions; size <<= 1 {
+		for start := 0; start+size <= numPartitions; start += size {
+			out = append(out, Node{start, start + size - 1})
+		}
+	}
+	return out
+}
+
+// Covers reports whether the given nodes exactly tile [start, end] with no
+// gaps or overlaps. Used by property tests.
+func Covers(nodes []Node, start, end int) bool {
+	sorted := append([]Node(nil), nodes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	next := start
+	for _, n := range sorted {
+		if n.Start != next {
+			return false
+		}
+		next = n.End + 1
+	}
+	return next == end+1
+}

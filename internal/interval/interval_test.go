@@ -1,0 +1,296 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeBasics(t *testing.T) {
+	n := Node{4, 7}
+	if n.Len() != 4 || n.IsLeaf() || n.Level() != 2 {
+		t.Fatalf("node %v: len=%d leaf=%v level=%d", n, n.Len(), n.IsLeaf(), n.Level())
+	}
+	l, r := n.Children()
+	if l != (Node{4, 5}) || r != (Node{6, 7}) {
+		t.Fatalf("children = %v, %v", l, r)
+	}
+	if n.Parent() != (Node{0, 7}) {
+		t.Fatalf("parent = %v", n.Parent())
+	}
+	if n.String() != "[4,7]" {
+		t.Fatalf("String = %q", n.String())
+	}
+	leaf := Node{3, 3}
+	if !leaf.IsLeaf() || leaf.Level() != 0 {
+		t.Fatal("leaf misclassified")
+	}
+	if leaf.Parent() != (Node{2, 3}) {
+		t.Fatalf("leaf parent = %v", leaf.Parent())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("leaf Children did not panic")
+			}
+		}()
+		leaf.Children()
+	}()
+}
+
+func TestNodeValid(t *testing.T) {
+	valid := []Node{{0, 0}, {0, 1}, {2, 3}, {0, 7}, {8, 15}, {6, 6}}
+	for _, n := range valid {
+		if !n.Valid() {
+			t.Errorf("%v should be valid", n)
+		}
+	}
+	invalid := []Node{{1, 2}, {0, 2}, {2, 5}, {3, 4}, {-1, 0}, {5, 4}}
+	for _, n := range invalid {
+		if n.Valid() {
+			t.Errorf("%v should be invalid", n)
+		}
+	}
+}
+
+func TestSplitKnownCases(t *testing.T) {
+	cases := []struct {
+		start, end int
+		want       []Node
+	}{
+		{0, 0, []Node{{0, 0}}},
+		{0, 3, []Node{{0, 3}}},
+		{1, 1, []Node{{1, 1}}},
+		{2, 4, []Node{{2, 3}, {4, 4}}},
+		{1, 6, []Node{{1, 1}, {2, 3}, {4, 5}, {6, 6}}},
+		{0, 6, []Node{{0, 3}, {4, 5}, {6, 6}}},
+		{3, 4, []Node{{3, 3}, {4, 4}}},
+		{8, 15, []Node{{8, 15}}},
+	}
+	for _, c := range cases {
+		got := Split(c.start, c.end)
+		if len(got) != len(c.want) {
+			t.Fatalf("Split(%d,%d) = %v, want %v", c.start, c.end, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Split(%d,%d) = %v, want %v", c.start, c.end, got, c.want)
+			}
+		}
+	}
+}
+
+func TestSplitProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		T := 1 + r.Intn(256)
+		start := r.Intn(T)
+		end := start + r.Intn(T-start)
+		nodes := Split(start, end)
+		// Exact cover, all dyadic, ordered.
+		if !Covers(nodes, start, end) {
+			return false
+		}
+		for i, n := range nodes {
+			if !n.Valid() {
+				return false
+			}
+			if i > 0 && nodes[i-1].End >= n.Start {
+				return false
+			}
+		}
+		// Within the worst-case bound for the enclosing power of two.
+		m := 0
+		for 1<<m < T {
+			m++
+		}
+		return len(nodes) <= MaxSplitNodes(m)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitMinimality(t *testing.T) {
+	// The greedy split must be minimal: no two adjacent result nodes can
+	// merge into a single valid dyadic node covering both.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		T := 1 + r.Intn(128)
+		start := r.Intn(T)
+		end := start + r.Intn(T-start)
+		nodes := Split(start, end)
+		for i := 1; i < len(nodes); i++ {
+			merged := Node{nodes[i-1].Start, nodes[i].End}
+			if merged.Valid() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitPanics(t *testing.T) {
+	for _, r := range [][2]int{{-1, 0}, {3, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Split(%v) did not panic", r)
+				}
+			}()
+			Split(r[0], r[1])
+		}()
+	}
+}
+
+func TestMaxSplitNodes(t *testing.T) {
+	if MaxSplitNodes(0) != 1 || MaxSplitNodes(3) != 6 || MaxSplitNodes(6) != 12 {
+		t.Fatal("MaxSplitNodes wrong")
+	}
+}
+
+func TestLargestContiguousSubset(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []Node
+		want []Node
+		span int
+	}{
+		{"empty", nil, nil, 0},
+		{"single", []Node{{2, 3}}, []Node{{2, 3}}, 2},
+		{
+			"two runs, right larger",
+			[]Node{{0, 0}, {2, 3}, {4, 7}},
+			[]Node{{2, 3}, {4, 7}},
+			6,
+		},
+		{
+			"two runs, left larger",
+			[]Node{{0, 3}, {4, 4}, {6, 6}},
+			[]Node{{0, 3}, {4, 4}},
+			5,
+		},
+		{
+			"unsorted input",
+			[]Node{{4, 7}, {2, 3}, {0, 0}},
+			[]Node{{2, 3}, {4, 7}},
+			6,
+		},
+		{
+			"tie prefers leftmost",
+			[]Node{{0, 1}, {4, 5}},
+			[]Node{{0, 1}},
+			2,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, span := LargestContiguousSubset(c.in)
+			if span != c.span || len(got) != len(c.want) {
+				t.Fatalf("got %v span=%d, want %v span=%d", got, span, c.want, c.span)
+			}
+			for i := range got {
+				if got[i] != c.want[i] {
+					t.Fatalf("got %v, want %v", got, c.want)
+				}
+			}
+		})
+	}
+}
+
+func TestLargestContiguousSubsetQuick(t *testing.T) {
+	// The returned run must be contiguous and at least as large as every
+	// other contiguous run in the input.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Build disjoint nodes from a random split of a random window,
+		// then drop a random subset.
+		T := 2 + r.Intn(64)
+		full := Split(0, T-1)
+		var sub []Node
+		for _, n := range full {
+			if r.Intn(2) == 0 {
+				sub = append(sub, n)
+			}
+		}
+		got, span := LargestContiguousSubset(sub)
+		if len(sub) == 0 {
+			return got == nil && span == 0
+		}
+		// Contiguity.
+		total := 0
+		for i, n := range got {
+			total += n.Len()
+			if i > 0 && got[i-1].End+1 != n.Start {
+				return false
+			}
+		}
+		return total == span
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	anc := Ancestors(5, 8)
+	want := []Node{{5, 5}, {4, 5}, {4, 7}, {0, 7}}
+	if len(anc) != len(want) {
+		t.Fatalf("Ancestors = %v", anc)
+	}
+	for i := range want {
+		if anc[i] != want[i] {
+			t.Fatalf("Ancestors = %v, want %v", anc, want)
+		}
+	}
+	// Non-power-of-two universe: stop before overflowing.
+	anc = Ancestors(5, 6)
+	for _, n := range anc {
+		if n.End >= 6 {
+			t.Fatalf("ancestor %v exceeds universe", n)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range partition did not panic")
+			}
+		}()
+		Ancestors(8, 8)
+	}()
+}
+
+func TestAllNodes(t *testing.T) {
+	nodes := AllNodes(4)
+	want := []Node{{0, 0}, {1, 1}, {2, 2}, {3, 3}, {0, 1}, {2, 3}, {0, 3}}
+	if len(nodes) != len(want) {
+		t.Fatalf("AllNodes(4) = %v", nodes)
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("AllNodes(4) = %v, want %v", nodes, want)
+		}
+	}
+	// For T = 2^m the count is 2T−1.
+	if got := len(AllNodes(16)); got != 31 {
+		t.Fatalf("AllNodes(16) size = %d, want 31", got)
+	}
+}
+
+func TestCovers(t *testing.T) {
+	if !Covers([]Node{{0, 1}, {2, 2}}, 0, 2) {
+		t.Fatal("valid cover rejected")
+	}
+	if Covers([]Node{{0, 1}}, 0, 2) {
+		t.Fatal("gap accepted")
+	}
+	if Covers([]Node{{0, 1}, {1, 2}}, 0, 2) {
+		t.Fatal("overlap accepted")
+	}
+	if Covers([]Node{{0, 3}}, 1, 2) {
+		t.Fatal("overshoot accepted")
+	}
+}

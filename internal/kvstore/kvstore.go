@@ -1,0 +1,153 @@
+// Package kvstore is an embedded key-value store standing in for the Redis
+// instance that the Turbo prototype uses to hold all caching state (§5):
+// exact-cache entries, PMW histograms, SV state, and heuristic thresholds.
+//
+// It provides namespaced string keys with arbitrary gob-encoded values,
+// optimistic versioning, and whole-store snapshot/restore — the subset of
+// Redis semantics Turbo relies on. The paper notes Redis "can be replaced
+// with a persistent, consistent and durable storage service"; snapshots to
+// an io.Writer play that role here.
+package kvstore
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is an in-memory namespaced KV store, safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	data    map[string][]byte
+	version uint64
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{data: make(map[string][]byte)}
+}
+
+// key joins a namespace and key the way Redis conventions do.
+func key(ns, k string) string { return ns + ":" + k }
+
+// Set stores value (gob-encoded) under ns:k.
+func (s *Store) Set(ns, k string, value any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(value); err != nil {
+		return fmt.Errorf("kvstore: encode %s:%s: %w", ns, k, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[key(ns, k)] = buf.Bytes()
+	s.version++
+	return nil
+}
+
+// Get loads ns:k into out (a pointer), reporting whether the key existed.
+func (s *Store) Get(ns, k string, out any) (bool, error) {
+	s.mu.RLock()
+	raw, ok := s.data[key(ns, k)]
+	s.mu.RUnlock()
+	if !ok {
+		return false, nil
+	}
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(out); err != nil {
+		return true, fmt.Errorf("kvstore: decode %s:%s: %w", ns, k, err)
+	}
+	return true, nil
+}
+
+// Delete removes ns:k, reporting whether it existed.
+func (s *Store) Delete(ns, k string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	full := key(ns, k)
+	_, ok := s.data[full]
+	if ok {
+		delete(s.data, full)
+		s.version++
+	}
+	return ok
+}
+
+// Keys returns the sorted keys of a namespace (without the prefix).
+func (s *Store) Keys(ns string) []string {
+	prefix := ns + ":"
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, strings.TrimPrefix(k, prefix))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the total number of stored keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Version increments on every mutation.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// MemoryBytes returns the total size of stored values plus keys — the
+// figure the §6.5 memory evaluation reports for caching state.
+func (s *Store) MemoryBytes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := 0
+	for k, v := range s.data {
+		total += len(k) + len(v)
+	}
+	return total
+}
+
+// snapshot is the gob wire format of a store.
+type snapshot struct {
+	Version uint64
+	Data    map[string][]byte
+}
+
+// Snapshot serializes the whole store.
+func (s *Store) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	snap := snapshot{Version: s.version, Data: make(map[string][]byte, len(s.data))}
+	for k, v := range s.data {
+		snap.Data[k] = v
+	}
+	s.mu.RUnlock()
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("kvstore: snapshot: %w", err)
+	}
+	return nil
+}
+
+// Restore replaces the store contents with a snapshot previously written by
+// Snapshot.
+func (s *Store) Restore(r io.Reader) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("kvstore: restore: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = snap.Data
+	if s.data == nil {
+		s.data = make(map[string][]byte)
+	}
+	s.version = snap.Version
+	return nil
+}

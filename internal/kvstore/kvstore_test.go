@@ -1,0 +1,156 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+)
+
+type payload struct {
+	X int
+	S string
+	V []float64
+}
+
+func TestSetGetRoundTrip(t *testing.T) {
+	s := New()
+	in := payload{X: 7, S: "hi", V: []float64{1, 2.5}}
+	if err := s.Set("ns", "k", in); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	ok, err := s.Get("ns", "k", &out)
+	if err != nil || !ok {
+		t.Fatalf("Get = %v, %v", ok, err)
+	}
+	if out.X != in.X || out.S != in.S || len(out.V) != 2 || out.V[1] != 2.5 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := New()
+	var out payload
+	ok, err := s.Get("ns", "absent", &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("missing key reported present")
+	}
+}
+
+func TestNamespaceIsolation(t *testing.T) {
+	s := New()
+	_ = s.Set("a", "k", 1)
+	_ = s.Set("b", "k", 2)
+	var v int
+	if ok, _ := s.Get("a", "k", &v); !ok || v != 1 {
+		t.Fatalf("ns a: %v", v)
+	}
+	if ok, _ := s.Get("b", "k", &v); !ok || v != 2 {
+		t.Fatalf("ns b: %v", v)
+	}
+	keys := s.Keys("a")
+	if len(keys) != 1 || keys[0] != "k" {
+		t.Fatalf("Keys(a) = %v", keys)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New()
+	_ = s.Set("ns", "k", 1)
+	if !s.Delete("ns", "k") {
+		t.Fatal("Delete existing returned false")
+	}
+	if s.Delete("ns", "k") {
+		t.Fatal("Delete missing returned true")
+	}
+	var v int
+	if ok, _ := s.Get("ns", "k", &v); ok {
+		t.Fatal("deleted key still present")
+	}
+}
+
+func TestKeysSortedAndPrefixSafe(t *testing.T) {
+	s := New()
+	_ = s.Set("ns", "b", 1)
+	_ = s.Set("ns", "a", 1)
+	_ = s.Set("nsx", "c", 1) // different namespace sharing a prefix
+	keys := s.Keys("ns")
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestVersionAndLen(t *testing.T) {
+	s := New()
+	if s.Version() != 0 || s.Len() != 0 {
+		t.Fatal("fresh store not empty")
+	}
+	_ = s.Set("ns", "k", 1)
+	if s.Version() != 1 || s.Len() != 1 {
+		t.Fatalf("after set: version=%d len=%d", s.Version(), s.Len())
+	}
+	s.Delete("ns", "k")
+	if s.Version() != 2 || s.Len() != 0 {
+		t.Fatalf("after delete: version=%d len=%d", s.Version(), s.Len())
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	s := New()
+	if s.MemoryBytes() != 0 {
+		t.Fatal("empty store has memory")
+	}
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = 0.1 + float64(i) // non-zero so gob can't elide them
+	}
+	_ = s.Set("ns", "k", payload{V: vals})
+	if s.MemoryBytes() < 800 {
+		t.Fatalf("MemoryBytes = %d, want ≥ 800", s.MemoryBytes())
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s := New()
+	_ = s.Set("ns", "k1", payload{X: 1})
+	_ = s.Set("ns", "k2", payload{X: 2})
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	r := New()
+	_ = r.Set("junk", "x", 99)
+	if err := r.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if ok, _ := r.Get("ns", "k2", &out); !ok || out.X != 2 {
+		t.Fatalf("restored k2 = %+v ok=%v", out, ok)
+	}
+	if ok, _ := r.Get("junk", "x", &out); ok {
+		t.Fatal("restore kept pre-existing keys")
+	}
+	if r.Version() != s.Version() {
+		t.Fatal("restore lost version")
+	}
+}
+
+func TestRestoreGarbage(t *testing.T) {
+	s := New()
+	if err := s.Restore(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Fatal("garbage restore succeeded")
+	}
+}
+
+func TestDecodeTypeMismatch(t *testing.T) {
+	s := New()
+	_ = s.Set("ns", "k", "a string")
+	var out int
+	ok, err := s.Get("ns", "k", &out)
+	if !ok || err == nil {
+		t.Fatalf("type mismatch: ok=%v err=%v", ok, err)
+	}
+}

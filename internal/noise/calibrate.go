@@ -1,0 +1,81 @@
+// Monte-Carlo budget calibration for aggregated Laplace results
+// (CALIBRATEBUDGETLAPLACE, §A.3).
+//
+// When the tree answers a query by combining m independent Laplace
+// executions over sub-ranges holding n_Lap rows in total, the combined
+// error is (1/n_Lap)·Σ_{i=1..m} Lap(1/ε). The calibration finds the
+// smallest ε such that Pr[|Σ Lap(1/ε)| > n_Lap·α] < β, by binary search
+// over a Monte-Carlo estimate of the tail.
+
+package noise
+
+import "math"
+
+// CalibrateLaplaceAggregate returns the per-subquery ε so that the
+// n-weighted combination of m Laplace results over nLap total rows has
+// error at most alpha with probability at least 1−beta. samples controls
+// the Monte-Carlo precision; 20000 gives tail estimates comfortably below
+// the β values Turbo uses (the paper's β_MC(N) slack). The search is
+// deterministic given rng.
+//
+// For m = 1 the exact Laplace tail is used: ε = ln(1/β)/(n·α).
+func CalibrateLaplaceAggregate(alpha, beta float64, m, nLap int, rng *Rng, samples int) float64 {
+	validateAccuracy(alpha, beta, nLap)
+	if m <= 0 {
+		panic("noise: non-positive subquery count")
+	}
+	if m == 1 {
+		return math.Log(1/beta) / (float64(nLap) * alpha)
+	}
+	if samples <= 0 {
+		samples = 20000
+	}
+	// Pre-draw m·samples unit-Laplace variables once; scaling by 1/ε is
+	// linear, so one pool serves every candidate ε.
+	sums := make([]float64, samples)
+	for s := range sums {
+		acc := 0.0
+		for i := 0; i < m; i++ {
+			acc += rng.Laplace(1)
+		}
+		sums[s] = math.Abs(acc)
+	}
+	threshold := float64(nLap) * alpha
+	tail := func(eps float64) float64 {
+		// |Σ Lap(1/ε)| = |Σ Lap(1)|/ε
+		bad := 0
+		for _, s := range sums {
+			if s/eps > threshold {
+				bad++
+			}
+		}
+		return float64(bad) / float64(samples)
+	}
+	// Bracket: the single-query calibration is a lower bound; grow until
+	// the tail constraint holds.
+	lo := math.Log(1/beta) / (float64(nLap) * alpha)
+	hi := lo
+	for tail(hi) >= beta {
+		hi *= 2
+		if hi > 1e12 {
+			break
+		}
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if tail(mid) < beta {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// SVEpsilonForAggregate returns the SV budget of the tree's shared sparse
+// vector: ε_SV = 4·ln(2/β)/(n_SV·α) (CALIBRATEBUDGETSV, §A.3), i.e. the
+// scalar calibration at failure probability β/2.
+func SVEpsilonForAggregate(alpha, beta float64, nSV int) float64 {
+	validateAccuracy(alpha, beta, nSV)
+	return 4 * math.Log(2/beta) / (float64(nSV) * alpha)
+}

@@ -1,0 +1,359 @@
+// Package query represents the linear counting queries Turbo supports and
+// evaluates them against histograms and raw count vectors.
+//
+// A linear query (§4.1 of the paper) is a function q: X → [0,1]; Turbo's
+// evaluated artifact supports predicate counting queries, where q(v) ∈ {0,1}
+// and the query returns the fraction of database rows whose value satisfies
+// the predicate. We represent the predicate as a conjunction over
+// attributes: for each attribute, a set of allowed values (nil meaning "any
+// value"). This captures every query in the paper's Covid pool (all
+// combinations of value subsets per attribute) and the CitiBike pool
+// (GROUP BY decompositions into primitive conjunctions).
+//
+// A query may additionally carry a half-open time window of partitions
+// [Start, End] for the partitioned use cases (§4.4); the window is not part
+// of the predicate and is ignored by predicate evaluation.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/domain"
+)
+
+// Query is an immutable linear counting query over a domain. Construct with
+// New or the Builder; the zero value matches everything on a nil domain and
+// is not useful.
+type Query struct {
+	dom *domain.Domain
+	// allowed[i] is the sorted set of permitted values for attribute i;
+	// a nil slice means the attribute is unconstrained.
+	allowed [][]int
+	// window of partitions this query requests, inclusive. A query on a
+	// non-partitioned database uses the zero window {0, 0} with HasWindow
+	// false.
+	start, end int
+	hasWindow  bool
+	key        string
+	support    int
+}
+
+// New builds a query over dom. allowed maps attribute index → permitted
+// values; attributes absent from the map are unconstrained. Values are
+// validated against the domain.
+func New(dom *domain.Domain, allowed map[int][]int) (*Query, error) {
+	q := &Query{dom: dom, allowed: make([][]int, dom.NumAttrs())}
+	for i, vals := range allowed {
+		if i < 0 || i >= dom.NumAttrs() {
+			return nil, fmt.Errorf("query: attribute index %d out of range", i)
+		}
+		if len(vals) == 0 {
+			return nil, fmt.Errorf("query: empty value set for attribute %q", dom.Attr(i).Name)
+		}
+		set := append([]int(nil), vals...)
+		sort.Ints(set)
+		prev := -1
+		for _, v := range set {
+			if v < 0 || v >= dom.Card(i) {
+				return nil, fmt.Errorf("query: value %d out of range for attribute %q (card %d)",
+					v, dom.Attr(i).Name, dom.Card(i))
+			}
+			if v == prev {
+				return nil, fmt.Errorf("query: duplicate value %d for attribute %q", v, dom.Attr(i).Name)
+			}
+			prev = v
+		}
+		if len(set) == dom.Card(i) {
+			continue // full set ≡ unconstrained
+		}
+		q.allowed[i] = set
+	}
+	q.finish()
+	return q, nil
+}
+
+// MustNew is New for statically-known queries; it panics on error.
+func MustNew(dom *domain.Domain, allowed map[int][]int) *Query {
+	q, err := New(dom, allowed)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// finish computes the canonical key and support size.
+func (q *Query) finish() {
+	var b strings.Builder
+	q.support = 1
+	for i := 0; i < q.dom.NumAttrs(); i++ {
+		vals := q.allowed[i]
+		if vals == nil {
+			q.support *= q.dom.Card(i)
+			continue
+		}
+		q.support *= len(vals)
+		fmt.Fprintf(&b, "%d:", i)
+		for j, v := range vals {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", v)
+		}
+		b.WriteByte(';')
+	}
+	if b.Len() == 0 {
+		b.WriteString("*")
+	}
+	q.key = b.String()
+}
+
+// WithWindow returns a copy of q requesting partitions [start, end]
+// inclusive. It panics if start > end or start < 0: windows come from
+// validated parse results or workload generators.
+func (q *Query) WithWindow(start, end int) *Query {
+	if start < 0 || start > end {
+		panic(fmt.Sprintf("query: bad window [%d,%d]", start, end))
+	}
+	c := *q
+	c.start, c.end, c.hasWindow = start, end, true
+	return &c
+}
+
+// WithoutWindow returns a copy of q with no partition window.
+func (q *Query) WithoutWindow() *Query {
+	c := *q
+	c.start, c.end, c.hasWindow = 0, 0, false
+	return &c
+}
+
+// Domain returns the domain the query is defined over.
+func (q *Query) Domain() *domain.Domain { return q.dom }
+
+// Window returns the requested partition range and whether one is set.
+func (q *Query) Window() (start, end int, ok bool) { return q.start, q.end, q.hasWindow }
+
+// Key returns a canonical identifier for the predicate (window excluded).
+// Two queries with equal keys select exactly the same bins.
+func (q *Query) Key() string { return q.key }
+
+// KeyWithWindow returns a canonical identifier including the window, for
+// exact caches on partitioned stores.
+func (q *Query) KeyWithWindow() string {
+	if !q.hasWindow {
+		return q.key
+	}
+	return fmt.Sprintf("%s@[%d,%d]", q.key, q.start, q.end)
+}
+
+// SupportSize returns the number of domain points with q(v) = 1.
+func (q *Query) SupportSize() int { return q.support }
+
+// Selectivity returns SupportSize/N, the fraction of the domain selected.
+func (q *Query) Selectivity() float64 {
+	return float64(q.support) / float64(q.dom.Size())
+}
+
+// Matches reports whether bin index idx satisfies the predicate.
+func (q *Query) Matches(idx int) bool {
+	for i, vals := range q.allowed {
+		if vals == nil {
+			continue
+		}
+		v := q.dom.Value(idx, i)
+		j := sort.SearchInts(vals, v)
+		if j >= len(vals) || vals[j] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Allowed returns the permitted values for attribute i, or nil when the
+// attribute is unconstrained. The returned slice must not be modified.
+func (q *Query) Allowed(i int) []int { return q.allowed[i] }
+
+// ForEachBin calls fn with every bin index in the query's support, in
+// increasing order. Evaluation cost is O(SupportSize), independent of N.
+func (q *Query) ForEachBin(fn func(bin int)) {
+	d := q.dom
+	n := d.NumAttrs()
+	// vals[i] holds the value choices for attribute i (expanded for
+	// unconstrained attributes only logically, via cardinality).
+	var rec func(attr, base int)
+	rec = func(attr, base int) {
+		if attr == n {
+			fn(base)
+			return
+		}
+		stride := d.Stride(attr)
+		if vals := q.allowed[attr]; vals != nil {
+			for _, v := range vals {
+				rec(attr+1, base+v*stride)
+			}
+			return
+		}
+		card := d.Card(attr)
+		for v := 0; v < card; v++ {
+			rec(attr+1, base+v*stride)
+		}
+	}
+	rec(0, 0)
+}
+
+// Eval computes q·h = Σ_{v: q(v)=1} h(v) for a flat vector h indexed by bin.
+// When h is a normalized histogram this is the estimated result fraction;
+// when h is a raw count vector the caller divides by n.
+func (q *Query) Eval(h []float64) float64 {
+	if len(h) != q.dom.Size() {
+		panic(fmt.Sprintf("query: Eval got vector of length %d for domain size %d", len(h), q.dom.Size()))
+	}
+	sum := 0.0
+	q.ForEachBin(func(bin int) { sum += h[bin] })
+	return sum
+}
+
+// EvalCounts computes the true fraction of rows matching q given a raw
+// per-bin count vector and the (public) total row count n. A database with
+// n = 0 rows answers 0 for every query.
+func (q *Query) EvalCounts(counts []float64, n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return q.Eval(counts) / n
+}
+
+// String renders the predicate with attribute and level names.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("COUNT WHERE ")
+	wrote := false
+	for i, vals := range q.allowed {
+		if vals == nil {
+			continue
+		}
+		if wrote {
+			b.WriteString(" AND ")
+		}
+		wrote = true
+		b.WriteString(q.dom.Attr(i).Name)
+		if len(vals) == 1 {
+			fmt.Fprintf(&b, "=%s", q.dom.LevelName(i, vals[0]))
+			continue
+		}
+		b.WriteString(" IN (")
+		for j, v := range vals {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(q.dom.LevelName(i, v))
+		}
+		b.WriteByte(')')
+	}
+	if !wrote {
+		b.WriteString("TRUE")
+	}
+	if q.hasWindow {
+		fmt.Fprintf(&b, " AND time BETWEEN %d AND %d", q.start, q.end)
+	}
+	return b.String()
+}
+
+// Builder assembles a query incrementally, useful for parsers and workload
+// generators.
+type Builder struct {
+	dom     *domain.Domain
+	allowed map[int][]int
+	start   int
+	end     int
+	window  bool
+	err     error
+}
+
+// NewBuilder starts a builder over dom.
+func NewBuilder(dom *domain.Domain) *Builder {
+	return &Builder{dom: dom, allowed: make(map[int][]int)}
+}
+
+// Restrict constrains attribute attr to vals. Repeated calls on the same
+// attribute intersect the sets.
+func (b *Builder) Restrict(attr int, vals ...int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if attr < 0 || attr >= b.dom.NumAttrs() {
+		b.err = fmt.Errorf("query: attribute index %d out of range", attr)
+		return b
+	}
+	if prev, ok := b.allowed[attr]; ok {
+		b.allowed[attr] = intersect(prev, vals)
+		if len(b.allowed[attr]) == 0 {
+			b.err = fmt.Errorf("query: contradictory constraints on %q", b.dom.Attr(attr).Name)
+		}
+		return b
+	}
+	b.allowed[attr] = append([]int(nil), vals...)
+	return b
+}
+
+// RestrictNamed constrains a named attribute to named levels.
+func (b *Builder) RestrictNamed(name string, levels ...string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	i := b.dom.AttrIndex(name)
+	if i < 0 {
+		b.err = fmt.Errorf("query: unknown attribute %q", name)
+		return b
+	}
+	vals := make([]int, 0, len(levels))
+	for _, lv := range levels {
+		v := b.dom.LevelValue(i, lv)
+		if v < 0 {
+			b.err = fmt.Errorf("query: unknown level %q for attribute %q", lv, name)
+			return b
+		}
+		vals = append(vals, v)
+	}
+	return b.Restrict(i, vals...)
+}
+
+// Window sets the partition window [start, end] inclusive.
+func (b *Builder) Window(start, end int) *Builder {
+	if b.err == nil && (start < 0 || start > end) {
+		b.err = fmt.Errorf("query: bad window [%d,%d]", start, end)
+		return b
+	}
+	b.start, b.end, b.window = start, end, true
+	return b
+}
+
+// Build finalizes the query.
+func (b *Builder) Build() (*Query, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	q, err := New(b.dom, b.allowed)
+	if err != nil {
+		return nil, err
+	}
+	if b.window {
+		q = q.WithWindow(b.start, b.end)
+	}
+	return q, nil
+}
+
+func intersect(a, b []int) []int {
+	set := make(map[int]bool, len(b))
+	for _, v := range b {
+		set[v] = true
+	}
+	out := a[:0:0]
+	for _, v := range a {
+		if set[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

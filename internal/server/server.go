@@ -1,0 +1,282 @@
+// Package server exposes a Turbo-cached DP database as an HTTP service —
+// the deployment shape the paper's introduction motivates: many untrusted
+// analysts querying a trusted aggregate-only endpoint that enforces a
+// global DP guarantee.
+//
+// Endpoints:
+//
+//	POST /query    {"sql": "SELECT COUNT(*) FROM t WHERE ..."}
+//	               → {"fraction": .., "count": .., "source": .., "paid": ..}
+//	GET  /budget   → per-partition and average consumed budget
+//	GET  /schema   → the public domain description and row counts
+//
+// The session is serialized behind a mutex: DP engines admit queries
+// against the accountant one at a time anyway, and Turbo's caching state
+// is single-writer.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/accountant"
+	"repro/internal/core"
+	"repro/internal/sqlparser"
+)
+
+// Server handles HTTP analyst traffic over one Turbo session.
+type Server struct {
+	mu     sync.Mutex
+	sess   *core.Session
+	parser *sqlparser.Parser
+	table  string
+
+	queries  int
+	refusals int
+}
+
+// New creates a server over sess; table is the (single) table name the
+// SQL surface accepts.
+func New(sess *core.Session, table string) (*Server, error) {
+	if sess == nil {
+		return nil, errors.New("server: nil session")
+	}
+	if table == "" {
+		return nil, errors.New("server: empty table name")
+	}
+	return &Server{
+		sess:   sess,
+		parser: sqlparser.New(sess.Dataset().Domain()),
+		table:  table,
+	}, nil
+}
+
+// Handler returns the HTTP routing for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/groupby", s.handleGroupBy)
+	mux.HandleFunc("/budget", s.handleBudget)
+	mux.HandleFunc("/schema", s.handleSchema)
+	return mux
+}
+
+// QueryRequest is the /query payload.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+}
+
+// QueryResponse is the /query result.
+type QueryResponse struct {
+	Fraction float64 `json:"fraction"`
+	Count    float64 `json:"count"`
+	Source   string  `json:"source"`
+	Paid     float64 `json:"paid"`
+	// Remaining is ε_G minus the average consumed budget.
+	Remaining float64 `json:"remaining_budget"`
+}
+
+// ErrorResponse carries a machine-readable error kind plus a message.
+type ErrorResponse struct {
+	Kind    string `json:"kind"` // "parse", "exhausted", "internal", "bad-request"
+	Message string `json:"message"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{"bad-request", "POST only"})
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{"bad-request", err.Error()})
+		return
+	}
+	st, err := s.parser.Parse(req.SQL)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{"parse", err.Error()})
+		return
+	}
+	if !strings.EqualFold(st.Table, s.table) {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{"parse",
+			fmt.Sprintf("unknown table %q (have %q)", st.Table, s.table)})
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ans, err := s.sess.Answer(st.Query)
+	switch {
+	case errors.Is(err, accountant.ErrBudgetExhausted):
+		s.refusals++
+		// 429 communicates "resource exhausted" without leaking anything
+		// beyond what the public accountant state already reveals.
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{"exhausted",
+			"global privacy budget exhausted"})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{"bad-request", err.Error()})
+		return
+	}
+	s.queries++
+	start, end := 0, s.sess.Dataset().Partitions()-1
+	if a, b, ok := st.Query.Window(); ok {
+		start, end = a, b
+	}
+	n, _ := s.sess.Dataset().NRows(start, end)
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Fraction:  ans.Value,
+		Count:     ans.Value * float64(n),
+		Source:    string(ans.Source),
+		Paid:      ans.Paid,
+		Remaining: s.sess.Accountant().Global() - s.sess.AverageSpent(),
+	})
+}
+
+// GroupRow is one GROUP BY cell in a /groupby response.
+type GroupRow struct {
+	Values   []string `json:"values"` // level names of the grouped columns
+	Fraction float64  `json:"fraction"`
+	Count    float64  `json:"count"`
+	Source   string   `json:"source"`
+}
+
+// GroupByResponse is the /groupby result.
+type GroupByResponse struct {
+	GroupBy []string   `json:"group_by"`
+	Rows    []GroupRow `json:"rows"`
+	Paid    float64    `json:"paid"`
+}
+
+// handleGroupBy decomposes a GROUP BY statement into primitive queries
+// (§6.1's methodology) and answers each through the session.
+func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{"bad-request", "POST only"})
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{"bad-request", err.Error()})
+		return
+	}
+	gs, err := s.parser.ParseGrouped(req.SQL)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{"parse", err.Error()})
+		return
+	}
+	if !strings.EqualFold(gs.Table, s.table) {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{"parse",
+			fmt.Sprintf("unknown table %q (have %q)", gs.Table, s.table)})
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dom := s.sess.Dataset().Domain()
+	resp := GroupByResponse{}
+	for _, attr := range gs.GroupBy {
+		resp.GroupBy = append(resp.GroupBy, dom.Attr(attr).Name)
+	}
+	for _, g := range gs.Groups {
+		ans, err := s.sess.Answer(g.Query)
+		if errors.Is(err, accountant.ErrBudgetExhausted) {
+			s.refusals++
+			writeJSON(w, http.StatusTooManyRequests, ErrorResponse{"exhausted",
+				"global privacy budget exhausted mid-group; partial results withheld"})
+			return
+		}
+		if err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{"bad-request", err.Error()})
+			return
+		}
+		s.queries++
+		start, end := 0, s.sess.Dataset().Partitions()-1
+		if a, b, ok := g.Query.Window(); ok {
+			start, end = a, b
+		}
+		n, _ := s.sess.Dataset().NRows(start, end)
+		row := GroupRow{
+			Fraction: ans.Value,
+			Count:    ans.Value * float64(n),
+			Source:   string(ans.Source),
+		}
+		for j, v := range g.Values {
+			row.Values = append(row.Values, dom.LevelName(gs.GroupBy[j], v))
+		}
+		resp.Rows = append(resp.Rows, row)
+		resp.Paid += ans.Paid
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// BudgetResponse is the /budget result.
+type BudgetResponse struct {
+	Global       float64   `json:"global"`
+	AverageSpent float64   `json:"average_spent"`
+	MaxSpent     float64   `json:"max_spent"`
+	PerPartition []float64 `json:"per_partition"`
+	Queries      int       `json:"queries_answered"`
+	Refusals     int       `json:"refusals"`
+}
+
+func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{"bad-request", "GET only"})
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	acct := s.sess.Accountant()
+	per := make([]float64, acct.Partitions())
+	for i := range per {
+		per[i] = acct.SpentAt(i)
+	}
+	writeJSON(w, http.StatusOK, BudgetResponse{
+		Global:       acct.Global(),
+		AverageSpent: acct.AverageSpent(),
+		MaxSpent:     acct.MaxSpent(),
+		PerPartition: per,
+		Queries:      s.queries,
+		Refusals:     s.refusals,
+	})
+}
+
+// SchemaResponse is the /schema result: only public metadata.
+type SchemaResponse struct {
+	Table      string   `json:"table"`
+	Domain     string   `json:"domain"`
+	Attributes []string `json:"attributes"`
+	Rows       int      `json:"rows"`
+	Partitions int      `json:"partitions"`
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{"bad-request", "GET only"})
+		return
+	}
+	dom := s.sess.Dataset().Domain()
+	attrs := make([]string, dom.NumAttrs())
+	for i := range attrs {
+		a := dom.Attr(i)
+		attrs[i] = fmt.Sprintf("%s(%d)", a.Name, a.Card)
+	}
+	writeJSON(w, http.StatusOK, SchemaResponse{
+		Table:      s.table,
+		Domain:     dom.String(),
+		Attributes: attrs,
+		Rows:       s.sess.Dataset().NRowsAll(),
+		Partitions: s.sess.Dataset().Partitions(),
+	})
+}

@@ -1,0 +1,293 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/domain"
+	"repro/internal/query"
+)
+
+func newTestServer(t *testing.T, epsG float64) (*Server, *dataset.Dataset) {
+	t.Helper()
+	dom := domain.MustNew(
+		domain.Attribute{Name: "positive", Card: 2, Levels: []string{"negative", "positive"}},
+		domain.Attribute{Name: "age", Card: 4},
+	)
+	ds := dataset.New(dom, 4)
+	for w := 0; w < 4; w++ {
+		for a := 0; a < 4; a++ {
+			_ = ds.AddCount(w, dom.Encode([]int{1, a}), 1000+100*a)
+			_ = ds.AddCount(w, dom.Encode([]int{0, a}), 4000-150*a)
+		}
+	}
+	sess, err := core.NewSession(core.Config{
+		Mode: core.Partitioned, Alpha: 0.05, Beta: 0.001,
+		EpsilonGlobal: epsG, Seed: 13, MCSamples: 2000,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(sess, "covid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, ds
+}
+
+func postQuery(t *testing.T, ts *httptest.Server, sql string) (*http.Response, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(QueryRequest{SQL: sql})
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv, ds := newTestServer(t, 100)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := postQuery(t, ts, "SELECT COUNT(*) FROM covid WHERE positive = 1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	q := query.MustNew(ds.Domain(), map[int][]int{0: {1}})
+	truth, _ := ds.TrueFraction(q, 0, 3)
+	if math.Abs(qr.Fraction-truth) > 0.05 {
+		t.Fatalf("fraction %g vs truth %g", qr.Fraction, truth)
+	}
+	if qr.Count <= 0 || qr.Source == "" {
+		t.Fatalf("response = %+v", qr)
+	}
+	if qr.Remaining >= 100 {
+		t.Fatal("remaining budget not reduced")
+	}
+}
+
+func TestWindowedQueryEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t, 100)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, body := postQuery(t, ts,
+		"SELECT COUNT(*) FROM covid WHERE positive = 1 AND time BETWEEN 1 AND 2")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	// Outside-window partitions untouched.
+	br, _ := http.Get(ts.URL + "/budget")
+	var budget BudgetResponse
+	_ = json.NewDecoder(br.Body).Decode(&budget)
+	br.Body.Close()
+	if budget.PerPartition[0] != 0 || budget.PerPartition[3] != 0 {
+		t.Fatalf("outside-window partitions charged: %v", budget.PerPartition)
+	}
+	if budget.PerPartition[1] == 0 {
+		t.Fatal("window partition not charged")
+	}
+}
+
+func TestParseErrorsReturn400(t *testing.T) {
+	srv, _ := newTestServer(t, 100)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cases := []string{
+		"SELECT AVG(*) FROM covid",
+		"SELECT COUNT(*) FROM wrongtable",
+		"not sql at all",
+		"SELECT COUNT(*) FROM covid WHERE bogus = 1",
+	}
+	for _, sql := range cases {
+		resp, body := postQuery(t, ts, sql)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%q: status %d (%s)", sql, resp.StatusCode, body)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Kind != "parse" {
+			t.Fatalf("%q: error payload %s", sql, body)
+		}
+	}
+}
+
+func TestBadJSONAndMethod(t *testing.T) {
+	srv, _ := newTestServer(t, 100)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json: status %d", resp.StatusCode)
+	}
+	gr, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr.Body.Close()
+	if gr.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query: status %d", gr.StatusCode)
+	}
+}
+
+func TestExhaustionReturns429(t *testing.T) {
+	srv, _ := newTestServer(t, 1e-9)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, body := postQuery(t, ts, "SELECT COUNT(*) FROM covid WHERE positive = 1")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Kind != "exhausted" {
+		t.Fatalf("error payload %s", body)
+	}
+}
+
+func TestSchemaEndpoint(t *testing.T) {
+	srv, ds := newTestServer(t, 100)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr SchemaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Table != "covid" || sr.Rows != ds.NRowsAll() || sr.Partitions != 4 {
+		t.Fatalf("schema = %+v", sr)
+	}
+	if len(sr.Attributes) != 2 {
+		t.Fatalf("attributes = %v", sr.Attributes)
+	}
+}
+
+func TestConcurrentAnalysts(t *testing.T) {
+	// Many analysts hammering the endpoint concurrently must never
+	// corrupt state or exceed the guarantee.
+	srv, _ := newTestServer(t, 100)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	sqls := []string{
+		"SELECT COUNT(*) FROM covid WHERE positive = 1",
+		"SELECT COUNT(*) FROM covid WHERE age = 2",
+		"SELECT COUNT(*) FROM covid WHERE positive = 0 AND age IN (0,1)",
+		"SELECT COUNT(*) FROM covid WHERE positive = 1 AND time BETWEEN 0 AND 1",
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				body, _ := json.Marshal(QueryRequest{SQL: sqls[(g+i)%len(sqls)]})
+				resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	br, _ := http.Get(ts.URL + "/budget")
+	var budget BudgetResponse
+	_ = json.NewDecoder(br.Body).Decode(&budget)
+	br.Body.Close()
+	if budget.MaxSpent > budget.Global {
+		t.Fatalf("guarantee exceeded: %g > %g", budget.MaxSpent, budget.Global)
+	}
+	if budget.Queries == 0 {
+		t.Fatal("no queries recorded")
+	}
+}
+
+func TestGroupByEndpoint(t *testing.T) {
+	srv, ds := newTestServer(t, 100)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(QueryRequest{SQL: "SELECT COUNT(*) FROM covid WHERE positive = 1 GROUP BY age"})
+	resp, err := http.Post(ts.URL+"/groupby", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var gr GroupByResponse
+	if err := json.NewDecoder(resp.Body).Decode(&gr); err != nil {
+		t.Fatal(err)
+	}
+	if len(gr.GroupBy) != 1 || gr.GroupBy[0] != "age" {
+		t.Fatalf("group_by = %v", gr.GroupBy)
+	}
+	if len(gr.Rows) != 4 {
+		t.Fatalf("rows = %d", len(gr.Rows))
+	}
+	// Rows sum to approximately the base fraction.
+	q := query.MustNew(ds.Domain(), map[int][]int{0: {1}})
+	truth, _ := ds.TrueFraction(q, 0, 3)
+	sum := 0.0
+	for _, row := range gr.Rows {
+		sum += row.Fraction
+		if len(row.Values) != 1 {
+			t.Fatalf("row values = %v", row.Values)
+		}
+	}
+	if math.Abs(sum-truth) > 4*0.05 {
+		t.Fatalf("group sum %g vs %g", sum, truth)
+	}
+	if gr.Paid <= 0 {
+		t.Fatal("cold group-by paid nothing")
+	}
+}
+
+func TestGroupByParseError(t *testing.T) {
+	srv, _ := newTestServer(t, 100)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	body, _ := json.Marshal(QueryRequest{SQL: "SELECT COUNT(*) FROM covid GROUP BY bogus"})
+	resp, err := http.Post(ts.URL+"/groupby", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, "t"); err == nil {
+		t.Fatal("nil session accepted")
+	}
+	srv, _ := newTestServer(t, 10)
+	if _, err := New(srv.sess, ""); err == nil {
+		t.Fatal("empty table accepted")
+	}
+}

@@ -1,0 +1,18 @@
+package sparse
+
+import (
+	"testing"
+
+	"repro/internal/noise"
+)
+
+func BenchmarkTest(b *testing.B) {
+	sv := New(0.5, 0.05, 100000, noise.NewRng(1))
+	sv.Reset()
+	for i := 0; i < b.N; i++ {
+		if !sv.Live() {
+			sv.Reset()
+		}
+		sv.Test(0.3, 0.3)
+	}
+}

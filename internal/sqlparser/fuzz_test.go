@@ -1,0 +1,88 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that no input can panic the parser or produce a query
+// violating its invariants; errors are fine, crashes are not.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT COUNT(*) FROM covid",
+		"SELECT COUNT(*) FROM covid WHERE positive = 1",
+		"SELECT COUNT(*) FROM covid WHERE age IN (0, 1, 2) AND gender = 0",
+		"SELECT COUNT(*) FROM covid WHERE time BETWEEN 2 AND 5",
+		"select count(*) from covid where positive = 'positive';",
+		"SELECT COUNT(*) FROM covid WHERE ethnicity IN (7)",
+		"SELECT COUNT(*) FROM covid WHERE positive = 1 AND positive = 1",
+		"",
+		"garbage ' unterminated",
+		"SELECT COUNT(*) FROM covid WHERE age = -1",
+		"SELECT COUNT(*) FROM covid WHERE \x00 = 1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	p := New(covid())
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := p.Parse(src)
+		if err != nil {
+			return
+		}
+		// Parsed queries must satisfy their invariants.
+		q := st.Query
+		if q.SupportSize() < 1 || q.SupportSize() > 128 {
+			t.Fatalf("support %d out of range for %q", q.SupportSize(), src)
+		}
+		if s, e, ok := q.Window(); ok && (s < 0 || s > e) {
+			t.Fatalf("bad window [%d,%d] for %q", s, e, src)
+		}
+		if q.Key() == "" {
+			t.Fatalf("empty key for %q", src)
+		}
+	})
+}
+
+// FuzzParseGrouped extends the check to GROUP BY decomposition: groups
+// must partition the base query's support.
+func FuzzParseGrouped(f *testing.F) {
+	seeds := []string{
+		"SELECT COUNT(*) FROM covid GROUP BY age",
+		"SELECT COUNT(*) FROM covid WHERE positive = 1 GROUP BY age, gender",
+		"SELECT COUNT(*) FROM covid GROUP BY",
+		"SELECT COUNT(*) FROM covid WHERE age = 1 GROUP BY age",
+		"SELECT COUNT(*) FROM covid group by ethnicity;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	p := New(covid())
+	f.Fuzz(func(t *testing.T, src string) {
+		gs, err := p.ParseGrouped(src)
+		if err != nil {
+			return
+		}
+		if len(gs.Groups) == 0 {
+			t.Fatalf("no groups for %q", src)
+		}
+		if len(gs.GroupBy) == 0 {
+			return // plain statement
+		}
+		// Group supports are disjoint and cover the base support: their
+		// sizes sum to the support of the statement without the GROUP BY
+		// restrictions.
+		baseSrc := src[:strings.LastIndex(strings.ToUpper(src), "GROUP BY")]
+		base, err := p.Parse(baseSrc)
+		if err != nil {
+			t.Fatalf("base re-parse of %q: %v", baseSrc, err)
+		}
+		total := 0
+		for _, g := range gs.Groups {
+			total += g.Query.SupportSize()
+		}
+		if total != base.Query.SupportSize() {
+			t.Fatalf("groups cover %d bins, base %d, for %q", total, base.Query.SupportSize(), src)
+		}
+	})
+}

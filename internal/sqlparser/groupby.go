@@ -1,0 +1,136 @@
+// GROUP BY support: the paper's CitiBike pool is built by decomposing
+// analyst GROUP BY queries into one primitive counting query per group
+// (§6.1). This file implements that decomposition at the parser level, so
+// analysts can issue the original statement and receive per-group results
+// each answered through Turbo.
+
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/domain"
+	"repro/internal/query"
+)
+
+// GroupedStatement is a parsed GROUP BY query: a base predicate plus the
+// grouping attributes, decomposed into one primitive query per group.
+type GroupedStatement struct {
+	Table   string
+	GroupBy []int // attribute indices, in declaration order
+	// Groups lists every value combination with its primitive query,
+	// enumerated in row-major order over the grouped attributes.
+	Groups []Group
+}
+
+// Group is one GROUP BY cell.
+type Group struct {
+	Values []int // one value per GroupBy attribute
+	Query  *query.Query
+}
+
+// ParseGrouped parses a statement that may carry a trailing
+// `GROUP BY col {, col}` clause. Statements without GROUP BY return a
+// single group with the base query.
+func (p *Parser) ParseGrouped(src string) (*GroupedStatement, error) {
+	base, groupCols, err := splitGroupBy(src)
+	if err != nil {
+		return nil, err
+	}
+	st, err := p.Parse(base)
+	if err != nil {
+		return nil, err
+	}
+	gs := &GroupedStatement{Table: st.Table}
+	if len(groupCols) == 0 {
+		gs.Groups = []Group{{Query: st.Query}}
+		return gs, nil
+	}
+	for _, col := range groupCols {
+		attr := p.dom.AttrIndex(col)
+		if attr < 0 {
+			return nil, fmt.Errorf("sqlparser: unknown GROUP BY column %q", col)
+		}
+		if st.Query.Allowed(attr) != nil {
+			return nil, fmt.Errorf("sqlparser: GROUP BY column %q also constrained in WHERE", col)
+		}
+		gs.GroupBy = append(gs.GroupBy, attr)
+	}
+	gs.Groups = enumerate(p.dom, st.Query, gs.GroupBy)
+	return gs, nil
+}
+
+// splitGroupBy slices a trailing GROUP BY clause off the statement. The
+// case-insensitive search must index the original string directly:
+// strings.ToUpper can change byte length for non-ASCII input, so an index
+// computed on the upper-cased copy may not be valid in src (found by
+// FuzzParseGrouped).
+func splitGroupBy(src string) (base string, cols []string, err error) {
+	idx := lastIndexFold(src, "GROUP BY")
+	if idx < 0 {
+		return src, nil, nil
+	}
+	clause := strings.TrimSpace(src[idx+len("GROUP BY"):])
+	clause = strings.TrimSuffix(clause, ";")
+	if clause == "" {
+		return "", nil, fmt.Errorf("sqlparser: empty GROUP BY clause")
+	}
+	for _, c := range strings.Split(clause, ",") {
+		c = strings.TrimSpace(c)
+		if c == "" {
+			return "", nil, fmt.Errorf("sqlparser: empty GROUP BY column")
+		}
+		cols = append(cols, c)
+	}
+	return src[:idx], cols, nil
+}
+
+// lastIndexFold finds the last case-insensitive occurrence of an ASCII
+// pattern, returning a byte offset valid in s.
+func lastIndexFold(s, pat string) int {
+	for i := len(s) - len(pat); i >= 0; i-- {
+		if strings.EqualFold(s[i:i+len(pat)], pat) {
+			return i
+		}
+	}
+	return -1
+}
+
+// enumerate produces the primitive query for every group cell by
+// restricting the base query to each value combination.
+func enumerate(dom *domain.Domain, base *query.Query, groupBy []int) []Group {
+	var out []Group
+	assign := make([]int, len(groupBy))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(groupBy) {
+			b := query.NewBuilder(dom)
+			for a := 0; a < dom.NumAttrs(); a++ {
+				if vals := base.Allowed(a); vals != nil {
+					b.Restrict(a, vals...)
+				}
+			}
+			for j, attr := range groupBy {
+				b.Restrict(attr, assign[j])
+			}
+			if s, e, ok := base.Window(); ok {
+				b.Window(s, e)
+			}
+			q, err := b.Build()
+			if err != nil {
+				// Unreachable: group restrictions never contradict an
+				// unconstrained attribute (checked in ParseGrouped).
+				panic(fmt.Sprintf("sqlparser: group enumeration: %v", err))
+			}
+			out = append(out, Group{Values: append([]int(nil), assign...), Query: q})
+			return
+		}
+		for v := 0; v < dom.Card(groupBy[i]); v++ {
+			assign[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}

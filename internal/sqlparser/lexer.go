@@ -1,0 +1,113 @@
+// Package sqlparser parses the linear-SQL subset that turbo-sql accepts
+// (§5): counting queries with conjunctive predicates over categorical
+// attributes and an optional time window, e.g.
+//
+//	SELECT COUNT(*) FROM covid WHERE positive = 1 AND age IN (0, 1)
+//	    AND time BETWEEN 2 AND 5
+//
+// The parser produces a query.Query (plus window) ready for a Turbo
+// session. Aggregates other than COUNT(*), disjunctions, joins and nested
+// queries are rejected with descriptive errors — those queries fail over
+// to the host DP engine in a real integration (the "fail-to-Tumult"
+// approach of §5).
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // ( ) , = *
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes a SQL string. SQL keywords are case-insensitive
+// identifiers; we canonicalize to upper case during matching but preserve
+// original text for error messages.
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		switch {
+		case unicode.IsSpace(c):
+			l.pos++
+		case c == '(' || c == ')' || c == ',' || c == '=' || c == '*' || c == ';':
+			l.tokens = append(l.tokens, token{tokPunct, string(c), l.pos})
+			l.pos++
+		case c == '\'' || c == '"':
+			if err := l.lexString(byte(c)); err != nil {
+				return nil, err
+			}
+		case unicode.IsDigit(c) || c == '-':
+			l.lexNumber()
+		case unicode.IsLetter(c) || c == '_':
+			l.lexIdent()
+		default:
+			return nil, fmt.Errorf("sqlparser: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.tokens = append(l.tokens, token{tokEOF, "", l.pos})
+	return l.tokens, nil
+}
+
+func (l *lexer) lexString(quote byte) error {
+	start := l.pos
+	l.pos++ // opening quote
+	for l.pos < len(l.src) && l.src[l.pos] != quote {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return fmt.Errorf("sqlparser: unterminated string starting at %d", start)
+	}
+	l.tokens = append(l.tokens, token{tokString, l.src[start+1 : l.pos], start})
+	l.pos++ // closing quote
+	return nil
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	l.tokens = append(l.tokens, token{tokNumber, l.src[start:l.pos], start})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' && c != '-' {
+			break
+		}
+		l.pos++
+	}
+	l.tokens = append(l.tokens, token{tokIdent, l.src[start:l.pos], start})
+}
+
+// isKeyword matches an identifier token case-insensitively.
+func (t token) isKeyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

@@ -1,0 +1,248 @@
+// Recursive-descent parser for the turbo-sql grammar:
+//
+//	query    := SELECT COUNT ( * ) FROM ident [WHERE conj] [;]
+//	conj     := pred {AND pred}
+//	pred     := ident = value
+//	          | ident IN ( value {, value} )
+//	          | TIME BETWEEN number AND number
+//	value    := number | string (level name)
+
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/domain"
+	"repro/internal/query"
+)
+
+// Statement is a parsed turbo-sql query.
+type Statement struct {
+	Table string
+	Query *query.Query
+}
+
+// Parser parses statements against a fixed schema.
+type Parser struct {
+	dom *domain.Domain
+	// TimeAttr is the reserved window column name; "time" by default.
+	TimeAttr string
+}
+
+// New creates a parser over the given domain.
+func New(dom *domain.Domain) *Parser {
+	return &Parser{dom: dom, TimeAttr: "time"}
+}
+
+// Parse parses one statement.
+func (p *Parser) Parse(src string) (*Statement, error) {
+	tokens, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	s := &state{tokens: tokens, dom: p.dom, timeAttr: p.TimeAttr}
+	return s.parseQuery()
+}
+
+type state struct {
+	tokens   []token
+	i        int
+	dom      *domain.Domain
+	timeAttr string
+}
+
+func (s *state) peek() token { return s.tokens[s.i] }
+
+func (s *state) next() token {
+	t := s.tokens[s.i]
+	if t.kind != tokEOF {
+		s.i++
+	}
+	return t
+}
+
+func (s *state) expectKeyword(kw string) error {
+	t := s.next()
+	if !t.isKeyword(kw) {
+		return fmt.Errorf("sqlparser: expected %s at %d, got %q", kw, t.pos, t.text)
+	}
+	return nil
+}
+
+func (s *state) expectPunct(p string) error {
+	t := s.next()
+	if t.kind != tokPunct || t.text != p {
+		return fmt.Errorf("sqlparser: expected %q at %d, got %q", p, t.pos, t.text)
+	}
+	return nil
+}
+
+func (s *state) parseQuery() (*Statement, error) {
+	if err := s.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if err := s.expectKeyword("COUNT"); err != nil {
+		return nil, fmt.Errorf("%w (turbo-sql supports COUNT(*) only; other aggregates fail over to the host engine)", err)
+	}
+	if err := s.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if err := s.expectPunct("*"); err != nil {
+		return nil, err
+	}
+	if err := s.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := s.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	tbl := s.next()
+	if tbl.kind != tokIdent {
+		return nil, fmt.Errorf("sqlparser: expected table name at %d, got %q", tbl.pos, tbl.text)
+	}
+
+	b := query.NewBuilder(s.dom)
+	if s.peek().isKeyword("WHERE") {
+		s.next()
+		if err := s.parseConjunction(b); err != nil {
+			return nil, err
+		}
+	}
+	if s.peek().kind == tokPunct && s.peek().text == ";" {
+		s.next()
+	}
+	if t := s.peek(); t.kind != tokEOF {
+		if t.isKeyword("OR") {
+			return nil, fmt.Errorf("sqlparser: OR at %d: turbo-sql supports conjunctive predicates only", t.pos)
+		}
+		if t.isKeyword("GROUP") {
+			return nil, fmt.Errorf("sqlparser: GROUP BY at %d: decompose into primitive queries first", t.pos)
+		}
+		return nil, fmt.Errorf("sqlparser: trailing input at %d: %q", t.pos, t.text)
+	}
+	q, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Statement{Table: tbl.text, Query: q}, nil
+}
+
+func (s *state) parseConjunction(b *query.Builder) error {
+	for {
+		if err := s.parsePredicate(b); err != nil {
+			return err
+		}
+		if !s.peek().isKeyword("AND") {
+			return nil
+		}
+		s.next()
+	}
+}
+
+func (s *state) parsePredicate(b *query.Builder) error {
+	col := s.next()
+	if col.kind != tokIdent {
+		return fmt.Errorf("sqlparser: expected column at %d, got %q", col.pos, col.text)
+	}
+	if strings.EqualFold(col.text, s.timeAttr) {
+		return s.parseTimeWindow(b)
+	}
+	attr := s.dom.AttrIndex(col.text)
+	if attr < 0 {
+		return fmt.Errorf("sqlparser: unknown column %q at %d", col.text, col.pos)
+	}
+	t := s.next()
+	switch {
+	case t.kind == tokPunct && t.text == "=":
+		v, err := s.parseValue(attr)
+		if err != nil {
+			return err
+		}
+		b.Restrict(attr, v)
+		return nil
+	case t.isKeyword("IN"):
+		if err := s.expectPunct("("); err != nil {
+			return err
+		}
+		var vals []int
+		for {
+			v, err := s.parseValue(attr)
+			if err != nil {
+				return err
+			}
+			vals = append(vals, v)
+			n := s.next()
+			if n.kind == tokPunct && n.text == "," {
+				continue
+			}
+			if n.kind == tokPunct && n.text == ")" {
+				break
+			}
+			return fmt.Errorf("sqlparser: expected , or ) at %d, got %q", n.pos, n.text)
+		}
+		b.Restrict(attr, vals...)
+		return nil
+	default:
+		return fmt.Errorf("sqlparser: expected = or IN after %q at %d (ranges and inequalities are not linear predicates over categorical attributes)", col.text, t.pos)
+	}
+}
+
+func (s *state) parseTimeWindow(b *query.Builder) error {
+	if err := s.expectKeyword("BETWEEN"); err != nil {
+		return err
+	}
+	lo, err := s.parseInt()
+	if err != nil {
+		return err
+	}
+	if err := s.expectKeyword("AND"); err != nil {
+		return err
+	}
+	hi, err := s.parseInt()
+	if err != nil {
+		return err
+	}
+	b.Window(lo, hi)
+	return nil
+}
+
+func (s *state) parseInt() (int, error) {
+	t := s.next()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("sqlparser: expected number at %d, got %q", t.pos, t.text)
+	}
+	v, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, fmt.Errorf("sqlparser: bad integer %q at %d", t.text, t.pos)
+	}
+	return v, nil
+}
+
+// parseValue accepts a numeric value or a quoted/bare level name for the
+// attribute.
+func (s *state) parseValue(attr int) (int, error) {
+	t := s.next()
+	switch t.kind {
+	case tokNumber:
+		v, err := strconv.Atoi(t.text)
+		if err != nil {
+			return 0, fmt.Errorf("sqlparser: bad value %q at %d", t.text, t.pos)
+		}
+		if v < 0 || v >= s.dom.Card(attr) {
+			return 0, fmt.Errorf("sqlparser: value %d out of range for %q (card %d)",
+				v, s.dom.Attr(attr).Name, s.dom.Card(attr))
+		}
+		return v, nil
+	case tokString, tokIdent:
+		v := s.dom.LevelValue(attr, t.text)
+		if v < 0 {
+			return 0, fmt.Errorf("sqlparser: unknown level %q for column %q at %d",
+				t.text, s.dom.Attr(attr).Name, t.pos)
+		}
+		return v, nil
+	default:
+		return 0, fmt.Errorf("sqlparser: expected value at %d, got %q", t.pos, t.text)
+	}
+}

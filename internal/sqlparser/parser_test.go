@@ -1,0 +1,173 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/domain"
+)
+
+func covid() *domain.Domain {
+	return domain.MustNew(
+		domain.Attribute{Name: "positive", Card: 2, Levels: []string{"negative", "positive"}},
+		domain.Attribute{Name: "age", Card: 4, Levels: []string{"1-17", "18-49", "50-64", "65+"}},
+		domain.Attribute{Name: "gender", Card: 2},
+		domain.Attribute{Name: "ethnicity", Card: 8},
+	)
+}
+
+func mustParse(t *testing.T, src string) *Statement {
+	t.Helper()
+	st, err := New(covid()).Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return st
+}
+
+func TestBasicCount(t *testing.T) {
+	st := mustParse(t, "SELECT COUNT(*) FROM covid")
+	if st.Table != "covid" {
+		t.Fatalf("table = %q", st.Table)
+	}
+	if st.Query.SupportSize() != 128 {
+		t.Fatal("unconstrained query should select everything")
+	}
+}
+
+func TestEqualityPredicate(t *testing.T) {
+	st := mustParse(t, "SELECT COUNT(*) FROM covid WHERE positive = 1")
+	if got := st.Query.Allowed(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Allowed(positive) = %v", got)
+	}
+}
+
+func TestLevelNames(t *testing.T) {
+	st := mustParse(t, "SELECT COUNT(*) FROM covid WHERE positive = 'positive' AND age = '65+'")
+	if got := st.Query.Allowed(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Allowed(positive) = %v", got)
+	}
+	if got := st.Query.Allowed(1); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Allowed(age) = %v", got)
+	}
+	// Bare identifier levels work too.
+	st = mustParse(t, "SELECT COUNT(*) FROM covid WHERE positive = negative")
+	if got := st.Query.Allowed(0); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("bare level = %v", got)
+	}
+}
+
+func TestInPredicate(t *testing.T) {
+	st := mustParse(t, "SELECT COUNT(*) FROM covid WHERE age IN (0, 2, 3)")
+	if got := st.Query.Allowed(1); len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Allowed(age) = %v", got)
+	}
+}
+
+func TestConjunction(t *testing.T) {
+	st := mustParse(t, `SELECT COUNT(*) FROM covid
+		WHERE positive = 1 AND age IN (0,1) AND ethnicity = 5`)
+	q := st.Query
+	if q.SupportSize() != 1*2*2*1 {
+		t.Fatalf("SupportSize = %d", q.SupportSize())
+	}
+}
+
+func TestTimeWindow(t *testing.T) {
+	st := mustParse(t, "SELECT COUNT(*) FROM covid WHERE positive = 1 AND time BETWEEN 2 AND 5")
+	s, e, ok := st.Query.Window()
+	if !ok || s != 2 || e != 5 {
+		t.Fatalf("window = %d,%d,%v", s, e, ok)
+	}
+	// TIME is case-insensitive and can come first.
+	st = mustParse(t, "SELECT COUNT(*) FROM covid WHERE TIME BETWEEN 0 AND 0 AND positive = 0")
+	if _, _, ok := st.Query.Window(); !ok {
+		t.Fatal("uppercase TIME not recognized")
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	mustParse(t, "select count(*) from covid where positive = 1 and age in (1,2)")
+}
+
+func TestTrailingSemicolon(t *testing.T) {
+	mustParse(t, "SELECT COUNT(*) FROM covid;")
+	mustParse(t, "SELECT COUNT(*) FROM covid WHERE positive = 1;")
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"SELECT AVG(*) FROM covid", "COUNT(*) only"},
+		{"SELECT COUNT(*) covid", "FROM"},
+		{"SELECT COUNT(*) FROM covid WHERE bogus = 1", "unknown column"},
+		{"SELECT COUNT(*) FROM covid WHERE positive = 9", "out of range"},
+		{"SELECT COUNT(*) FROM covid WHERE positive = 'maybe'", "unknown level"},
+		{"SELECT COUNT(*) FROM covid WHERE positive = 1 OR age = 0", "conjunctive"},
+		{"SELECT COUNT(*) FROM covid GROUP BY age", "GROUP BY"},
+		{"SELECT COUNT(*) FROM covid WHERE age IN ()", "expected value"},
+		{"SELECT COUNT(*) FROM covid WHERE age IN (1 2)", "expected , or )"},
+		{"SELECT COUNT(*) FROM covid WHERE time BETWEEN 5 AND 2", "window"},
+		{"SELECT COUNT(*) FROM covid WHERE time BETWEEN x AND 2", "expected number"},
+		{"SELECT COUNT(*) FROM covid WHERE age > 2", "unexpected character '>'"},
+		{"SELECT COUNT(*) FROM covid WHERE age BETWEEN 1 AND 2", "expected = or IN"},
+		{"SELECT COUNT(*) FROM covid WHERE", "expected column"},
+		{"SELECT COUNT(*) FROM covid trailing", "trailing"},
+		{"COUNT(*) FROM covid", "SELECT"},
+		{"SELECT COUNT * FROM covid", `"("`},
+		{"SELECT COUNT(x) FROM covid", `"*"`},
+		{"SELECT COUNT(*) FROM covid WHERE positive = 1 AND positive = 0", "contradictory"},
+	}
+	p := New(covid())
+	for _, c := range cases {
+		_, err := p.Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) error %q missing %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	p := New(covid())
+	if _, err := p.Parse("SELECT COUNT(*) FROM covid WHERE positive = 'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := p.Parse("SELECT COUNT(*) FROM covid WHERE positive = 1 @"); err == nil {
+		t.Error("bad character accepted")
+	}
+}
+
+func TestRepeatedAttributeIntersects(t *testing.T) {
+	st := mustParse(t, "SELECT COUNT(*) FROM covid WHERE age IN (0,1,2) AND age IN (1,2,3)")
+	if got := st.Query.Allowed(1); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("intersection = %v", got)
+	}
+}
+
+func TestCustomTimeAttr(t *testing.T) {
+	p := New(covid())
+	p.TimeAttr = "week"
+	st, err := p.Parse("SELECT COUNT(*) FROM covid WHERE week BETWEEN 1 AND 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := st.Query.Window(); !ok {
+		t.Fatal("custom time attribute not honored")
+	}
+}
+
+func TestDoubleQuotedStrings(t *testing.T) {
+	mustParse(t, `SELECT COUNT(*) FROM covid WHERE age = "50-64"`)
+}
+
+func TestNegativeWindowRejected(t *testing.T) {
+	if _, err := New(covid()).Parse("SELECT COUNT(*) FROM covid WHERE time BETWEEN -1 AND 2"); err == nil {
+		t.Fatal("negative window accepted")
+	}
+}

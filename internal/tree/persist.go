@@ -1,0 +1,73 @@
+// Persistence of tree caching state: histograms, counters, and learned
+// heuristic thresholds per node. Sparse vectors are deliberately dropped
+// on export — a restored tree re-initializes SVs on first use, which
+// costs one 3ε_SV payment per node set but is always privacy-safe (a
+// persisted noisy threshold could otherwise be replayed inconsistently).
+
+package tree
+
+import (
+	"fmt"
+
+	"repro/internal/heuristic"
+	"repro/internal/histogram"
+	"repro/internal/interval"
+)
+
+// NodeState is the serializable state of one tree node.
+type NodeState struct {
+	IV         interval.Node
+	Hist       histogram.State
+	Thresholds []float64 // adaptive per-bin thresholds, nil if untouched
+}
+
+// ExportNodes snapshots every materialized node.
+func (t *Tree) ExportNodes() []NodeState {
+	out := make([]NodeState, 0, len(t.nodes))
+	for iv, n := range t.nodes {
+		st := NodeState{IV: iv, Hist: n.hist.State()}
+		if ap, ok := n.heur.(*heuristic.AdaptivePerBin); ok {
+			_, _, st.Thresholds = ap.State()
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// RestoreNodes rebuilds node state from a snapshot. It must be called on a
+// fresh tree (no queries served).
+func (t *Tree) RestoreNodes(states []NodeState) error {
+	if t.stats.Queries > 0 {
+		return fmt.Errorf("tree: RestoreNodes after queries were served")
+	}
+	for _, st := range states {
+		if !st.IV.Valid() {
+			return fmt.Errorf("tree: invalid node %v in snapshot", st.IV)
+		}
+		h, err := histogram.FromState(st.Hist)
+		if err != nil {
+			return fmt.Errorf("tree: node %v: %w", st.IV, err)
+		}
+		if h.Size() != t.exec.Dataset().Domain().Size() {
+			return fmt.Errorf("tree: node %v histogram size %d != domain %d",
+				st.IV, h.Size(), t.exec.Dataset().Domain().Size())
+		}
+		n := &node{
+			iv:    st.IV,
+			hist:  h,
+			heur:  t.cfg.Heuristic(),
+			lr:    t.cfg.LR(),
+			tau:   t.cfg.Tau,
+			alpha: t.cfg.Alpha,
+		}
+		if ap, ok := n.heur.(*heuristic.AdaptivePerBin); ok && st.Thresholds != nil {
+			if len(st.Thresholds) != h.Size() {
+				return fmt.Errorf("tree: node %v threshold length %d != domain %d",
+					st.IV, len(st.Thresholds), h.Size())
+			}
+			ap.SetThresholds(st.Thresholds)
+		}
+		t.nodes[st.IV] = n
+	}
+	return nil
+}

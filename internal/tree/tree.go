@@ -1,0 +1,559 @@
+// Package tree implements the tree-structured PMW-Bypass caching object of
+// §4.4 and Alg. 2: a set of PMW-Bypass histograms arranged over the dyadic
+// intervals of a partitioned timeseries database, answering linear range
+// queries under parallel composition.
+//
+// A query requesting window [a, b] is split along the tree (min-cuts); the
+// contiguous subset of nodes whose heuristics declare them ready is served
+// by a single shared sparse-vector check over the aggregated estimate,
+// while the remaining nodes run direct Laplace with budget jointly
+// calibrated by Monte-Carlo search so the n-weighted combination of all
+// components stays (α, β)-accurate. Failed SV checks update the member
+// histograms in the shared direction; Laplace results update their node's
+// histogram through the τα-guarded external rule.
+//
+// For streaming databases, newly arriving partitions warm-start their leaf
+// histogram from the previous leaf, and lazily-created internal nodes
+// average their existing children (§4.5).
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/accountant"
+	"repro/internal/cache"
+	"repro/internal/dataset"
+	"repro/internal/heuristic"
+	"repro/internal/histogram"
+	"repro/internal/interval"
+	"repro/internal/kvstore"
+	"repro/internal/noise"
+	"repro/internal/pmw"
+	"repro/internal/query"
+	"repro/internal/sparse"
+)
+
+// Structure selects how windows decompose onto histograms (§6.3 Q6).
+type Structure int
+
+const (
+	// Binary is the dyadic tree of Alg. 2.
+	Binary Structure = iota
+	// Flat maintains one histogram per partition only; a window of w
+	// partitions splits into w leaves. Wins for small windows, loses to
+	// Binary for large ones (§6.3).
+	Flat
+)
+
+// String implements fmt.Stringer.
+func (s Structure) String() string {
+	if s == Flat {
+		return "flat"
+	}
+	return "binary"
+}
+
+// Config parameterizes a tree-structured PMW-Bypass.
+type Config struct {
+	// Alpha, Beta are the per-query accuracy target.
+	Alpha, Beta float64
+	// Tau is the external-update margin.
+	Tau float64
+	// LR builds the learning-rate schedule for each node; nil defaults to
+	// the theoretical α/8 constant.
+	LR func() pmw.Schedule
+	// Heuristic builds the readiness heuristic for each node; nil
+	// defaults to Turbo's adaptive per-bin (C0=100, S0=5).
+	Heuristic heuristic.Factory
+	// Structure selects Binary (default) or Flat decomposition.
+	Structure Structure
+	// WarmStart enables §4.5 histogram warm-starting for new nodes.
+	WarmStart bool
+	// NodeExactCache enables per-node exact-match caches in front of the
+	// PMW machinery (the "Exact-Cache Tree" of Fig. 1). Cached node
+	// results are reused only when their stored budget meets the
+	// pessimistic per-node calibration, preserving (α, β) for any
+	// combination.
+	NodeExactCache bool
+	// MCSamples controls the Monte-Carlo budget calibration; 0 uses the
+	// package default.
+	MCSamples int
+	// MaxWindow bounds the number of contiguous partitions one query may
+	// request (Thm A.8's T), enabling unbounded streams with bounded
+	// per-region state: with windows ≤ T, the lazily-materialized global
+	// dyadic nodes coincide exactly with the paper's overlapping trees
+	// I_κ (every I_κ node of size ≤ T is a globally-aligned dyadic
+	// interval), so state grows linearly in stream length rather than
+	// with its square. 0 disables the bound (single-tree behaviour, the
+	// paper's evaluated 50-partition setting).
+	MaxWindow int
+}
+
+func (c *Config) fill() error {
+	if c.Alpha <= 0 || c.Alpha >= 1 || c.Beta <= 0 || c.Beta >= 1 {
+		return fmt.Errorf("tree: bad accuracy target (%g,%g)", c.Alpha, c.Beta)
+	}
+	if c.Tau <= 0 || c.Tau > 0.5 {
+		return fmt.Errorf("tree: tau %g out of (0,1/2]", c.Tau)
+	}
+	if c.LR == nil {
+		alpha := c.Alpha
+		c.LR = func() pmw.Schedule { return pmw.Constant(pmw.TheoreticalLR(alpha)) }
+	}
+	if c.Heuristic == nil {
+		c.Heuristic = func() heuristic.Heuristic { return heuristic.NewAdaptivePerBin(100, 5) }
+	}
+	if c.MCSamples <= 0 {
+		c.MCSamples = 20000
+	}
+	return nil
+}
+
+// Stats aggregates tree activity for the evaluation harness.
+type Stats struct {
+	Queries      int
+	SVPasses     int // queries whose ready set passed the shared SV
+	SVFailures   int
+	LaplaceSubs  int // subqueries answered through the Laplace branch
+	CacheHits    int // node exact-cache hits
+	NodeUpdates  int // purposeful histogram updates across all nodes
+	NodesCreated int
+}
+
+// Tree is a tree-structured PMW-Bypass over a partitioned dataset. Not
+// safe for concurrent use.
+type Tree struct {
+	cfg   Config
+	exec  *dataset.Executor
+	block *accountant.Block
+	rng   *noise.Rng
+	mcRng *noise.Rng
+
+	nodes map[interval.Node]*node
+	// svs maps the canonical key of a ready node set to its live shared
+	// SV (the set S of Alg. 2).
+	svs   map[string]*sparse.SV
+	cache *cache.Exact
+	stats Stats
+}
+
+// New creates a tree over exec's dataset, paying against block.
+func New(cfg Config, exec *dataset.Executor, block *accountant.Block, store *kvstore.Store, rng *noise.Rng) (*Tree, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if exec == nil || block == nil || rng == nil {
+		return nil, errors.New("tree: nil executor, accountant, or rng")
+	}
+	t := &Tree{
+		cfg:   cfg,
+		exec:  exec,
+		block: block,
+		rng:   rng,
+		mcRng: rng.Fork(),
+		nodes: make(map[interval.Node]*node),
+		svs:   make(map[string]*sparse.SV),
+	}
+	if cfg.NodeExactCache {
+		t.cache = cache.NewExact(store, "tree-node")
+	}
+	return t, nil
+}
+
+// split decomposes a window according to the configured structure.
+func (t *Tree) split(start, end int) []interval.Node {
+	if t.cfg.Structure == Flat {
+		out := make([]interval.Node, 0, end-start+1)
+		for i := start; i <= end; i++ {
+			out = append(out, interval.Node{Start: i, End: i})
+		}
+		return out
+	}
+	return interval.Split(start, end)
+}
+
+// getNode returns (creating lazily, with warm-start when enabled) the state
+// for a dyadic interval.
+func (t *Tree) getNode(iv interval.Node) *node {
+	if n, ok := t.nodes[iv]; ok {
+		return n
+	}
+	domSize := t.exec.Dataset().Domain().Size()
+	n := &node{
+		iv:    iv,
+		hist:  histogram.NewUniform(domSize),
+		heur:  t.cfg.Heuristic(),
+		lr:    t.cfg.LR(),
+		tau:   t.cfg.Tau,
+		alpha: t.cfg.Alpha,
+	}
+	if t.cfg.WarmStart {
+		t.warmStart(n)
+	}
+	t.nodes[iv] = n
+	t.stats.NodesCreated++
+	return n
+}
+
+// warmStart initializes a fresh node from existing neighbours per §4.5:
+// leaves copy the previous partition's leaf; internal nodes average their
+// existing children. Nodes with no trained neighbour stay uniform.
+func (t *Tree) warmStart(n *node) {
+	if n.iv.IsLeaf() {
+		if n.iv.Start == 0 {
+			return
+		}
+		prev, ok := t.nodes[interval.Node{Start: n.iv.Start - 1, End: n.iv.End - 1}]
+		if !ok {
+			return
+		}
+		n.hist = prev.hist.Clone()
+		if ws, ok := prev.heur.(heuristic.WarmStartable); ok {
+			n.heur = ws.CloneState()
+		}
+		return
+	}
+	left, right := n.iv.Children()
+	var parents []*node
+	for _, c := range []interval.Node{left, right} {
+		if cn, ok := t.nodes[c]; ok {
+			parents = append(parents, cn)
+		}
+	}
+	if len(parents) == 0 {
+		return
+	}
+	hists := make([]*histogram.Histogram, len(parents))
+	heurs := make([]heuristic.Heuristic, len(parents))
+	for i, p := range parents {
+		hists[i] = p.hist
+		heurs[i] = p.heur
+	}
+	if avg, err := histogram.Average(hists...); err == nil {
+		n.hist = avg
+	}
+	if ws, ok := n.heur.(heuristic.WarmStartable); ok {
+		if err := ws.AverageState(heurs); err == nil {
+			n.heur = ws
+		}
+	}
+}
+
+// svKey canonicalizes a node set for the shared-SV registry.
+func svKey(nodes []interval.Node) string {
+	key := ""
+	for _, n := range nodes {
+		key += n.String()
+	}
+	return key
+}
+
+// Result reports one answered range query.
+type Result struct {
+	Value float64
+	// SVNodes and LaplaceNodes count the split components answered by the
+	// shared-SV and Laplace branches (cache hits excluded).
+	SVNodes, LaplaceNodes, CachedNodes int
+	// Paid is the total pure-DP budget consumed, summed over partitions.
+	Paid float64
+	// SVFailed reports whether the shared SV check failed.
+	SVFailed bool
+}
+
+// Run answers one linear range query through Alg. 2. The query's window
+// defaults to the full store. On budget exhaustion it returns
+// accountant.ErrBudgetExhausted (wrapped) and releases nothing new.
+func (t *Tree) Run(q *query.Query) (Result, error) {
+	ds := t.exec.Dataset()
+	start, end := 0, ds.Partitions()-1
+	if s, e, ok := q.Window(); ok {
+		start, end = s, e
+	}
+	if start < 0 || end >= ds.Partitions() || start > end {
+		return Result{}, fmt.Errorf("tree: window [%d,%d] out of range (%d partitions)", start, end, ds.Partitions())
+	}
+	if t.cfg.MaxWindow > 0 && end-start+1 > t.cfg.MaxWindow {
+		return Result{}, fmt.Errorf("tree: window [%d,%d] exceeds the configured %d-partition bound (Thm A.8)",
+			start, end, t.cfg.MaxWindow)
+	}
+
+	split := t.split(start, end)
+	var res Result
+
+	// Component accumulators for the final n-weighted AGG.
+	type component struct {
+		value float64
+		n     int
+	}
+	var components []component
+
+	// 1. Node exact caches (Fig. 1 "Exact-Cache Tree"): qualified hits
+	// contribute directly and leave the PMW machinery untouched.
+	remaining := split[:0:0]
+	mMax := t.maxSplit()
+	for _, iv := range split {
+		ni, err := ds.NRows(iv.Start, iv.End)
+		if err != nil {
+			return Result{}, err
+		}
+		if ni == 0 {
+			continue // empty partitions contribute nothing
+		}
+		if t.cache != nil {
+			nq := q.WithWindow(iv.Start, iv.End)
+			version, err := ds.RangeVersion(iv.Start, iv.End)
+			if err != nil {
+				return Result{}, err
+			}
+			if e, ok := t.cache.Get(nq, version); ok &&
+				e.Eps >= noise.EpsilonForAccuracy(t.cfg.Alpha, t.cfg.Beta/float64(mMax), ni) {
+				components = append(components, component{e.Value, ni})
+				res.CachedNodes++
+				t.stats.CacheHits++
+				continue
+			}
+		}
+		remaining = append(remaining, iv)
+	}
+
+	// 2. Partition the remaining nodes into the shared-SV set (ready,
+	// contiguous) and the Laplace set.
+	var readySet []interval.Node
+	for _, iv := range remaining {
+		if t.getNode(iv).ready(q.WithWindow(iv.Start, iv.End)) {
+			readySet = append(readySet, iv)
+		}
+	}
+	svSet, _ := interval.LargestContiguousSubset(readySet)
+	inSV := make(map[interval.Node]bool, len(svSet))
+	for _, iv := range svSet {
+		inSV[iv] = true
+	}
+	var lapSet []interval.Node
+	for _, iv := range remaining {
+		if !inSV[iv] {
+			lapSet = append(lapSet, iv)
+		}
+	}
+
+	// 3. Shared-SV branch over the contiguous ready set.
+	if len(svSet) > 0 {
+		value, paid, failed, err := t.runSVBranch(q, svSet)
+		if err != nil {
+			return Result{}, err
+		}
+		nSV := t.rangeRows(svSet)
+		components = append(components, component{value, nSV})
+		res.SVNodes = len(svSet)
+		res.Paid += paid
+		res.SVFailed = failed
+	}
+
+	// 4. Laplace branch for the rest, jointly calibrated.
+	if len(lapSet) > 0 {
+		values, paid, err := t.runLaplaceBranch(q, lapSet)
+		if err != nil {
+			return Result{}, err
+		}
+		for i, iv := range lapSet {
+			ni, _ := ds.NRows(iv.Start, iv.End)
+			components = append(components, component{values[i], ni})
+		}
+		res.LaplaceNodes = len(lapSet)
+		res.Paid += paid
+	}
+
+	// 5. Final aggregation (AGG): n-weighted average of components.
+	totalN := 0
+	weighted := 0.0
+	for _, c := range components {
+		weighted += float64(c.n) * c.value
+		totalN += c.n
+	}
+	if totalN > 0 {
+		res.Value = weighted / float64(totalN)
+	}
+	t.stats.Queries++
+	return res, nil
+}
+
+// rangeRows sums public row counts over a node set.
+func (t *Tree) rangeRows(nodes []interval.Node) int {
+	total := 0
+	for _, iv := range nodes {
+		n, _ := t.exec.Dataset().NRows(iv.Start, iv.End)
+		total += n
+	}
+	return total
+}
+
+// maxSplit is the worst-case split size at the current partition count.
+func (t *Tree) maxSplit() int {
+	p := t.exec.Dataset().Partitions()
+	m := 0
+	for 1<<m < p {
+		m++
+	}
+	if t.cfg.Structure == Flat {
+		return p
+	}
+	return interval.MaxSplitNodes(m)
+}
+
+// runSVBranch executes Alg. 2 ll.10-26 over the contiguous ready set:
+// combined histogram estimate, one shared SV check at (α, β/2), Laplace
+// release plus directed updates on failure.
+func (t *Tree) runSVBranch(q *query.Query, svSet []interval.Node) (value, paid float64, failed bool, err error) {
+	ds := t.exec.Dataset()
+	spanStart, spanEnd := svSet[0].Start, svSet[len(svSet)-1].End
+	nSV, err := ds.NRows(spanStart, spanEnd)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	epsSV := noise.SVEpsilonForAggregate(t.cfg.Alpha, t.cfg.Beta, nSV)
+
+	key := svKey(svSet)
+	sv, ok := t.svs[key]
+	if !ok || !sv.Live() {
+		if err := t.block.PayRange(spanStart, spanEnd, 3*epsSV); err != nil {
+			return 0, 0, false, err
+		}
+		sv = sparse.New(epsSV, t.cfg.Alpha, nSV, t.rng)
+		sv.Reset()
+		t.svs[key] = sv
+		paid += 3 * epsSV * float64(spanEnd-spanStart+1)
+	}
+
+	// Combined estimate r_H and true value r*_SV, n-weighted.
+	rH, rTrue := 0.0, 0.0
+	for _, iv := range svSet {
+		ni, _ := ds.NRows(iv.Start, iv.End)
+		if ni == 0 {
+			continue
+		}
+		nq := q.WithWindow(iv.Start, iv.End)
+		est := t.getNode(iv).estimate(nq)
+		tv, err := t.exec.ExecuteNP(nq, iv.Start, iv.End)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		w := float64(ni) / float64(nSV)
+		rH += w * est
+		rTrue += w * tv
+	}
+
+	if sv.Test(rH, rTrue) {
+		t.stats.SVPasses++
+		return rH, paid, false, nil
+	}
+
+	// SV failed: pay for the Laplace release, drop the SV from the live
+	// set (a future query on this node set pays a fresh init), update all
+	// member histograms in the shared direction, and penalize their
+	// heuristics.
+	t.stats.SVFailures++
+	delete(t.svs, key)
+	if err := t.block.PayRange(spanStart, spanEnd, epsSV); err != nil {
+		return 0, 0, false, err
+	}
+	paid += epsSV * float64(spanEnd-spanStart+1)
+	rSV := rTrue + t.rng.Laplace(1/(epsSV*float64(nSV)))
+	positive := rSV > rH
+	for _, iv := range svSet {
+		nq := q.WithWindow(iv.Start, iv.End)
+		n := t.getNode(iv)
+		n.directedUpdate(nq, positive)
+		n.penalize(nq)
+		t.stats.NodeUpdates++
+	}
+	return rSV, paid, true, nil
+}
+
+// runLaplaceBranch executes Alg. 2 ll.27-33: per-node Laplace at a jointly
+// calibrated ε, external updates, and node-cache fills.
+func (t *Tree) runLaplaceBranch(q *query.Query, lapSet []interval.Node) (values []float64, paid float64, err error) {
+	ds := t.exec.Dataset()
+	nLap := t.rangeRows(lapSet)
+	if nLap == 0 {
+		return make([]float64, len(lapSet)), 0, nil
+	}
+	epsLap := noise.CalibrateLaplaceAggregate(
+		t.cfg.Alpha, t.cfg.Beta/2, len(lapSet), nLap, t.mcRng, t.cfg.MCSamples)
+
+	values = make([]float64, len(lapSet))
+	for i, iv := range lapSet {
+		ni, _ := ds.NRows(iv.Start, iv.End)
+		if ni == 0 {
+			continue
+		}
+		nq := q.WithWindow(iv.Start, iv.End)
+		if err := t.block.PayRange(iv.Start, iv.End, epsLap); err != nil {
+			return nil, paid, err
+		}
+		paid += epsLap * float64(iv.Len())
+		ri, err := t.exec.ExecuteDP(nq, iv.Start, iv.End, epsLap, math.NaN())
+		if err != nil {
+			return nil, paid, err
+		}
+		values[i] = ri
+		n := t.getNode(iv)
+		if n.externalUpdate(nq, ri) {
+			t.stats.NodeUpdates++
+		}
+		t.stats.LaplaceSubs++
+		if t.cache != nil {
+			version, _ := ds.RangeVersion(iv.Start, iv.End)
+			_ = t.cache.Put(nq, version, ri, epsLap)
+		}
+	}
+	return values, paid, nil
+}
+
+// Stats returns cumulative counters.
+func (t *Tree) Stats() Stats { return t.stats }
+
+// Nodes returns the number of materialized node states.
+func (t *Tree) Nodes() int { return len(t.nodes) }
+
+// MemoryBytes estimates resident histogram state: the §6.5 metric
+// (≈ 2·T·N scalars for a full binary tree).
+func (t *Tree) MemoryBytes() int {
+	total := 0
+	for _, n := range t.nodes {
+		total += n.hist.MemoryBytes()
+	}
+	return total
+}
+
+// WorstCaseUpdateBound returns the Thm A.7 bound on the total number of
+// purposeful updates across the tree for T = 2^m equal-size partitions
+// and constant learning rate η:
+//
+//	(m+1)·T·ln|X| / (η(τα−η)/2)
+//
+// It returns +Inf when the precondition η/α < τ fails.
+func (t *Tree) WorstCaseUpdateBound(eta float64) float64 {
+	alpha, tau := t.cfg.Alpha, t.cfg.Tau
+	if eta <= 0 || eta/alpha >= tau {
+		return math.Inf(1)
+	}
+	partitions := t.exec.Dataset().Partitions()
+	m := 0
+	for 1<<m < partitions {
+		m++
+	}
+	T := float64(int(1) << m)
+	lnX := math.Log(float64(t.exec.Dataset().Domain().Size()))
+	return float64(m+1) * T * lnX / (eta * (tau*alpha - eta) / 2)
+}
+
+// NodeHistogram exposes a node's histogram for convergence metrics and
+// warm-start tests; it returns nil when the node was never materialized.
+func (t *Tree) NodeHistogram(iv interval.Node) *histogram.Histogram {
+	if n, ok := t.nodes[iv]; ok {
+		return n.hist
+	}
+	return nil
+}
