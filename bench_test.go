@@ -48,6 +48,18 @@ func reportFinals(b *testing.B, res bench.Result) {
 	}
 }
 
+// BenchmarkScaling measures sharded-pipeline throughput against the
+// global-mutex seed architecture across goroutine counts (the concurrency
+// refactor's headline numbers; see ARCHITECTURE.md).
+func BenchmarkScaling(b *testing.B) {
+	res := run(b, bench.Scaling)
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			b.ReportMetric(p.Y, fmt.Sprintf("%s-%dg", s.Name, int(p.X)))
+		}
+	}
+}
+
 func BenchmarkFig3Demo(b *testing.B) {
 	res := run(b, bench.Fig3)
 	reportFinals(b, res)

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -22,12 +24,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "fig3", "experiment name or 'all'")
-		scale   = flag.String("scale", "small", "small | paper")
-		outDir  = flag.String("out", "", "directory for per-experiment output files (default stdout)")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		queries = flag.Int("queries", 0, "override workload length")
-		weeks   = flag.Int("weeks", 0, "override partition count")
+		exp      = flag.String("exp", "fig3", "experiment name or 'all'")
+		scale    = flag.String("scale", "small", "small | paper")
+		outDir   = flag.String("out", "", "directory for per-experiment output files (default stdout)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		queries  = flag.Int("queries", 0, "override workload length")
+		weeks    = flag.Int("weeks", 0, "override partition count")
+		parallel = flag.String("parallel", "", "goroutine counts for -exp=scaling, e.g. 1,2,4,8,16")
 	)
 	flag.Parse()
 
@@ -53,6 +56,16 @@ func main() {
 	}
 	if *weeks > 0 {
 		sc.Weeks = *weeks
+	}
+	if *parallel != "" {
+		for _, part := range strings.Split(*parallel, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || w < 1 {
+				fmt.Fprintf(os.Stderr, "turbo-bench: bad -parallel value %q\n", part)
+				os.Exit(2)
+			}
+			sc.Workers = append(sc.Workers, w)
+		}
 	}
 
 	var todo []bench.Experiment

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -31,6 +32,7 @@ func main() {
 		beta        = flag.Float64("beta", 0.001, "failure probability β")
 		epsG        = flag.Float64("epsg", 10, "global privacy budget ε_G")
 		seed        = flag.Uint64("seed", 42, "deterministic seed")
+		shards      = flag.Int("shards", runtime.NumCPU(), "concurrent executor shards (partitioned modes)")
 	)
 	flag.Parse()
 
@@ -67,6 +69,7 @@ func main() {
 	sess, err := core.NewSession(core.Config{
 		Mode: m, Alpha: *alpha, Beta: *beta, EpsilonGlobal: *epsG,
 		Structure: tree.Binary, NodeExactCache: true, Seed: *seed,
+		Shards: *shards,
 	}, ds)
 	if err != nil {
 		log.Fatal(err)
@@ -76,8 +79,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("turbo-server: %s over %s (%d rows, %d partitions) with (α=%g, β=%g), ε_G=%g\n",
-		m, ds.Domain(), ds.NRowsAll(), ds.Partitions(), *alpha, *beta, *epsG)
+	fmt.Printf("turbo-server: %s over %s (%d rows, %d partitions) with (α=%g, β=%g), ε_G=%g, %d shards\n",
+		m, ds.Domain(), ds.NRowsAll(), ds.Partitions(), *alpha, *beta, *epsG, *shards)
 	fmt.Printf("listening on http://%s  (POST /query, GET /budget, GET /schema)\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

@@ -38,6 +38,9 @@ type Scale struct {
 	MCSamples int
 	// Checkpoints is the number of points recorded per budget curve.
 	Checkpoints int
+	// Workers is the goroutine ladder for the concurrency scaling
+	// experiment; nil uses DefaultWorkers.
+	Workers []int
 }
 
 // ScaleSmall is the default for Go benchmarks: same shapes, seconds of

@@ -40,6 +40,7 @@ var Experiments = []Experiment{
 	{"warmstart", "ablation: warm-start prior quality (Thm A.9)", WarmStartPriors},
 	{"rdp", "ablation: RDP vs pure-DP composition (§A.6)", RDPvsPure},
 	{"drain", "ablation: adversarial budget drain and §A.5 cutoff", AdversarialDrain},
+	{"scaling", "concurrency: sharded pipeline throughput vs global-mutex seed", Scaling},
 }
 
 // Lookup finds an experiment by name.

@@ -11,6 +11,8 @@ package cache
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/kvstore"
 	"repro/internal/query"
@@ -23,45 +25,79 @@ type Entry struct {
 	Version int     // data version of the window at creation time
 }
 
+// DefaultFastEntries bounds the decoded fast map of an Exact cache. The
+// backing KV store remains the source of truth; the fast map only trades a
+// bounded amount of memory for skipped gob decoding, so a small bound
+// keeps the exact-hit path cheap (Fig. 11d) without letting decoded
+// entries grow with the full key population.
+const DefaultFastEntries = 4096
+
 // Exact is an exact-match cache backed by the KV store (the prototype's
-// Redis role), with a decoded-entry fast path in front of it — the
+// Redis role), with a bounded decoded-entry fast map in front of it — the
 // client-side caching pattern Redis deployments use — so repeat hits skip
-// deserialization (keeping the exact-hit path the cheapest one, Fig. 11d).
-// Not safe for concurrent use; the session layer serializes.
+// deserialization. Exact is safe for concurrent use: lookups take a read
+// lock on the fast map and the striped store serializes its own access, so
+// pipeline shards can probe the cache without holding their shard lock.
 type Exact struct {
 	store *kvstore.Store
 	ns    string
-	fast  map[string]Entry
 
-	hits, misses int
+	mu      sync.RWMutex
+	fast    map[string]Entry
+	maxFast int
+
+	hits, misses atomic.Int64
 }
 
-// NewExact creates an exact cache using namespace ns of store. Multiple
-// caches (e.g. one per tree node) share one store under different
-// namespaces.
+// NewExact creates an exact cache using namespace ns of store, with the
+// default fast-map bound. Multiple caches (e.g. one per tree node) share
+// one store under different namespaces.
 func NewExact(store *kvstore.Store, ns string) *Exact {
+	return NewExactBounded(store, ns, DefaultFastEntries)
+}
+
+// NewExactBounded creates an exact cache whose decoded fast map holds at
+// most maxFast entries (0 or negative falls back to the default).
+func NewExactBounded(store *kvstore.Store, ns string, maxFast int) *Exact {
 	if store == nil {
 		store = kvstore.New()
 	}
-	return &Exact{store: store, ns: ns, fast: make(map[string]Entry)}
+	if maxFast <= 0 {
+		maxFast = DefaultFastEntries
+	}
+	return &Exact{store: store, ns: ns, fast: make(map[string]Entry), maxFast: maxFast}
 }
 
-// Get returns the cached result for q at the given data version.
+// Get returns the cached result for q at the given data version. A fast-map
+// entry whose version no longer matches is stale forever (window versions
+// are monotone), so it is evicted from both layers on the way out.
 func (c *Exact) Get(q *query.Query, version int) (Entry, bool) {
 	key := q.KeyWithWindow()
-	if e, ok := c.fast[key]; ok && e.Version == version {
-		c.hits++
-		return e, true
+	c.mu.RLock()
+	e, ok := c.fast[key]
+	c.mu.RUnlock()
+	if ok {
+		if e.Version == version {
+			c.hits.Add(1)
+			return e, true
+		}
+		c.invalidate(key, e)
 	}
-	var e Entry
-	ok, err := c.store.Get(c.ns, key, &e)
-	if err != nil || !ok || e.Version != version {
-		c.misses++
+	var stored Entry
+	found, err := c.store.Get(c.ns, key, &stored)
+	if err != nil || !found {
+		c.misses.Add(1)
 		return Entry{}, false
 	}
-	c.fast[key] = e
-	c.hits++
-	return e, true
+	if stored.Version != version {
+		// Stale under a monotone version: it can never hit again.
+		c.invalidate(key, stored)
+		c.misses.Add(1)
+		return Entry{}, false
+	}
+	c.cacheFast(key, stored)
+	c.hits.Add(1)
+	return stored, true
 }
 
 // Put stores a freshly-computed DP result.
@@ -71,20 +107,58 @@ func (c *Exact) Put(q *query.Query, version int, value, eps float64) error {
 	if err := c.store.Set(c.ns, key, e); err != nil {
 		return err
 	}
-	c.fast[key] = e
+	c.cacheFast(key, e)
 	return nil
 }
 
+// cacheFast inserts into the decoded map, evicting an arbitrary entry when
+// the bound is reached. Random-ish eviction (map iteration order) is
+// enough: the fast map is a decode-skipping layer, not the cache itself.
+func (c *Exact) cacheFast(key string, e Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.fast[key]; !exists && len(c.fast) >= c.maxFast {
+		for victim := range c.fast {
+			delete(c.fast, victim)
+			break
+		}
+	}
+	c.fast[key] = e
+}
+
+// invalidate drops a stale entry from the fast map and the backing store.
+// Both deletes are guarded against a concurrent Put of a fresh entry: the
+// fast map by the version check, the store by a compare-and-delete on the
+// observed stale bytes, so a freshly-paid result is never erased.
+func (c *Exact) invalidate(key string, stale Entry) {
+	c.mu.Lock()
+	if e, ok := c.fast[key]; ok && e.Version == stale.Version {
+		delete(c.fast, key)
+	}
+	c.mu.Unlock()
+	c.store.CompareDelete(c.ns, key, stale)
+}
+
 // Stats returns hit and miss counts.
-func (c *Exact) Stats() (hits, misses int) { return c.hits, c.misses }
+func (c *Exact) Stats() (hits, misses int) {
+	return int(c.hits.Load()), int(c.misses.Load())
+}
 
 // HitRate returns hits/(hits+misses), or 0 before any lookup.
 func (c *Exact) HitRate() float64 {
-	total := c.hits + c.misses
+	hits, misses := c.Stats()
+	total := hits + misses
 	if total == 0 {
 		return 0
 	}
-	return float64(c.hits) / float64(total)
+	return float64(hits) / float64(total)
+}
+
+// FastLen returns the number of decoded entries resident in the fast map.
+func (c *Exact) FastLen() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.fast)
 }
 
 // Len returns the number of cached entries in this cache's namespace.

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/domain"
@@ -86,6 +87,66 @@ func TestOverwrite(t *testing.T) {
 	if c.Len() != 1 {
 		t.Fatalf("Len after overwrite = %d", c.Len())
 	}
+}
+
+func TestFastMapBounded(t *testing.T) {
+	c := NewExactBounded(nil, "t", 4)
+	base := query.MustNew(dom(), map[int][]int{0: {1}})
+	for i := 0; i < 32; i++ {
+		_ = c.Put(base.WithWindow(i, i), 1, float64(i), 0.01)
+	}
+	if got := c.FastLen(); got > 4 {
+		t.Fatalf("fast map grew to %d entries, bound is 4", got)
+	}
+	if c.Len() != 32 {
+		t.Fatalf("store should keep all entries, Len = %d", c.Len())
+	}
+	// Entries evicted from the fast map are still served from the store.
+	for i := 0; i < 32; i++ {
+		e, ok := c.Get(base.WithWindow(i, i), 1)
+		if !ok || e.Value != float64(i) {
+			t.Fatalf("entry %d lost after fast-map eviction: %+v %v", i, e, ok)
+		}
+	}
+}
+
+func TestStaleEntriesInvalidatedOnMiss(t *testing.T) {
+	c := NewExact(nil, "t")
+	q := query.MustNew(dom(), map[int][]int{0: {1}})
+	_ = c.Put(q, 1, 0.42, 0.01)
+	if _, ok := c.Get(q, 2); ok {
+		t.Fatal("stale entry served")
+	}
+	if got := c.FastLen(); got != 0 {
+		t.Fatalf("stale fast entry retained: FastLen = %d", got)
+	}
+	if got := c.Len(); got != 0 {
+		t.Fatalf("stale store entry retained: Len = %d", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := NewExactBounded(nil, "t", 64)
+	base := query.MustNew(dom(), map[int][]int{0: {1}})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				q := base.WithWindow(i%16, i%16)
+				if err := c.Put(q, 1, float64(i%16), 0.01); err != nil {
+					t.Error(err)
+					return
+				}
+				if e, ok := c.Get(q, 1); ok && e.Value != float64(i%16) {
+					t.Errorf("got %g for window %d", e.Value, i%16)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 func TestHitRateEmpty(t *testing.T) {

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/accountant"
+	"repro/internal/dataset"
+	"repro/internal/domain"
+	"repro/internal/noise"
+	"repro/internal/query"
+)
+
+func concurrentDS(t *testing.T, parts int) *dataset.Dataset {
+	t.Helper()
+	dom := domain.MustNew(
+		domain.Attribute{Name: "a", Card: 4},
+		domain.Attribute{Name: "b", Card: 4},
+	)
+	ds := dataset.New(dom, parts)
+	rng := noise.NewRng(11)
+	for p := 0; p < parts; p++ {
+		for bin := 0; bin < dom.Size(); bin++ {
+			if err := ds.AddCount(p, bin, 30+rng.IntN(50)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return ds
+}
+
+// TestConcurrentAnswerPartitioned hammers a sharded partitioned session
+// from many goroutines (run with -race) and checks the invariants that
+// must survive any interleaving: per-partition budget within ε_G, and
+// counters consistent with the number of served answers.
+func TestConcurrentAnswerPartitioned(t *testing.T) {
+	ds := concurrentDS(t, 16)
+	sess, err := NewSession(Config{
+		Mode:  Partitioned,
+		Alpha: 0.1, Beta: 0.01, EpsilonGlobal: 20,
+		NodeExactCache: true, MCSamples: 200,
+		Shards: 4, Seed: 5,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := []*query.Query{
+		query.MustNew(ds.Domain(), map[int][]int{0: {1}}),
+		query.MustNew(ds.Domain(), map[int][]int{1: {0, 2}}),
+		query.MustNew(ds.Domain(), map[int][]int{0: {2}, 1: {3}}),
+	}
+	windows := [][2]int{{0, 3}, {4, 7}, {8, 11}, {12, 15}, {0, 7}, {8, 15}, {0, 15}}
+
+	var wg sync.WaitGroup
+	var served atomic64
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				win := windows[(w*3+i)%len(windows)]
+				q := pool[i%len(pool)].WithWindow(win[0], win[1])
+				_, err := sess.Answer(q)
+				if err != nil && !errors.Is(err, accountant.ErrBudgetExhausted) {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if err == nil {
+					served.add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	acct := sess.Accountant()
+	for i := 0; i < ds.Partitions(); i++ {
+		if s := acct.SpentAt(i); s > acct.Global()+1e-9 {
+			t.Fatalf("partition %d overspent: %g > %g", i, s, acct.Global())
+		}
+	}
+	if got := sess.Queries(); int64(got) != served.load() {
+		t.Fatalf("Queries() = %d, served %d", got, served.load())
+	}
+	total := 0
+	for _, c := range sess.SourceCounts() {
+		total += c
+	}
+	if int64(total) != served.load() {
+		t.Fatalf("source counts sum %d != served %d", total, served.load())
+	}
+}
+
+// TestConcurrentAnswerNonPartitioned exercises the single-shard PMW path
+// under concurrency: exact hits are lock-free, misses serialize, and the
+// concurrent-composition filter's admitted budget must agree with the
+// block accountant.
+func TestConcurrentAnswerNonPartitioned(t *testing.T) {
+	ds := concurrentDS(t, 1)
+	sess, err := NewSession(Config{
+		Mode:  NonPartitioned,
+		Alpha: 0.1, Beta: 0.01, EpsilonGlobal: 15,
+		Seed: 6,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := make([]*query.Query, 0, 8)
+	for v := 0; v < 4; v++ {
+		pool = append(pool,
+			query.MustNew(ds.Domain(), map[int][]int{0: {v}}),
+			query.MustNew(ds.Domain(), map[int][]int{1: {v}}),
+		)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				q := pool[(w+i)%len(pool)]
+				if _, err := sess.Answer(q); err != nil && !errors.Is(err, accountant.ErrBudgetExhausted) {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	admitted := sess.Admission().Spent()
+	spent := sess.Accountant().MaxSpent()
+	if diff := admitted - spent; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("admitted budget %g != block spend %g", admitted, spent)
+	}
+	if sess.Admission().Live() > 1 {
+		t.Fatalf("more than one live mechanism: %d", sess.Admission().Live())
+	}
+	if sess.Queries() == 0 {
+		t.Fatal("no queries served")
+	}
+}
+
+// TestRestoreSyncsAdmission checks LoadState re-admits the restored
+// consumption into the concurrent filter so both budget books agree.
+func TestRestoreSyncsAdmission(t *testing.T) {
+	ds := concurrentDS(t, 1)
+	cfg := Config{Mode: NonPartitioned, Alpha: 0.1, Beta: 0.01, EpsilonGlobal: 15, Seed: 6}
+	sess, err := NewSession(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 4; v++ {
+		if _, err := sess.Answer(query.MustNew(ds.Domain(), map[int][]int{0: {v}})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sess.Accountant().MaxSpent() == 0 {
+		t.Fatal("test needs nonzero spend")
+	}
+	var buf bytes.Buffer
+	if err := sess.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewSession(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	admitted, spent := fresh.Admission().Spent(), fresh.Accountant().MaxSpent()
+	if diff := admitted - spent; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("restored admission book %g != block spend %g", admitted, spent)
+	}
+}
+
+// atomic64 is a tiny counter helper keeping the test dependency-free.
+type atomic64 struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.v += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.v }

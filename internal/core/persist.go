@@ -42,7 +42,7 @@ func (s *Session) SaveState(w io.Writer) error {
 		DatasetVersion: s.ds.Version(),
 		Partitions:     s.ds.Partitions(),
 		Spent:          s.block.SpentVector(),
-		Queries:        s.queries,
+		Queries:        s.Queries(),
 		BySource:       s.SourceCounts(),
 	}
 	if s.rdp != nil {
@@ -69,7 +69,7 @@ func (s *Session) SaveState(w io.Writer) error {
 // session over the same dataset (same partition count and version). It
 // must run before any query is answered.
 func (s *Session) LoadState(r io.Reader) error {
-	if s.queries > 0 {
+	if s.Queries() > 0 {
 		return errors.New("core: LoadState after queries were served")
 	}
 	var st sessionState
@@ -88,6 +88,25 @@ func (s *Session) LoadState(r io.Reader) error {
 	}
 	if err := s.block.RestoreSpent(st.Spent); err != nil {
 		return err
+	}
+	// Re-admit the restored consumption into the concurrent filter so the
+	// two budget books stay in step (the non-partitioned path pays full
+	// range, so the scalar book equals the per-partition spend). The
+	// mechanism is retired immediately: its budget stays spent.
+	if s.admit != nil {
+		spent := 0.0
+		for _, v := range st.Spent {
+			if v > spent {
+				spent = v
+			}
+		}
+		if spent > 0 {
+			h, err := s.admit.Register(pureMechanism{budget: spent})
+			if err != nil {
+				return fmt.Errorf("core: restore admitted budget: %w", err)
+			}
+			s.admit.Retire(h)
+		}
 	}
 	if s.single != nil {
 		if st.Single == nil {
@@ -115,9 +134,11 @@ func (s *Session) LoadState(r io.Reader) error {
 	if err := restoreStore(s.store, r); err != nil {
 		return err
 	}
-	s.queries = st.Queries
+	s.queries.Store(int64(st.Queries))
 	for k, v := range st.BySource {
-		s.bySource[k] = v
+		if i, ok := sourceIndex[k]; ok {
+			s.bySrc[i].Store(int64(v))
+		}
 	}
 	return nil
 }

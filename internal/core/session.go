@@ -4,11 +4,33 @@
 // databases) or a tree-structured PMW-Bypass (partitioned and streaming
 // databases) — and answers linear queries (α, β)-accurately under a global
 // (ε_G, 0)-DP guarantee enforced by a privacy accountant.
+//
+// # The query pipeline
+//
+// Answer is organized as a layered pipeline rather than one lock scope:
+//
+//  1. plan — the Planner resolves the query to a partition window, data
+//     version, and view size. Lock-free.
+//  2. cache — the window-level exact cache is probed. The cache is
+//     concurrency-safe, so exact hits (the cheapest and, under skewed
+//     workloads, most common path, Fig. 11d) never serialize.
+//  3. execute — a miss runs the PMW machinery on its shard: the single
+//     PMW-Bypass behind the session's one executor lock (non-partitioned),
+//     or the tree, which locks only the state shards overlapping the
+//     query's window so disjoint windows run in parallel (partitioned).
+//  4. account — budget is deducted through the thread-safe accountant:
+//     the block accountant realizes parallel composition across shards,
+//     and the non-partitioned path additionally admits each mechanism
+//     through the Appendix B concurrent-composition filter.
+//
+// Sessions are safe for concurrent use by many request goroutines.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/accountant"
 	"repro/internal/cache"
@@ -67,6 +89,10 @@ const (
 	SourceTree Source = "tree"
 )
 
+// Sources lists every answer source, for consumers that pre-allocate
+// per-source counters (e.g. the HTTP server's atomic counters).
+var Sources = []Source{SourceExactHit, SourceR1, SourceR2, SourceR3, SourceTree}
+
 // Config parameterizes a Turbo session.
 type Config struct {
 	// Mode selects the use case; default NonPartitioned.
@@ -97,6 +123,13 @@ type Config struct {
 	Gaussian bool
 	// DeltaGlobal is δ_G for Gaussian mode; ignored otherwise.
 	DeltaGlobal float64
+	// Shards is the number of concurrent executor shards the partitioned
+	// tree state is striped into. Values ≤ 1 keep one shard, which
+	// serializes execution exactly like the pre-pipeline session (the
+	// exact-cache front and metadata reads are concurrent regardless).
+	// Ignored in non-partitioned mode, whose single PMW is one shard by
+	// construction.
+	Shards int
 }
 
 func (c *Config) fill() error {
@@ -127,29 +160,52 @@ type Answer struct {
 	Paid float64
 }
 
-// Session is a Turbo-fronted DP database session. Not safe for concurrent
-// use: DP SQL engines serialize query admission against the accountant
-// anyway.
+// Session is a Turbo-fronted DP database session, safe for concurrent use:
+// the planner and exact-cache stages are lock-free, execution serializes
+// per shard, and accounting goes through thread-safe accountants.
 type Session struct {
-	cfg   Config
-	ds    *dataset.Dataset
-	exec  *dataset.Executor
-	block *accountant.Block
-	store *kvstore.Store
-	exact *cache.Exact
-	rng   *noise.Rng
+	cfg     Config
+	ds      *dataset.Dataset
+	exec    *dataset.Executor
+	block   *accountant.Block
+	store   *kvstore.Store
+	exact   *cache.Exact
+	rng     *noise.Rng
+	planner *Planner
 
-	// Non-partitioned machinery.
-	single *pmw.PMW
+	// Non-partitioned machinery: one executor shard.
+	singleMu sync.Mutex
+	single   *pmw.PMW
+	// admit gates every pure-DP mechanism of the non-partitioned path
+	// through concurrent composition (Appendix B); nil in tree and
+	// Gaussian modes.
+	admit *accountant.ConcurrentFilter
 	// rdp is set in Gaussian mode and replaces block for accounting.
 	rdp *accountant.RDPFilter
-	// Partitioned machinery.
+	// Partitioned machinery: the tree shards internally.
 	tree *tree.Tree
 
-	queries  int
-	exhaust  bool
-	bySource map[Source]int
+	queries atomic.Int64
+	exhaust atomic.Bool
+	bySrc   [numSources]atomic.Int64
 }
+
+// numSources sizes the per-source counter array; the sourceIndex
+// initializer panics at startup if it falls out of step with Sources.
+const numSources = 5
+
+// sourceIndex maps each Source to its slot in the session's atomic
+// per-source counters, derived from Sources so the two cannot drift.
+var sourceIndex = func() map[Source]int {
+	if len(Sources) != numSources {
+		panic("core: numSources out of step with Sources")
+	}
+	m := make(map[Source]int, len(Sources))
+	for i, src := range Sources {
+		m[src] = i
+	}
+	return m
+}()
 
 // NewSession creates a Turbo session over ds.
 func NewSession(cfg Config, ds *dataset.Dataset) (*Session, error) {
@@ -162,14 +218,14 @@ func NewSession(cfg Config, ds *dataset.Dataset) (*Session, error) {
 	rng := noise.NewRng(cfg.Seed)
 	store := kvstore.New()
 	s := &Session{
-		cfg:      cfg,
-		ds:       ds,
-		exec:     dataset.NewExecutor(ds, rng.Fork()),
-		block:    accountant.NewBlock(cfg.EpsilonGlobal, ds.Partitions()),
-		store:    store,
-		exact:    cache.NewExact(store, "session-exact"),
-		rng:      rng,
-		bySource: make(map[Source]int),
+		cfg:     cfg,
+		ds:      ds,
+		exec:    dataset.NewExecutor(ds, rng.Fork()),
+		block:   accountant.NewBlock(cfg.EpsilonGlobal, ds.Partitions()),
+		store:   store,
+		exact:   cache.NewExact(store, "session-exact"),
+		rng:     rng,
+		planner: NewPlanner(ds),
 	}
 	switch cfg.Mode {
 	case NonPartitioned:
@@ -200,10 +256,9 @@ func NewSession(cfg Config, ds *dataset.Dataset) (*Session, error) {
 				Eps: eps, GaussianSigma: sigma, N: n,
 			}
 		} else {
-			payer = pmw.PurePayer{
-				Acct: accountant.Window{Block: s.block, Start: 0, End: ds.Partitions() - 1},
-				Eps:  eps,
-			}
+			s.admit = accountant.NewConcurrentFilter(cfg.EpsilonGlobal)
+			payer = newAdmittedPayer(s.admit,
+				accountant.Window{Block: s.block, Start: 0, End: ds.Partitions() - 1}, eps)
 		}
 		p, err := pmw.New(pmw.Config{
 			Alpha: cfg.Alpha, Beta: cfg.Beta, N: n,
@@ -225,6 +280,7 @@ func NewSession(cfg Config, ds *dataset.Dataset) (*Session, error) {
 			WarmStart:      cfg.Mode == Streaming,
 			NodeExactCache: cfg.NodeExactCache,
 			MCSamples:      cfg.MCSamples,
+			Shards:         cfg.Shards,
 		}, s.exec, s.block, store, rng.Fork())
 		if err != nil {
 			return nil, err
@@ -239,6 +295,9 @@ func NewSession(cfg Config, ds *dataset.Dataset) (*Session, error) {
 // Dataset returns the underlying store.
 func (s *Session) Dataset() *dataset.Dataset { return s.ds }
 
+// Planner returns the session's planning stage.
+func (s *Session) Planner() *Planner { return s.planner }
+
 // AppendPartition registers a newly-arrived stream partition with both the
 // store and the accountant, returning its index. Callers then load data
 // with Dataset().AddRow / AddCount before issuing queries over it.
@@ -248,36 +307,49 @@ func (s *Session) AppendPartition() int {
 }
 
 // Answer runs one linear query through the Turbo pipeline of Fig. 1:
-// exact cache, then PMW-Bypass (single or tree). It returns
+// plan, exact cache, then PMW-Bypass (single or tree). It returns
 // accountant.ErrBudgetExhausted (wrapped) once the global guarantee binds.
 func (s *Session) Answer(q *query.Query) (Answer, error) {
-	if q.Domain() != nil && !q.Domain().Equal(s.ds.Domain()) {
-		return Answer{}, errors.New("core: query domain does not match session dataset")
-	}
-	start, end := 0, s.ds.Partitions()-1
-	if a, b, ok := q.Window(); ok {
-		start, end = a, b
-		if a < 0 || b >= s.ds.Partitions() {
-			return Answer{}, fmt.Errorf("core: window [%d,%d] out of range", a, b)
-		}
-	}
-	version, err := s.ds.RangeVersion(start, end)
+	pl, err := s.planner.Plan(q)
 	if err != nil {
 		return Answer{}, err
 	}
-	if e, ok := s.exact.Get(q, version); ok {
+	if e, ok := s.exact.Get(q, pl.Version); ok {
 		s.record(SourceExactHit)
 		return Answer{Value: e.Value, Source: SourceExactHit}, nil
 	}
-
-	var ans Answer
-	if s.single != nil {
-		res, err := s.single.Run(q)
-		if err != nil {
-			s.noteErr(err)
+	ans, err := s.execute(pl)
+	if err != nil {
+		s.noteErr(err)
+		return Answer{}, err
+	}
+	// A double-check hit inside execute is already cached with its real
+	// paid budget; re-putting would redundantly re-encode and clobber
+	// the stored Eps with 0.
+	if ans.Source != SourceExactHit {
+		if err := s.exact.Put(q, pl.Version, ans.Value, ans.Paid); err != nil {
 			return Answer{}, err
 		}
-		ans = Answer{Value: res.Value, Paid: res.Paid}
+	}
+	s.record(ans.Source)
+	return ans, nil
+}
+
+// execute runs a cache-missed plan on its executor shard.
+func (s *Session) execute(pl Plan) (Answer, error) {
+	if s.single != nil {
+		s.singleMu.Lock()
+		defer s.singleMu.Unlock()
+		// Double-check under the shard lock: a concurrent identical
+		// query may have paid for this answer while we waited.
+		if e, ok := s.exact.Get(pl.Query, pl.Version); ok {
+			return Answer{Value: e.Value, Source: SourceExactHit}, nil
+		}
+		res, err := s.single.Run(pl.Query)
+		if err != nil {
+			return Answer{}, err
+		}
+		ans := Answer{Value: res.Value, Paid: res.Paid}
 		switch res.Path {
 		case pmw.PathR1:
 			ans.Source = SourceR1
@@ -286,19 +358,13 @@ func (s *Session) Answer(q *query.Query) (Answer, error) {
 		default:
 			ans.Source = SourceR3
 		}
-	} else {
-		res, err := s.tree.Run(q)
-		if err != nil {
-			s.noteErr(err)
-			return Answer{}, err
-		}
-		ans = Answer{Value: res.Value, Source: SourceTree, Paid: res.Paid}
+		return ans, nil
 	}
-	if err := s.exact.Put(q, version, ans.Value, ans.Paid); err != nil {
+	res, err := s.tree.Run(pl.Query)
+	if err != nil {
 		return Answer{}, err
 	}
-	s.record(ans.Source)
-	return ans, nil
+	return Answer{Value: res.Value, Source: SourceTree, Paid: res.Paid}, nil
 }
 
 // Run satisfies the experiment harness's System interface.
@@ -311,27 +377,29 @@ func (s *Session) Run(q *query.Query) (float64, error) {
 func (s *Session) Name() string { return "turbo(" + s.cfg.Mode.String() + ")" }
 
 func (s *Session) record(src Source) {
-	s.queries++
-	s.bySource[src]++
+	s.queries.Add(1)
+	s.bySrc[sourceIndex[src]].Add(1)
 }
 
 func (s *Session) noteErr(err error) {
 	if errors.Is(err, accountant.ErrBudgetExhausted) {
-		s.exhaust = true
+		s.exhaust.Store(true)
 	}
 }
 
 // Exhausted reports whether the session has hit the global guarantee.
-func (s *Session) Exhausted() bool { return s.exhaust }
+func (s *Session) Exhausted() bool { return s.exhaust.Load() }
 
 // Queries returns the number of answered queries.
-func (s *Session) Queries() int { return s.queries }
+func (s *Session) Queries() int { return int(s.queries.Load()) }
 
 // SourceCounts returns a copy of the per-source answer counts.
 func (s *Session) SourceCounts() map[Source]int {
-	out := make(map[Source]int, len(s.bySource))
-	for k, v := range s.bySource {
-		out[k] = v
+	out := make(map[Source]int, len(sourceIndex))
+	for src, i := range sourceIndex {
+		if v := s.bySrc[i].Load(); v > 0 {
+			out[src] = int(v)
+		}
 	}
 	return out
 }
@@ -348,6 +416,10 @@ func (s *Session) AverageSpent() float64 {
 
 // RDP exposes the Rényi-DP filter in Gaussian mode (nil otherwise).
 func (s *Session) RDP() *accountant.RDPFilter { return s.rdp }
+
+// Admission exposes the concurrent-composition filter that admits the
+// non-partitioned path's mechanisms (nil in tree and Gaussian modes).
+func (s *Session) Admission() *accountant.ConcurrentFilter { return s.admit }
 
 // MaxSpent returns the maximum per-partition consumed budget.
 func (s *Session) MaxSpent() float64 { return s.block.MaxSpent() }
@@ -370,7 +442,9 @@ func (s *Session) ExactCache() *cache.Exact { return s.exact }
 func (s *Session) MemoryBytes() int {
 	total := s.store.MemoryBytes()
 	if s.single != nil {
+		s.singleMu.Lock()
 		total += s.single.Histogram().MemoryBytes()
+		s.singleMu.Unlock()
 	}
 	if s.tree != nil {
 		total += s.tree.MemoryBytes()

@@ -1,0 +1,92 @@
+// The executor-shard stage of the sharded query pipeline, and the
+// admission-controlled payer that routes every pure-DP payment of the
+// non-partitioned path through the concurrent-composition filter
+// (accountant/concurrent.go, Appendix B Alg. 3).
+//
+// Shards never talk to each other: each shard serializes its own caching
+// state behind its own lock, and cross-shard coordination happens only at
+// the accountant. In partitioned modes the block accountant (parallel
+// composition) plays that role inside the tree; in non-partitioned mode
+// the single PMW-Bypass is one shard whose sparse vector and Laplace
+// releases are admitted as interactive mechanisms by the concurrent
+// filter, which is exactly the adaptive-concurrent setting Thm B.1/B.2
+// prove sound.
+
+package core
+
+import (
+	"sync"
+
+	"repro/internal/accountant"
+)
+
+// pureMechanism is the accountant.Interactive view of one pure-DP
+// mechanism with an upfront-declared budget: a 3ε sparse-vector
+// initialization or an ε Laplace release.
+type pureMechanism struct {
+	budget float64
+}
+
+// Budget returns the mechanism's total pure-DP cost.
+func (m pureMechanism) Budget() float64 { return m.budget }
+
+// admittedPayer implements pmw.Payer by admitting each payment as an
+// interactive mechanism through the concurrent filter, then mirroring the
+// admitted budget into the per-partition block accountant that serves the
+// public /budget metrics. For full-range payments the two books coincide
+// (every partition's spend equals the scalar spend), so the mirror cannot
+// fail after admission succeeded; the filter is the enforcement point.
+type admittedPayer struct {
+	admit  *accountant.ConcurrentFilter
+	window accountant.Window
+	eps    float64
+
+	mu     sync.Mutex
+	sv     accountant.Handle
+	svLive bool
+}
+
+// newAdmittedPayer wires a payer for one PMW-Bypass paying eps per Laplace
+// release against the given partition window.
+func newAdmittedPayer(admit *accountant.ConcurrentFilter, window accountant.Window, eps float64) *admittedPayer {
+	return &admittedPayer{admit: admit, window: window, eps: eps}
+}
+
+// PayLaplace admits one ε Laplace release: a one-shot mechanism that is
+// registered, charged, and immediately retired (its budget stays spent —
+// DP consumption is irrevocable; retiring only removes it from the live
+// set).
+func (p *admittedPayer) PayLaplace() error {
+	h, err := p.admit.Register(pureMechanism{budget: p.eps})
+	if err != nil {
+		return err
+	}
+	defer p.admit.Retire(h)
+	return p.window.Pay(p.eps)
+}
+
+// PaySVInit admits a fresh 3ε sparse-vector run. The previous SV, if any,
+// is consumed at this point (PMW only re-initializes a dead SV), so its
+// handle is retired from the live set.
+func (p *admittedPayer) PaySVInit() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h, err := p.admit.Register(pureMechanism{budget: 3 * p.eps})
+	if err != nil {
+		return err
+	}
+	if err := p.window.Pay(3 * p.eps); err != nil {
+		p.admit.Retire(h)
+		return err
+	}
+	if p.svLive {
+		p.admit.Retire(p.sv)
+	}
+	p.sv, p.svLive = h, true
+	return nil
+}
+
+// HasBudget reports whether further queries may proceed.
+func (p *admittedPayer) HasBudget() bool {
+	return p.window.HasBudget() && p.admit.Remaining() > 0
+}

@@ -144,6 +144,21 @@ func (ds *Dataset) RangeVersion(start, end int) (int, error) {
 	return v, nil
 }
 
+// WindowMeta returns the data version and public row count of partitions
+// [start, end] in one read-locked pass — the planner's hot-path accessor.
+func (ds *Dataset) WindowMeta(start, end int) (version, rows int, err error) {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	if start < 0 || end >= len(ds.parts) || start > end {
+		return 0, 0, fmt.Errorf("dataset: bad range [%d,%d] of %d partitions", start, end, len(ds.parts))
+	}
+	for i := start; i <= end; i++ {
+		version += ds.parts[i].version
+		rows += ds.parts[i].n
+	}
+	return version, rows, nil
+}
+
 // BulkLoad adds per-bin row counts to partition p in one call. Workload
 // generators use it to materialize paper-scale datasets (tens of millions
 // of rows) without per-row ingestion.

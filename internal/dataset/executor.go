@@ -9,6 +9,7 @@ package dataset
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/noise"
 	"repro/internal/query"
@@ -54,8 +55,8 @@ type Executor struct {
 	GaussianSigma float64
 	mech          Mechanism
 
-	npQueries int
-	dpQueries int
+	npQueries atomic.Int64
+	dpQueries atomic.Int64
 }
 
 // NewExecutor creates a Laplace executor over ds drawing noise from rng.
@@ -83,7 +84,7 @@ func (e *Executor) Mechanism() Mechanism { return e.mech }
 // ExecuteNP runs q over partitions [start, end] without privacy — the true
 // fraction. Only SV checks and ExecuteDP may consume this value.
 func (e *Executor) ExecuteNP(q *query.Query, start, end int) (float64, error) {
-	e.npQueries++
+	e.npQueries.Add(1)
 	return e.ds.TrueFraction(q, start, end)
 }
 
@@ -109,7 +110,7 @@ func (e *Executor) ExecuteDP(q *query.Query, start, end int, eps float64, trueRe
 	if n == 0 {
 		return 0, fmt.Errorf("dataset: DP execution over empty range [%d,%d]", start, end)
 	}
-	e.dpQueries++
+	e.dpQueries.Add(1)
 	switch e.mech {
 	case Laplace:
 		return trueResult + e.rng.Laplace(1/(eps*float64(n))), nil
@@ -121,4 +122,4 @@ func (e *Executor) ExecuteDP(q *query.Query, start, end int, eps float64, trueRe
 }
 
 // Stats returns the number of non-private and DP executions performed.
-func (e *Executor) Stats() (np, dp int) { return e.npQueries, e.dpQueries }
+func (e *Executor) Stats() (np, dp int) { return int(e.npQueries.Load()), int(e.dpQueries.Load()) }

@@ -7,32 +7,59 @@
 // Redis semantics Turbo relies on. The paper notes Redis "can be replaced
 // with a persistent, consistent and durable storage service"; snapshots to
 // an io.Writer play that role here.
+//
+// The store is internally striped by key hash (the way a Redis Cluster
+// spreads its hash slots), so concurrent shards of the query pipeline that
+// read and write different namespaces do not contend on a single lock.
 package kvstore
 
 import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"hash/maphash"
 	"io"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
+
+// numStripes is the number of independent lock+map stripes. A power of two
+// comfortably above typical core counts keeps collision contention low
+// while costing only a few empty maps for small stores.
+const numStripes = 16
+
+// stripe is one lock-protected slice of the keyspace.
+type stripe struct {
+	mu   sync.RWMutex
+	data map[string][]byte
+}
 
 // Store is an in-memory namespaced KV store, safe for concurrent use.
 type Store struct {
-	mu      sync.RWMutex
-	data    map[string][]byte
-	version uint64
+	stripes [numStripes]stripe
+	seed    maphash.Seed
+	version atomic.Uint64
 }
 
 // New returns an empty store.
 func New() *Store {
-	return &Store{data: make(map[string][]byte)}
+	s := &Store{seed: maphash.MakeSeed()}
+	for i := range s.stripes {
+		s.stripes[i].data = make(map[string][]byte)
+	}
+	return s
 }
 
 // key joins a namespace and key the way Redis conventions do.
 func key(ns, k string) string { return ns + ":" + k }
+
+// stripeFor hashes a full key onto its stripe.
+func (s *Store) stripeFor(full string) *stripe {
+	h := maphash.String(s.seed, full)
+	return &s.stripes[h&(numStripes-1)]
+}
 
 // Set stores value (gob-encoded) under ns:k.
 func (s *Store) Set(ns, k string, value any) error {
@@ -40,18 +67,22 @@ func (s *Store) Set(ns, k string, value any) error {
 	if err := gob.NewEncoder(&buf).Encode(value); err != nil {
 		return fmt.Errorf("kvstore: encode %s:%s: %w", ns, k, err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.data[key(ns, k)] = buf.Bytes()
-	s.version++
+	full := key(ns, k)
+	st := s.stripeFor(full)
+	st.mu.Lock()
+	st.data[full] = buf.Bytes()
+	st.mu.Unlock()
+	s.version.Add(1)
 	return nil
 }
 
 // Get loads ns:k into out (a pointer), reporting whether the key existed.
 func (s *Store) Get(ns, k string, out any) (bool, error) {
-	s.mu.RLock()
-	raw, ok := s.data[key(ns, k)]
-	s.mu.RUnlock()
+	full := key(ns, k)
+	st := s.stripeFor(full)
+	st.mu.RLock()
+	raw, ok := st.data[full]
+	st.mu.RUnlock()
 	if !ok {
 		return false, nil
 	}
@@ -63,13 +94,41 @@ func (s *Store) Get(ns, k string, out any) (bool, error) {
 
 // Delete removes ns:k, reporting whether it existed.
 func (s *Store) Delete(ns, k string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	full := key(ns, k)
-	_, ok := s.data[full]
+	st := s.stripeFor(full)
+	st.mu.Lock()
+	_, ok := st.data[full]
 	if ok {
-		delete(s.data, full)
-		s.version++
+		delete(st.data, full)
+	}
+	st.mu.Unlock()
+	if ok {
+		s.version.Add(1)
+	}
+	return ok
+}
+
+// CompareDelete removes ns:k only if its stored bytes equal the encoding
+// of expect, reporting whether a delete happened. It is the guarded
+// invalidation primitive: a concurrent Set of a fresh value changes the
+// bytes, so a stale-entry eviction can never erase it.
+func (s *Store) CompareDelete(ns, k string, expect any) bool {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(expect); err != nil {
+		return false
+	}
+	full := key(ns, k)
+	st := s.stripeFor(full)
+	st.mu.Lock()
+	raw, ok := st.data[full]
+	if ok && bytes.Equal(raw, buf.Bytes()) {
+		delete(st.data, full)
+	} else {
+		ok = false
+	}
+	st.mu.Unlock()
+	if ok {
+		s.version.Add(1)
 	}
 	return ok
 }
@@ -77,13 +136,16 @@ func (s *Store) Delete(ns, k string) bool {
 // Keys returns the sorted keys of a namespace (without the prefix).
 func (s *Store) Keys(ns string) []string {
 	prefix := ns + ":"
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []string
-	for k := range s.data {
-		if strings.HasPrefix(k, prefix) {
-			out = append(out, strings.TrimPrefix(k, prefix))
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for k := range st.data {
+			if strings.HasPrefix(k, prefix) {
+				out = append(out, strings.TrimPrefix(k, prefix))
+			}
 		}
+		st.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -91,44 +153,54 @@ func (s *Store) Keys(ns string) []string {
 
 // Len returns the total number of stored keys.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.data)
-}
-
-// Version increments on every mutation.
-func (s *Store) Version() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.version
-}
-
-// MemoryBytes returns the total size of stored values plus keys — the
-// figure the §6.5 memory evaluation reports for caching state.
-func (s *Store) MemoryBytes() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	total := 0
-	for k, v := range s.data {
-		total += len(k) + len(v)
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		total += len(st.data)
+		st.mu.RUnlock()
 	}
 	return total
 }
 
-// snapshot is the gob wire format of a store.
+// Version increments on every mutation.
+func (s *Store) Version() uint64 { return s.version.Load() }
+
+// MemoryBytes returns the total size of stored values plus keys — the
+// figure the §6.5 memory evaluation reports for caching state.
+func (s *Store) MemoryBytes() int {
+	total := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for k, v := range st.data {
+			total += len(k) + len(v)
+		}
+		st.mu.RUnlock()
+	}
+	return total
+}
+
+// snapshot is the gob wire format of a store. It is stripe-agnostic, so
+// snapshots taken before striping restore unchanged.
 type snapshot struct {
 	Version uint64
 	Data    map[string][]byte
 }
 
-// Snapshot serializes the whole store.
+// Snapshot serializes the whole store. The snapshot is consistent per
+// stripe; callers that need a fully consistent image serialize writes, as
+// the session persistence layer does.
 func (s *Store) Snapshot(w io.Writer) error {
-	s.mu.RLock()
-	snap := snapshot{Version: s.version, Data: make(map[string][]byte, len(s.data))}
-	for k, v := range s.data {
-		snap.Data[k] = v
+	snap := snapshot{Version: s.version.Load(), Data: make(map[string][]byte)}
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for k, v := range st.data {
+			snap.Data[k] = v
+		}
+		st.mu.RUnlock()
 	}
-	s.mu.RUnlock()
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("kvstore: snapshot: %w", err)
 	}
@@ -142,12 +214,18 @@ func (s *Store) Restore(r io.Reader) error {
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("kvstore: restore: %w", err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.data = snap.Data
-	if s.data == nil {
-		s.data = make(map[string][]byte)
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		st.data = make(map[string][]byte)
+		st.mu.Unlock()
 	}
-	s.version = snap.Version
+	for k, v := range snap.Data {
+		st := s.stripeFor(k)
+		st.mu.Lock()
+		st.data[k] = v
+		st.mu.Unlock()
+	}
+	s.version.Store(snap.Version)
 	return nil
 }

@@ -154,3 +154,26 @@ func TestDecodeTypeMismatch(t *testing.T) {
 		t.Fatalf("type mismatch: ok=%v err=%v", ok, err)
 	}
 }
+
+func TestCompareDelete(t *testing.T) {
+	s := New()
+	if err := s.Set("ns", "k", 42); err != nil {
+		t.Fatal(err)
+	}
+	if s.CompareDelete("ns", "k", 41) {
+		t.Fatal("deleted on mismatched value")
+	}
+	var got int
+	if ok, _ := s.Get("ns", "k", &got); !ok || got != 42 {
+		t.Fatalf("entry lost after mismatched CompareDelete: %v %d", ok, got)
+	}
+	if !s.CompareDelete("ns", "k", 42) {
+		t.Fatal("matched CompareDelete refused")
+	}
+	if ok, _ := s.Get("ns", "k", &got); ok {
+		t.Fatal("entry survived matched CompareDelete")
+	}
+	if s.CompareDelete("ns", "missing", 1) {
+		t.Fatal("deleted a missing key")
+	}
+}

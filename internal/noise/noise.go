@@ -10,12 +10,17 @@ package noise
 import (
 	"math"
 	"math/rand/v2"
+	"sync"
 )
 
 // Rng is a seedable random source shared by the DP mechanisms. It wraps
-// math/rand/v2 with the distributions Turbo needs.
+// math/rand/v2 with the distributions Turbo needs. Rng is safe for
+// concurrent use: draws are serialized by an internal mutex, so sharded
+// query pipelines can share one generator (serial call order — and hence
+// seed-determinism of single-threaded runs — is unchanged).
 type Rng struct {
-	r *rand.Rand
+	mu sync.Mutex
+	r  *rand.Rand
 }
 
 // NewRng returns a deterministic generator seeded from seed.
@@ -30,6 +35,8 @@ func (g *Rng) Laplace(b float64) float64 {
 	if b <= 0 {
 		panic("noise: Laplace scale must be positive")
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	return b * (g.r.ExpFloat64() - g.r.ExpFloat64())
 }
 
@@ -39,24 +46,40 @@ func (g *Rng) Gaussian(sigma float64) float64 {
 	if sigma <= 0 {
 		panic("noise: Gaussian sigma must be positive")
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	return sigma * g.r.NormFloat64()
 }
 
 // Float64 returns a uniform sample in [0, 1).
-func (g *Rng) Float64() float64 { return g.r.Float64() }
+func (g *Rng) Float64() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.Float64()
+}
 
 // IntN returns a uniform sample in [0, n).
-func (g *Rng) IntN(n int) int { return g.r.IntN(n) }
+func (g *Rng) IntN(n int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.IntN(n)
+}
 
 // Fork derives an independent generator, so subsystems (SV noise, executor
 // noise, workload sampling) evolve deterministically regardless of the
 // others' consumption order.
 func (g *Rng) Fork() *Rng {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	return NewRng(g.r.Uint64())
 }
 
 // Perm returns a random permutation of [0, n).
-func (g *Rng) Perm(n int) []int { return g.r.Perm(n) }
+func (g *Rng) Perm(n int) []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.Perm(n)
+}
 
 // LaplaceTail returns Pr[|Lap(b)| > t] = exp(-t/b).
 func LaplaceTail(t, b float64) float64 {

@@ -10,9 +10,11 @@
 //	GET  /budget   → per-partition and average consumed budget
 //	GET  /schema   → the public domain description and row counts
 //
-// The session is serialized behind a mutex: DP engines admit queries
-// against the accountant one at a time anyway, and Turbo's caching state
-// is single-writer.
+// The server holds no lock of its own: the session's query pipeline is
+// concurrency-safe (lock-free planning and exact-cache probes, per-shard
+// execution, thread-safe accounting), so request goroutines flow straight
+// through. GET /budget and GET /schema are lock-free reads of accountant
+// and public metadata, and the server's own counters are atomics.
 package server
 
 import (
@@ -21,7 +23,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/accountant"
 	"repro/internal/core"
@@ -30,13 +32,15 @@ import (
 
 // Server handles HTTP analyst traffic over one Turbo session.
 type Server struct {
-	mu     sync.Mutex
 	sess   *core.Session
 	parser *sqlparser.Parser
 	table  string
 
-	queries  int
-	refusals int
+	queries  atomic.Int64
+	refusals atomic.Int64
+	// bySource counts served answers per execution path (exact-hit,
+	// pmw-r1, ..., tree), maintained with atomics on the hot path.
+	bySource map[core.Source]*atomic.Int64
 }
 
 // New creates a server over sess; table is the (single) table name the
@@ -48,10 +52,15 @@ func New(sess *core.Session, table string) (*Server, error) {
 	if table == "" {
 		return nil, errors.New("server: empty table name")
 	}
+	bySource := make(map[core.Source]*atomic.Int64, len(core.Sources))
+	for _, src := range core.Sources {
+		bySource[src] = new(atomic.Int64)
+	}
 	return &Server{
-		sess:   sess,
-		parser: sqlparser.New(sess.Dataset().Domain()),
-		table:  table,
+		sess:     sess,
+		parser:   sqlparser.New(sess.Dataset().Domain()),
+		table:    table,
+		bySource: bySource,
 	}, nil
 }
 
@@ -63,6 +72,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/budget", s.handleBudget)
 	mux.HandleFunc("/schema", s.handleSchema)
 	return mux
+}
+
+// countAnswer updates the served-query counters for one answer.
+func (s *Server) countAnswer(src core.Source) {
+	s.queries.Add(1)
+	if c, ok := s.bySource[src]; ok {
+		c.Add(1)
+	}
 }
 
 // QueryRequest is the /query payload.
@@ -113,12 +130,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	ans, err := s.sess.Answer(st.Query)
 	switch {
 	case errors.Is(err, accountant.ErrBudgetExhausted):
-		s.refusals++
+		s.refusals.Add(1)
 		// 429 communicates "resource exhausted" without leaking anything
 		// beyond what the public accountant state already reveals.
 		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{"exhausted",
@@ -128,7 +143,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{"bad-request", err.Error()})
 		return
 	}
-	s.queries++
+	s.countAnswer(ans.Source)
 	start, end := 0, s.sess.Dataset().Partitions()-1
 	if a, b, ok := st.Query.Window(); ok {
 		start, end = a, b
@@ -159,7 +174,11 @@ type GroupByResponse struct {
 }
 
 // handleGroupBy decomposes a GROUP BY statement into primitive queries
-// (§6.1's methodology) and answers each through the session.
+// (§6.1's methodology) and answers each through the session. The
+// decomposed queries flow through the same concurrent pipeline as /query
+// traffic; each primitive query is individually atomic against the
+// accountant, and a group interrupted by budget exhaustion withholds its
+// partial results.
 func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{"bad-request", "POST only"})
@@ -181,8 +200,6 @@ func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	dom := s.sess.Dataset().Domain()
 	resp := GroupByResponse{}
 	for _, attr := range gs.GroupBy {
@@ -191,7 +208,7 @@ func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 	for _, g := range gs.Groups {
 		ans, err := s.sess.Answer(g.Query)
 		if errors.Is(err, accountant.ErrBudgetExhausted) {
-			s.refusals++
+			s.refusals.Add(1)
 			writeJSON(w, http.StatusTooManyRequests, ErrorResponse{"exhausted",
 				"global privacy budget exhausted mid-group; partial results withheld"})
 			return
@@ -200,7 +217,7 @@ func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{"bad-request", err.Error()})
 			return
 		}
-		s.queries++
+		s.countAnswer(ans.Source)
 		start, end := 0, s.sess.Dataset().Partitions()-1
 		if a, b, ok := g.Query.Window(); ok {
 			start, end = a, b
@@ -222,33 +239,44 @@ func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 
 // BudgetResponse is the /budget result.
 type BudgetResponse struct {
-	Global       float64   `json:"global"`
-	AverageSpent float64   `json:"average_spent"`
-	MaxSpent     float64   `json:"max_spent"`
-	PerPartition []float64 `json:"per_partition"`
-	Queries      int       `json:"queries_answered"`
-	Refusals     int       `json:"refusals"`
+	Global       float64          `json:"global"`
+	AverageSpent float64          `json:"average_spent"`
+	MaxSpent     float64          `json:"max_spent"`
+	PerPartition []float64        `json:"per_partition"`
+	Queries      int64            `json:"queries_answered"`
+	Refusals     int64            `json:"refusals"`
+	BySource     map[string]int64 `json:"by_source"`
 }
 
+// handleBudget serves accountant state without taking any server-level
+// lock: the accountant serializes its own reads, and the counters are
+// atomics. The reported values are a consistent-enough snapshot — budget
+// only grows, so a concurrent payment at worst makes the response
+// momentarily conservative.
 func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{"bad-request", "GET only"})
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	acct := s.sess.Accountant()
 	per := make([]float64, acct.Partitions())
 	for i := range per {
 		per[i] = acct.SpentAt(i)
+	}
+	bySource := make(map[string]int64, len(s.bySource))
+	for src, c := range s.bySource {
+		if v := c.Load(); v > 0 {
+			bySource[string(src)] = v
+		}
 	}
 	writeJSON(w, http.StatusOK, BudgetResponse{
 		Global:       acct.Global(),
 		AverageSpent: acct.AverageSpent(),
 		MaxSpent:     acct.MaxSpent(),
 		PerPartition: per,
-		Queries:      s.queries,
-		Refusals:     s.refusals,
+		Queries:      s.queries.Load(),
+		Refusals:     s.refusals.Load(),
+		BySource:     bySource,
 	})
 }
 
@@ -261,6 +289,8 @@ type SchemaResponse struct {
 	Partitions int      `json:"partitions"`
 }
 
+// handleSchema serves public metadata; it touches no session state beyond
+// the dataset's own read-locked counters.
 func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{"bad-request", "GET only"})

@@ -21,23 +21,25 @@ type NodeState struct {
 	Thresholds []float64 // adaptive per-bin thresholds, nil if untouched
 }
 
-// ExportNodes snapshots every materialized node.
+// ExportNodes snapshots every materialized node across all state shards.
 func (t *Tree) ExportNodes() []NodeState {
-	out := make([]NodeState, 0, len(t.nodes))
-	for iv, n := range t.nodes {
-		st := NodeState{IV: iv, Hist: n.hist.State()}
-		if ap, ok := n.heur.(*heuristic.AdaptivePerBin); ok {
-			_, _, st.Thresholds = ap.State()
+	var out []NodeState
+	t.forEachShard(func(sh *stateShard) {
+		for iv, n := range sh.nodes {
+			st := NodeState{IV: iv, Hist: n.hist.State()}
+			if ap, ok := n.heur.(*heuristic.AdaptivePerBin); ok {
+				_, _, st.Thresholds = ap.State()
+			}
+			out = append(out, st)
 		}
-		out = append(out, st)
-	}
+	})
 	return out
 }
 
 // RestoreNodes rebuilds node state from a snapshot. It must be called on a
 // fresh tree (no queries served).
 func (t *Tree) RestoreNodes(states []NodeState) error {
-	if t.stats.Queries > 0 {
+	if t.Stats().Queries > 0 {
 		return fmt.Errorf("tree: RestoreNodes after queries were served")
 	}
 	for _, st := range states {
@@ -67,7 +69,10 @@ func (t *Tree) RestoreNodes(states []NodeState) error {
 			}
 			ap.SetThresholds(st.Thresholds)
 		}
-		t.nodes[st.IV] = n
+		sh := t.ownerShard(st.IV.Start)
+		sh.mu.Lock()
+		sh.nodes[st.IV] = n
+		sh.mu.Unlock()
 	}
 	return nil
 }

@@ -15,12 +15,27 @@
 // For streaming databases, newly arriving partitions warm-start their leaf
 // histogram from the previous leaf, and lazily-created internal nodes
 // average their existing children (§4.5).
+//
+// # Concurrency
+//
+// Node and sparse-vector state is owned by shards: contiguous runs of
+// shardWidth partitions, each with its own lock (Config.Shards; one shard
+// serializes everything, the seed behaviour). A query locks every shard
+// overlapping its window, in ascending order, before touching any state.
+// That discipline makes per-node access exclusive without a global lock:
+// any dyadic node a query touches lies inside its window, so two queries
+// touching the same node both hold the shard containing that node's start.
+// Queries over disjoint shard ranges proceed in parallel; they coordinate
+// only through the block accountant, which is independently thread-safe
+// (parallel composition is exactly what makes this sound — partitions are
+// independent until budget accounting).
 package tree
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/accountant"
 	"repro/internal/cache"
@@ -89,6 +104,12 @@ type Config struct {
 	// with its square. 0 disables the bound (single-tree behaviour, the
 	// paper's evaluated 50-partition setting).
 	MaxWindow int
+	// Shards is the number of concurrent state shards the initial
+	// partitions are divided into. Values ≤ 1 keep one shard: all
+	// queries serialize, matching the pre-sharding behaviour exactly.
+	// With S > 1 shards, queries whose windows touch disjoint shard
+	// ranges execute in parallel.
+	Shards int
 }
 
 func (c *Config) fill() error {
@@ -122,8 +143,21 @@ type Stats struct {
 	NodesCreated int
 }
 
-// Tree is a tree-structured PMW-Bypass over a partitioned dataset. Not
-// safe for concurrent use.
+// stateShard owns the node and sparse-vector state of a contiguous run of
+// partitions. All access happens under mu, which the Run locking
+// discipline acquires per overlapped shard in ascending order.
+type stateShard struct {
+	mu    sync.Mutex
+	nodes map[interval.Node]*node
+	// svs maps the canonical key of a ready node set to its live shared
+	// SV (the set S of Alg. 2); a set is owned by the shard containing
+	// its first node's start.
+	svs map[string]*sparse.SV
+}
+
+// Tree is a tree-structured PMW-Bypass over a partitioned dataset. Safe
+// for concurrent use: see the package comment for the shard-locking
+// discipline.
 type Tree struct {
 	cfg   Config
 	exec  *dataset.Executor
@@ -131,12 +165,16 @@ type Tree struct {
 	rng   *noise.Rng
 	mcRng *noise.Rng
 
-	nodes map[interval.Node]*node
-	// svs maps the canonical key of a ready node set to its live shared
-	// SV (the set S of Alg. 2).
-	svs   map[string]*sparse.SV
+	// shardWidth is the number of partitions per state shard; 0 means a
+	// single shard owning every partition.
+	shardWidth int
+	shardMu    sync.RWMutex
+	shards     []*stateShard
+
 	cache *cache.Exact
-	stats Stats
+
+	statsMu sync.Mutex
+	stats   Stats
 }
 
 // New creates a tree over exec's dataset, paying against block.
@@ -153,13 +191,77 @@ func New(cfg Config, exec *dataset.Executor, block *accountant.Block, store *kvs
 		block: block,
 		rng:   rng,
 		mcRng: rng.Fork(),
-		nodes: make(map[interval.Node]*node),
-		svs:   make(map[string]*sparse.SV),
+	}
+	if cfg.Shards > 1 {
+		parts := exec.Dataset().Partitions()
+		if parts < 1 {
+			parts = 1
+		}
+		t.shardWidth = (parts + cfg.Shards - 1) / cfg.Shards
 	}
 	if cfg.NodeExactCache {
 		t.cache = cache.NewExact(store, "tree-node")
 	}
 	return t, nil
+}
+
+// shardIndex maps a partition to its state shard.
+func (t *Tree) shardIndex(p int) int {
+	if t.shardWidth <= 0 {
+		return 0
+	}
+	return p / t.shardWidth
+}
+
+// shardAt returns (lazily creating, for streaming growth) shard i.
+func (t *Tree) shardAt(i int) *stateShard {
+	t.shardMu.RLock()
+	if i < len(t.shards) {
+		s := t.shards[i]
+		t.shardMu.RUnlock()
+		return s
+	}
+	t.shardMu.RUnlock()
+	t.shardMu.Lock()
+	defer t.shardMu.Unlock()
+	for len(t.shards) <= i {
+		t.shards = append(t.shards, &stateShard{
+			nodes: make(map[interval.Node]*node),
+			svs:   make(map[string]*sparse.SV),
+		})
+	}
+	return t.shards[i]
+}
+
+// ownerShard returns the shard owning partition p's state. During Run the
+// caller holds its lock by the window-locking discipline.
+func (t *Tree) ownerShard(p int) *stateShard { return t.shardAt(t.shardIndex(p)) }
+
+// lockWindow acquires, in ascending order, every shard a query over
+// [start, end] may touch. Warm-start additionally reads the leaf one
+// partition to the left of the window, so that shard is included upfront —
+// acquiring it later, out of order, could deadlock against a query locking
+// ascending from a lower shard.
+func (t *Tree) lockWindow(start, end int) []*stateShard {
+	lo := start
+	if t.cfg.WarmStart && lo > 0 {
+		lo--
+	}
+	loIdx, hiIdx := t.shardIndex(lo), t.shardIndex(end)
+	locked := make([]*stateShard, 0, hiIdx-loIdx+1)
+	for i := loIdx; i <= hiIdx; i++ {
+		s := t.shardAt(i)
+		s.mu.Lock()
+		locked = append(locked, s)
+	}
+	return locked
+}
+
+// unlockAll releases shards locked by lockWindow.
+func unlockAll(shards []*stateShard) {
+	for i := len(shards) - 1; i >= 0; i-- {
+		shards[i].mu.Unlock()
+	}
 }
 
 // split decomposes a window according to the configured structure.
@@ -175,9 +277,10 @@ func (t *Tree) split(start, end int) []interval.Node {
 }
 
 // getNode returns (creating lazily, with warm-start when enabled) the state
-// for a dyadic interval.
+// for a dyadic interval. The caller holds the owning shard's lock.
 func (t *Tree) getNode(iv interval.Node) *node {
-	if n, ok := t.nodes[iv]; ok {
+	sh := t.ownerShard(iv.Start)
+	if n, ok := sh.nodes[iv]; ok {
 		return n
 	}
 	domSize := t.exec.Dataset().Domain().Size()
@@ -192,20 +295,31 @@ func (t *Tree) getNode(iv interval.Node) *node {
 	if t.cfg.WarmStart {
 		t.warmStart(n)
 	}
-	t.nodes[iv] = n
+	sh.nodes[iv] = n
+	t.statsMu.Lock()
 	t.stats.NodesCreated++
+	t.statsMu.Unlock()
 	return n
+}
+
+// lookupNode returns an existing node without creating one. The caller
+// holds the owning shard's lock.
+func (t *Tree) lookupNode(iv interval.Node) (*node, bool) {
+	n, ok := t.ownerShard(iv.Start).nodes[iv]
+	return n, ok
 }
 
 // warmStart initializes a fresh node from existing neighbours per §4.5:
 // leaves copy the previous partition's leaf; internal nodes average their
-// existing children. Nodes with no trained neighbour stay uniform.
+// existing children. Nodes with no trained neighbour stay uniform. Every
+// neighbour read lies within the locked window extended one partition left
+// (see lockWindow).
 func (t *Tree) warmStart(n *node) {
 	if n.iv.IsLeaf() {
 		if n.iv.Start == 0 {
 			return
 		}
-		prev, ok := t.nodes[interval.Node{Start: n.iv.Start - 1, End: n.iv.End - 1}]
+		prev, ok := t.lookupNode(interval.Node{Start: n.iv.Start - 1, End: n.iv.End - 1})
 		if !ok {
 			return
 		}
@@ -218,7 +332,7 @@ func (t *Tree) warmStart(n *node) {
 	left, right := n.iv.Children()
 	var parents []*node
 	for _, c := range []interval.Node{left, right} {
-		if cn, ok := t.nodes[c]; ok {
+		if cn, ok := t.lookupNode(c); ok {
 			parents = append(parents, cn)
 		}
 	}
@@ -279,6 +393,9 @@ func (t *Tree) Run(q *query.Query) (Result, error) {
 			start, end, t.cfg.MaxWindow)
 	}
 
+	locked := t.lockWindow(start, end)
+	defer unlockAll(locked)
+
 	split := t.split(start, end)
 	var res Result
 
@@ -311,7 +428,9 @@ func (t *Tree) Run(q *query.Query) (Result, error) {
 				e.Eps >= noise.EpsilonForAccuracy(t.cfg.Alpha, t.cfg.Beta/float64(mMax), ni) {
 				components = append(components, component{e.Value, ni})
 				res.CachedNodes++
+				t.statsMu.Lock()
 				t.stats.CacheHits++
+				t.statsMu.Unlock()
 				continue
 			}
 		}
@@ -375,7 +494,9 @@ func (t *Tree) Run(q *query.Query) (Result, error) {
 	if totalN > 0 {
 		res.Value = weighted / float64(totalN)
 	}
+	t.statsMu.Lock()
 	t.stats.Queries++
+	t.statsMu.Unlock()
 	return res, nil
 }
 
@@ -404,7 +525,9 @@ func (t *Tree) maxSplit() int {
 
 // runSVBranch executes Alg. 2 ll.10-26 over the contiguous ready set:
 // combined histogram estimate, one shared SV check at (α, β/2), Laplace
-// release plus directed updates on failure.
+// release plus directed updates on failure. The caller holds every shard
+// overlapping the query window; the SV registry entry lives in the shard
+// owning the set's first node, which is among them.
 func (t *Tree) runSVBranch(q *query.Query, svSet []interval.Node) (value, paid float64, failed bool, err error) {
 	ds := t.exec.Dataset()
 	spanStart, spanEnd := svSet[0].Start, svSet[len(svSet)-1].End
@@ -414,15 +537,16 @@ func (t *Tree) runSVBranch(q *query.Query, svSet []interval.Node) (value, paid f
 	}
 	epsSV := noise.SVEpsilonForAggregate(t.cfg.Alpha, t.cfg.Beta, nSV)
 
+	owner := t.ownerShard(spanStart)
 	key := svKey(svSet)
-	sv, ok := t.svs[key]
+	sv, ok := owner.svs[key]
 	if !ok || !sv.Live() {
 		if err := t.block.PayRange(spanStart, spanEnd, 3*epsSV); err != nil {
 			return 0, 0, false, err
 		}
 		sv = sparse.New(epsSV, t.cfg.Alpha, nSV, t.rng)
 		sv.Reset()
-		t.svs[key] = sv
+		owner.svs[key] = sv
 		paid += 3 * epsSV * float64(spanEnd-spanStart+1)
 	}
 
@@ -445,7 +569,9 @@ func (t *Tree) runSVBranch(q *query.Query, svSet []interval.Node) (value, paid f
 	}
 
 	if sv.Test(rH, rTrue) {
+		t.statsMu.Lock()
 		t.stats.SVPasses++
+		t.statsMu.Unlock()
 		return rH, paid, false, nil
 	}
 
@@ -453,21 +579,27 @@ func (t *Tree) runSVBranch(q *query.Query, svSet []interval.Node) (value, paid f
 	// set (a future query on this node set pays a fresh init), update all
 	// member histograms in the shared direction, and penalize their
 	// heuristics.
+	t.statsMu.Lock()
 	t.stats.SVFailures++
-	delete(t.svs, key)
+	t.statsMu.Unlock()
+	delete(owner.svs, key)
 	if err := t.block.PayRange(spanStart, spanEnd, epsSV); err != nil {
 		return 0, 0, false, err
 	}
 	paid += epsSV * float64(spanEnd-spanStart+1)
 	rSV := rTrue + t.rng.Laplace(1/(epsSV*float64(nSV)))
 	positive := rSV > rH
+	updates := 0
 	for _, iv := range svSet {
 		nq := q.WithWindow(iv.Start, iv.End)
 		n := t.getNode(iv)
 		n.directedUpdate(nq, positive)
 		n.penalize(nq)
-		t.stats.NodeUpdates++
+		updates++
 	}
+	t.statsMu.Lock()
+	t.stats.NodeUpdates += updates
+	t.statsMu.Unlock()
 	return rSV, paid, true, nil
 }
 
@@ -483,6 +615,13 @@ func (t *Tree) runLaplaceBranch(q *query.Query, lapSet []interval.Node) (values 
 		t.cfg.Alpha, t.cfg.Beta/2, len(lapSet), nLap, t.mcRng, t.cfg.MCSamples)
 
 	values = make([]float64, len(lapSet))
+	subs, updates := 0, 0
+	defer func() {
+		t.statsMu.Lock()
+		t.stats.LaplaceSubs += subs
+		t.stats.NodeUpdates += updates
+		t.statsMu.Unlock()
+	}()
 	for i, iv := range lapSet {
 		ni, _ := ds.NRows(iv.Start, iv.End)
 		if ni == 0 {
@@ -500,9 +639,9 @@ func (t *Tree) runLaplaceBranch(q *query.Query, lapSet []interval.Node) (values 
 		values[i] = ri
 		n := t.getNode(iv)
 		if n.externalUpdate(nq, ri) {
-			t.stats.NodeUpdates++
+			updates++
 		}
-		t.stats.LaplaceSubs++
+		subs++
 		if t.cache != nil {
 			version, _ := ds.RangeVersion(iv.Start, iv.End)
 			_ = t.cache.Put(nq, version, ri, epsLap)
@@ -512,18 +651,48 @@ func (t *Tree) runLaplaceBranch(q *query.Query, lapSet []interval.Node) (values 
 }
 
 // Stats returns cumulative counters.
-func (t *Tree) Stats() Stats { return t.stats }
+func (t *Tree) Stats() Stats {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	return t.stats
+}
+
+// forEachShard visits every materialized shard, holding its lock for the
+// duration of fn. Used by cold-path inspection and persistence.
+func (t *Tree) forEachShard(fn func(*stateShard)) {
+	t.shardMu.RLock()
+	shards := append([]*stateShard(nil), t.shards...)
+	t.shardMu.RUnlock()
+	for _, sh := range shards {
+		sh.mu.Lock()
+		fn(sh)
+		sh.mu.Unlock()
+	}
+}
 
 // Nodes returns the number of materialized node states.
-func (t *Tree) Nodes() int { return len(t.nodes) }
+func (t *Tree) Nodes() int {
+	total := 0
+	t.forEachShard(func(sh *stateShard) { total += len(sh.nodes) })
+	return total
+}
+
+// StateShards returns the number of materialized state shards.
+func (t *Tree) StateShards() int {
+	t.shardMu.RLock()
+	defer t.shardMu.RUnlock()
+	return len(t.shards)
+}
 
 // MemoryBytes estimates resident histogram state: the §6.5 metric
 // (≈ 2·T·N scalars for a full binary tree).
 func (t *Tree) MemoryBytes() int {
 	total := 0
-	for _, n := range t.nodes {
-		total += n.hist.MemoryBytes()
-	}
+	t.forEachShard(func(sh *stateShard) {
+		for _, n := range sh.nodes {
+			total += n.hist.MemoryBytes()
+		}
+	})
 	return total
 }
 
@@ -552,7 +721,10 @@ func (t *Tree) WorstCaseUpdateBound(eta float64) float64 {
 // NodeHistogram exposes a node's histogram for convergence metrics and
 // warm-start tests; it returns nil when the node was never materialized.
 func (t *Tree) NodeHistogram(iv interval.Node) *histogram.Histogram {
-	if n, ok := t.nodes[iv]; ok {
+	sh := t.ownerShard(iv.Start)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if n, ok := sh.nodes[iv]; ok {
 		return n.hist
 	}
 	return nil
