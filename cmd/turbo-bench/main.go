@@ -30,6 +30,7 @@ func main() {
 		list     = flag.Bool("list", false, "list experiments and exit")
 		queries  = flag.Int("queries", 0, "override workload length")
 		weeks    = flag.Int("weeks", 0, "override partition count")
+		rows     = flag.Int("rows", 0, "override synthetic dataset rows (both datasets)")
 		parallel = flag.String("parallel", "", "goroutine counts for -exp=scaling, e.g. 1,2,4,8,16")
 	)
 	flag.Parse()
@@ -56,6 +57,10 @@ func main() {
 	}
 	if *weeks > 0 {
 		sc.Weeks = *weeks
+	}
+	if *rows > 0 {
+		sc.CovidRows = *rows
+		sc.CitiBikeRows = *rows
 	}
 	if *parallel != "" {
 		for _, part := range strings.Split(*parallel, ",") {

@@ -31,6 +31,8 @@ func main() {
 		alpha       = flag.Float64("alpha", 0.05, "accuracy target α")
 		beta        = flag.Float64("beta", 0.001, "failure probability β")
 		epsG        = flag.Float64("epsg", 10, "global privacy budget ε_G")
+		gaussian    = flag.Bool("gaussian", false, "Rényi-DP accounting: admit mechanisms through the concurrent RDP filter, enforcing (ε_G, δ_G)-DP")
+		deltaG      = flag.Float64("delta", 1e-6, "δ_G for -gaussian")
 		seed        = flag.Uint64("seed", 42, "deterministic seed")
 		shards      = flag.Int("shards", runtime.NumCPU(), "concurrent executor shards (partitioned modes)")
 	)
@@ -66,11 +68,16 @@ func main() {
 	default:
 		log.Fatalf("turbo-server: unknown mode %q", *mode)
 	}
-	sess, err := core.NewSession(core.Config{
+	cfg := core.Config{
 		Mode: m, Alpha: *alpha, Beta: *beta, EpsilonGlobal: *epsG,
 		Structure: tree.Binary, NodeExactCache: true, Seed: *seed,
 		Shards: *shards,
-	}, ds)
+	}
+	if *gaussian {
+		cfg.Gaussian = true
+		cfg.DeltaGlobal = *deltaG
+	}
+	sess, err := core.NewSession(cfg, ds)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,8 +86,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("turbo-server: %s over %s (%d rows, %d partitions) with (α=%g, β=%g), ε_G=%g, %d shards\n",
-		m, ds.Domain(), ds.NRowsAll(), ds.Partitions(), *alpha, *beta, *epsG, *shards)
+	guarantee := fmt.Sprintf("ε_G=%g", *epsG)
+	if *gaussian {
+		guarantee = fmt.Sprintf("(ε_G=%g, δ_G=%g) via Rényi admission", *epsG, *deltaG)
+	}
+	fmt.Printf("turbo-server: %s over %s (%d rows, %d partitions) with (α=%g, β=%g), %s, %d shards\n",
+		m, ds.Domain(), ds.NRowsAll(), ds.Partitions(), *alpha, *beta, guarantee, *shards)
 	fmt.Printf("listening on http://%s  (POST /query, GET /budget, GET /schema)\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

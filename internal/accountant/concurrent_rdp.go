@@ -1,0 +1,142 @@
+// Concurrent composition of interactive mechanisms over full Rényi
+// curves: Alg. 3 of the Turbo paper run against the Thm B.2 stopping rule
+// instead of the scalar ε one.
+//
+// ConcurrentFilter (concurrent.go) admits adaptively-chosen interactive
+// mechanisms while Σ budgets ≤ ε_G. Thm B.2 generalizes the filter from
+// scalar ε to RDP curves: a new mechanism may be admitted as long as, at
+// some order α, the composed curve of every registered mechanism stays
+// within the per-order budget. ConcurrentRDPFilter realizes that protocol
+// over the per-partition RDPBlock: interactive mechanisms declare an RDP
+// Curve budget and a partition window at registration, admission succeeds
+// iff some order survives on every partition of the window, and handles
+// support register/interact/retire with spend irrevocable — retiring only
+// removes a mechanism from the live set, its curve stays composed.
+
+package accountant
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// InteractiveRDP is a long-lived DP mechanism under Rényi accounting: it
+// answers a stream of requests under the curve budget declared at
+// registration. The filter never inspects requests; it only gates the
+// mechanism's admission.
+type InteractiveRDP interface {
+	// BudgetCurve returns the mechanism's total RDP cost, fixed at
+	// registration (an SV initialization's curve, a Gaussian release's
+	// α·Δ²/2σ² curve, ...).
+	BudgetCurve() Curve
+	// Window returns the inclusive partition range the mechanism's data
+	// view covers; its curve is charged against every partition of the
+	// window (parallel composition).
+	Window() (start, end int)
+}
+
+// RDPMechanism is a ready-made InteractiveRDP: a declared curve over a
+// partition window.
+type RDPMechanism struct {
+	Cost       Curve
+	Start, End int
+}
+
+// BudgetCurve returns the declared curve.
+func (m RDPMechanism) BudgetCurve() Curve { return m.Cost }
+
+// Window returns the declared partition range.
+func (m RDPMechanism) Window() (int, int) { return m.Start, m.End }
+
+// RDPHandle identifies a registered mechanism within a
+// ConcurrentRDPFilter.
+type RDPHandle struct {
+	id   int
+	mech InteractiveRDP
+}
+
+// Mechanism returns the registered mechanism.
+func (h RDPHandle) Mechanism() InteractiveRDP { return h.mech }
+
+// ConcurrentRDPFilter admits adaptively-chosen interactive mechanisms
+// while every partition's composed curve survives at some order (Alg. 3's
+// stopping rule under Thm B.2). Safe for concurrent use.
+type ConcurrentRDPFilter struct {
+	block *RDPBlock
+
+	mu     sync.Mutex
+	nextID int
+	live   map[int]InteractiveRDP
+}
+
+// NewConcurrentRDPFilter creates an admission layer over block, which
+// provides the per-partition stopping rule (and the optional scalar
+// mirror for /budget).
+func NewConcurrentRDPFilter(block *RDPBlock) *ConcurrentRDPFilter {
+	if block == nil {
+		panic("accountant: nil RDP block")
+	}
+	return &ConcurrentRDPFilter{
+		block: block,
+		live:  make(map[int]InteractiveRDP),
+	}
+}
+
+// Block exposes the underlying per-partition curve accountant.
+func (c *ConcurrentRDPFilter) Block() *RDPBlock { return c.block }
+
+// Register admits a new mechanism, composing its declared curve into
+// every partition of its window. The adversary may choose the mechanism,
+// its curve, and its window based on every answer observed so far — the
+// adaptivity Alg. 3 models.
+func (c *ConcurrentRDPFilter) Register(m InteractiveRDP) (RDPHandle, error) {
+	if m == nil {
+		return RDPHandle{}, errors.New("accountant: nil mechanism")
+	}
+	start, end := m.Window()
+	if start > end {
+		return RDPHandle{}, fmt.Errorf("accountant: bad mechanism window [%d,%d]", start, end)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.block.PayRange(start, end, m.BudgetCurve()); err != nil {
+		return RDPHandle{}, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.live[id] = m
+	return RDPHandle{id: id, mech: m}, nil
+}
+
+// Interact checks that the handle is live and runs fn against its
+// mechanism (interleavings of different mechanisms are exactly the
+// concurrency Thm B.1/B.2 cover; serializing one interaction is a
+// correctness convenience, not a privacy requirement).
+func (c *ConcurrentRDPFilter) Interact(h RDPHandle, fn func(InteractiveRDP) error) error {
+	c.mu.Lock()
+	m, ok := c.live[h.id]
+	c.mu.Unlock()
+	// Handle ids are unique and never reused, so the id lookup alone
+	// authenticates the handle (mechanism values may be uncomparable —
+	// curves hold slices).
+	if !ok {
+		return ErrClosed
+	}
+	return fn(m)
+}
+
+// Retire removes a mechanism from the live set. Its curve remains
+// composed: DP consumption is irrevocable.
+func (c *ConcurrentRDPFilter) Retire(h RDPHandle) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.live, h.id)
+}
+
+// Live returns the number of concurrently-registered mechanisms.
+func (c *ConcurrentRDPFilter) Live() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.live)
+}

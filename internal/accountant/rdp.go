@@ -116,6 +116,31 @@ func SVInitCurve(orders []float64, eps float64) Curve {
 	return c
 }
 
+// curveTol is the single floating-point tolerance shared by every budget
+// comparison on RDP curves: Pay accepts order α iff
+// spent(α)+cost(α) ≤ budget(α)+curveTol, and HasBudget reports an order
+// open iff spent(α) < budget(α) — strictly-positive headroom, so
+// HasBudget()==true guarantees that a sufficiently small payment would be
+// accepted by Pay under the same tolerance (the accept and check sides
+// previously used +1e-12 and −1e-12 respectively, letting them disagree
+// about boundary states).
+const curveTol = 1e-12
+
+// checkGrid verifies that cost shares the filter's order grid, comparing
+// values (not just length) exactly like Curve.Add does.
+func checkGrid(global, cost Curve) error {
+	if len(cost.Orders) != len(global.Orders) {
+		return fmt.Errorf("accountant: cost curve grid mismatch")
+	}
+	for i := range global.Orders {
+		if cost.Orders[i] != global.Orders[i] {
+			return fmt.Errorf("accountant: cost curve grid differs at %d (%g vs %g)",
+				i, cost.Orders[i], global.Orders[i])
+		}
+	}
+	return nil
+}
+
 // RDPFilter is a privacy filter over a full RDP curve (Thm B.2): a payment
 // is accepted when at least one order stays within its per-order global
 // budget; it is rejected (nothing deducted) only when every order would
@@ -158,12 +183,12 @@ func NewRDPFilterForDP(orders []float64, epsG, deltaG float64) *RDPFilter {
 func (f *RDPFilter) Pay(cost Curve) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if len(cost.Orders) != len(f.global.Orders) {
-		return fmt.Errorf("accountant: cost curve grid mismatch")
+	if err := checkGrid(f.global, cost); err != nil {
+		return err
 	}
 	ok := false
 	for i := range f.global.Orders {
-		if f.spent.Eps[i]+cost.Eps[i] <= f.global.Eps[i]+1e-12 && f.global.Eps[i] > 0 {
+		if f.spent.Eps[i]+cost.Eps[i] <= f.global.Eps[i]+curveTol && f.global.Eps[i] > 0 {
 			ok = true
 			break
 		}
@@ -177,12 +202,13 @@ func (f *RDPFilter) Pay(cost Curve) error {
 	return nil
 }
 
-// HasBudget reports whether some order retains budget.
+// HasBudget reports whether some order retains strictly-positive headroom,
+// i.e. whether a sufficiently small payment would still be accepted.
 func (f *RDPFilter) HasBudget() bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for i := range f.global.Orders {
-		if f.global.Eps[i] > 0 && f.spent.Eps[i] < f.global.Eps[i]-1e-12 {
+		if f.global.Eps[i] > 0 && f.spent.Eps[i] < f.global.Eps[i] {
 			return true
 		}
 	}

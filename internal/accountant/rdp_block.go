@@ -1,0 +1,274 @@
+// Per-partition Rényi-DP accounting: the curve-valued generalization of
+// the Block accountant. Parallel composition holds order-by-order for RDP
+// exactly as it does for pure DP (partitions are disjoint data), so a
+// mechanism touching partitions I pays its curve against each i ∈ I and
+// the global (ε_G, δ_G) guarantee holds as long as every partition's
+// consumed curve individually converts to at most ε_G at δ_G — which the
+// per-order budgets of NewRDPFilterForDP enforce by construction (Thm B.2
+// applied per partition).
+
+package accountant
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// RDPBlock tracks one RDP consumption curve per partition, each bounded by
+// the per-order budget curve that enforces a target (ε_G, δ_G)-DP
+// guarantee. New partitions may arrive over time (streaming databases).
+//
+// When constructed with a mirror, every accepted payment is reflected into
+// the scalar per-partition Block as the increment of the partition's
+// δ_G-converted spend, so the pure-DP budget books (/budget) report the
+// true Rényi consumption instead of zeros. The mirror is bookkeeping, not
+// enforcement: the curve filters are the stopping rule, and any accepted
+// per-partition history converts to at most ε_G, so the mirrored charges
+// fit the scalar block's identical ε_G budget.
+//
+// RDPBlock is safe for concurrent use; a range payment is atomic.
+type RDPBlock struct {
+	mu sync.Mutex
+
+	orders []float64
+	global Curve // per-partition per-order budget (NewRDPFilterForDP's)
+	epsG   float64
+	deltaG float64
+
+	spent    []Curve
+	mirror   *Block
+	mirrored []float64 // per-partition converted spend already mirrored
+}
+
+// NewRDPBlockForDP creates an RDP block accountant whose per-partition
+// budgets jointly enforce (epsG, deltaG)-DP, mirroring converted spend
+// into mirror when non-nil. mirror must have the same partition count and
+// a scalar budget of at least epsG.
+func NewRDPBlockForDP(orders []float64, epsG, deltaG float64, partitions int, mirror *Block) *RDPBlock {
+	if epsG <= 0 || deltaG <= 0 || deltaG >= 1 {
+		panic(fmt.Sprintf("accountant: bad DP target (%g,%g)", epsG, deltaG))
+	}
+	if partitions < 0 {
+		panic(fmt.Sprintf("accountant: bad partition count %d", partitions))
+	}
+	g := NewCurve(orders)
+	for i, a := range orders {
+		if a <= 1 {
+			continue
+		}
+		b := epsG - math.Log(1/deltaG)/(a-1)
+		if b < 0 {
+			b = 0
+		}
+		g.Eps[i] = b
+	}
+	if mirror != nil {
+		if mirror.Partitions() != partitions {
+			panic(fmt.Sprintf("accountant: mirror has %d partitions, want %d", mirror.Partitions(), partitions))
+		}
+		if mirror.Global() < epsG-curveTol {
+			panic(fmt.Sprintf("accountant: mirror budget %g below ε_G %g", mirror.Global(), epsG))
+		}
+	}
+	b := &RDPBlock{
+		orders: append([]float64(nil), orders...),
+		global: g, epsG: epsG, deltaG: deltaG,
+		mirror: mirror,
+	}
+	for i := 0; i < partitions; i++ {
+		b.spent = append(b.spent, NewCurve(orders))
+	}
+	b.mirrored = make([]float64, partitions)
+	return b
+}
+
+// Orders returns the filter's order grid.
+func (b *RDPBlock) Orders() []float64 { return b.orders }
+
+// Global returns the target ε_G.
+func (b *RDPBlock) Global() float64 { return b.epsG }
+
+// Delta returns the target δ_G.
+func (b *RDPBlock) Delta() float64 { return b.deltaG }
+
+// AddPartition registers a newly-arrived partition (streaming use case)
+// and returns its index. The mirror, when present, must be grown by the
+// caller (Session.AppendPartition already adds the scalar partition).
+func (b *RDPBlock) AddPartition() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.spent = append(b.spent, NewCurve(b.orders))
+	b.mirrored = append(b.mirrored, 0)
+	return len(b.spent) - 1
+}
+
+// Partitions returns the number of registered partitions.
+func (b *RDPBlock) Partitions() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.spent)
+}
+
+// PayRange charges the cost curve against every partition in [start, end]
+// inclusive. Per Thm B.2 a partition accepts when at least one order stays
+// within its budget; the charge is atomic — if any partition would bust
+// every order, nothing is deducted anywhere and ErrBudgetExhausted is
+// returned. Different partitions may survive at different orders: each
+// partition's conversion minimizes over its own curve.
+func (b *RDPBlock) PayRange(start, end int, cost Curve) error {
+	if err := checkGrid(b.global, cost); err != nil {
+		return err
+	}
+	for _, e := range cost.Eps {
+		if e < 0 || math.IsNaN(e) {
+			return fmt.Errorf("accountant: bad curve payment %g", e)
+		}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if start < 0 || end >= len(b.spent) || start > end {
+		return fmt.Errorf("accountant: bad partition range [%d,%d] of %d", start, end, len(b.spent))
+	}
+	for p := start; p <= end; p++ {
+		ok := false
+		for i := range b.orders {
+			if b.global.Eps[i] > 0 && b.spent[p].Eps[i]+cost.Eps[i] <= b.global.Eps[i]+curveTol {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("%w: partition %d exceeded at every RDP order", ErrBudgetExhausted, p)
+		}
+	}
+	for p := start; p <= end; p++ {
+		for i := range b.orders {
+			b.spent[p].Eps[i] += cost.Eps[i]
+		}
+	}
+	b.mirrorRangeLocked(start, end)
+	return nil
+}
+
+// mirrorRangeLocked pushes each partition's converted-spend increment into
+// the scalar mirror block. Called with b.mu held. Conversion is monotone
+// in the consumed curve, so increments are non-negative; they are clamped
+// to the mirror's remaining headroom to absorb float noise at saturation
+// (enforcement already happened at the curve filters).
+func (b *RDPBlock) mirrorRangeLocked(start, end int) {
+	if b.mirror == nil {
+		return
+	}
+	for p := start; p <= end; p++ {
+		conv := b.convertLocked(p)
+		inc := conv - b.mirrored[p]
+		if inc <= 0 {
+			continue
+		}
+		if room := b.mirror.Global() - b.mirrored[p]; inc > room {
+			inc = room
+		}
+		if inc <= 0 {
+			continue
+		}
+		if err := b.mirror.PayRange(p, p, inc); err == nil {
+			b.mirrored[p] += inc
+		}
+	}
+}
+
+// convertLocked is SpentDPAt without re-locking. An empty history is
+// 0-DP, so the conversion's ln(1/δ)/(α−1) floor only applies once any
+// mechanism actually ran.
+func (b *RDPBlock) convertLocked(p int) float64 {
+	zero := true
+	for _, e := range b.spent[p].Eps {
+		if e > 0 {
+			zero = false
+			break
+		}
+	}
+	if zero {
+		return 0
+	}
+	best := math.Inf(1)
+	for i, a := range b.orders {
+		if a <= 1 {
+			continue
+		}
+		eps := b.spent[p].Eps[i] + math.Log(1/b.deltaG)/(a-1)
+		if eps < best {
+			best = eps
+		}
+	}
+	return best
+}
+
+// SpentCurveAt returns a copy of partition p's consumed curve.
+func (b *RDPBlock) SpentCurveAt(p int) Curve {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := NewCurve(b.orders)
+	copy(out.Eps, b.spent[p].Eps)
+	return out
+}
+
+// SpentDPAt converts partition p's consumption to (ε, δ_G)-DP.
+func (b *RDPBlock) SpentDPAt(p int) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.convertLocked(p)
+}
+
+// AverageSpentDP returns the average per-partition converted spend — the
+// Gaussian-mode counterpart of Block.AverageSpent.
+func (b *RDPBlock) AverageSpentDP() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.spent) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for p := range b.spent {
+		sum += b.convertLocked(p)
+	}
+	return sum / float64(len(b.spent))
+}
+
+// MaxSpentDP returns the highest per-partition converted spend: the
+// binding constraint on the global guarantee under parallel composition.
+func (b *RDPBlock) MaxSpentDP() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	max := 0.0
+	for p := range b.spent {
+		if c := b.convertLocked(p); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// HasBudgetRange reports whether every partition of [start, end] retains
+// strictly-positive headroom at some order.
+func (b *RDPBlock) HasBudgetRange(start, end int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if start < 0 || end >= len(b.spent) || start > end {
+		return false
+	}
+	for p := start; p <= end; p++ {
+		ok := false
+		for i := range b.orders {
+			if b.global.Eps[i] > 0 && b.spent[p].Eps[i] < b.global.Eps[i] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -39,6 +39,7 @@ var Experiments = []Experiment{
 	{"tau", "ablation: external-update margin τ (§4.3)", TauSweep},
 	{"warmstart", "ablation: warm-start prior quality (Thm A.9)", WarmStartPriors},
 	{"rdp", "ablation: RDP vs pure-DP composition (§A.6)", RDPvsPure},
+	{"rdp-capacity", "App. B: pure-ε vs Rényi admission capacity (partitioned CitiBike)", RDPCapacity},
 	{"drain", "ablation: adversarial budget drain and §A.5 cutoff", AdversarialDrain},
 	{"scaling", "concurrency: sharded pipeline throughput vs global-mutex seed", Scaling},
 }

@@ -178,6 +178,110 @@ func TestRestoreSyncsAdmission(t *testing.T) {
 	}
 }
 
+// TestConcurrentAppendAndAnswer races Session.AppendPartition (streaming
+// arrivals) against Answer: the lazy tree.shardAt growth and the
+// accountant/dataset partition-count skew between AppendPartition's
+// non-atomic steps must never corrupt state, overspend a partition, or
+// let a query reference a partition whose budget does not exist yet (the
+// accountants grow before the dataset, so the skew is always on the safe
+// side). Run with -race; the Gaussian subtest additionally races the RDP
+// block's growth and its mirror.
+func TestConcurrentAppendAndAnswer(t *testing.T) {
+	for _, gaussian := range []bool{false, true} {
+		name := "pure"
+		if gaussian {
+			name = "gaussian"
+		}
+		t.Run(name, func(t *testing.T) {
+			ds := concurrentDS(t, 4)
+			cfg := Config{
+				Mode:  Streaming,
+				Alpha: 0.1, Beta: 0.01, EpsilonGlobal: 20,
+				MCSamples: 200, Shards: 4, Seed: 9,
+			}
+			if gaussian {
+				cfg.Gaussian = true
+				cfg.DeltaGlobal = 1e-6
+			}
+			sess, err := NewSession(cfg, ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool := []*query.Query{
+				query.MustNew(ds.Domain(), map[int][]int{0: {1}}),
+				query.MustNew(ds.Domain(), map[int][]int{1: {0, 2}}),
+			}
+
+			var wg sync.WaitGroup
+			// Appender: grow the stream while queries are in flight.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for a := 0; a < 12; a++ {
+					w := sess.AppendPartition()
+					for bin := 0; bin < ds.Domain().Size(); bin++ {
+						if err := ds.AddCount(w, bin, 40); err != nil {
+							t.Errorf("AddCount: %v", err)
+							return
+						}
+					}
+					// The accountants must never lag the dataset.
+					if sess.Accountant().Partitions() < ds.Partitions() {
+						t.Error("scalar block lags the dataset")
+						return
+					}
+					if a := sess.RDPAdmission(); a != nil && a.Block().Partitions() < ds.Partitions() {
+						t.Error("RDP block lags the dataset")
+						return
+					}
+				}
+			}()
+			for w := 0; w < 6; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 40; i++ {
+						// Window over partitions that existed at loop
+						// entry: always valid even as the stream grows.
+						parts := ds.Partitions()
+						lo := (w + i) % parts
+						q := pool[i%len(pool)].WithWindow(lo, parts-1)
+						if _, err := sess.Answer(q); err != nil && !errors.Is(err, accountant.ErrBudgetExhausted) {
+							t.Errorf("worker %d: %v", w, err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			acct := sess.Accountant()
+			if acct.Partitions() != ds.Partitions() {
+				t.Fatalf("block has %d partitions, dataset %d", acct.Partitions(), ds.Partitions())
+			}
+			for i := 0; i < acct.Partitions(); i++ {
+				if s := acct.SpentAt(i); s > acct.Global()+1e-9 {
+					t.Fatalf("partition %d overspent: %g", i, s)
+				}
+			}
+			if a := sess.RDPAdmission(); a != nil {
+				if a.Block().Partitions() != ds.Partitions() {
+					t.Fatalf("RDP block has %d partitions, dataset %d", a.Block().Partitions(), ds.Partitions())
+				}
+				for i := 0; i < ds.Partitions(); i++ {
+					conv := a.Block().SpentDPAt(i)
+					if conv > acct.Global()+1e-9 {
+						t.Fatalf("partition %d converted spend %g exceeds ε_G", i, conv)
+					}
+					if diff := conv - acct.SpentAt(i); diff > 1e-9 || diff < -1e-9 {
+						t.Fatalf("partition %d books diverge: %g vs %g", i, conv, acct.SpentAt(i))
+					}
+				}
+			}
+		})
+	}
+}
+
 // atomic64 is a tiny counter helper keeping the test dependency-free.
 type atomic64 struct {
 	mu sync.Mutex

@@ -18,8 +18,8 @@ func TestGaussianSessionAccuracyAndAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.RDP() == nil {
-		t.Fatal("Gaussian session has no RDP filter")
+	if s.RDPAdmission() == nil {
+		t.Fatal("Gaussian session has no RDP admission layer")
 	}
 	q := query.MustNew(dom, map[int][]int{0: {1}})
 	truth, _ := ds.TrueFraction(q, 0, 0)
@@ -36,6 +36,14 @@ func TestGaussianSessionAccuracyAndAccounting(t *testing.T) {
 	// Accepted history converts within the target.
 	if s.AverageSpent() > cfg.EpsilonGlobal+1e-9 {
 		t.Fatalf("converted spend %g exceeds ε_G", s.AverageSpent())
+	}
+	// The scalar block mirrors the converted spend: the books agree.
+	if diff := math.Abs(s.Accountant().AverageSpent() - s.AverageSpent()); diff > 1e-9 {
+		t.Fatalf("scalar book %g != converted RDP book %g",
+			s.Accountant().AverageSpent(), s.AverageSpent())
+	}
+	if s.Accountant().MaxSpent() <= 0 {
+		t.Fatal("per-partition block never charged in Gaussian mode")
 	}
 }
 
@@ -75,13 +83,87 @@ loop:
 	}
 }
 
-func TestGaussianSessionValidation(t *testing.T) {
-	_, ds := buildDS(t, 4)
+// TestGaussianPartitionedSession exercises the lifted restriction: a
+// Gaussian session in Partitioned mode runs windowed queries through the
+// tree with Rényi accounting, only the window's partitions are charged,
+// and the scalar block agrees with the converted RDP book everywhere.
+func TestGaussianPartitionedSession(t *testing.T) {
+	dom, ds := buildDS(t, 4)
 	cfg := defaultCfg(Partitioned)
 	cfg.Gaussian = true
 	cfg.DeltaGlobal = 1e-6
+	s, err := NewSession(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admit := s.RDPAdmission()
+	if admit == nil {
+		t.Fatal("Gaussian partitioned session has no RDP admission layer")
+	}
+	q := query.MustNew(dom, map[int][]int{0: {1}}).WithWindow(1, 2)
+	truth, _ := ds.TrueFraction(q, 1, 2)
+	a, err := s.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Value-truth) > cfg.Alpha {
+		t.Fatalf("answer %g vs truth %g", a.Value, truth)
+	}
+	block := s.Accountant()
+	if block.SpentAt(0) != 0 || block.SpentAt(3) != 0 {
+		t.Fatalf("outside-window partitions charged: %v", block.SpentVector())
+	}
+	for p := 1; p <= 2; p++ {
+		conv := admit.Block().SpentDPAt(p)
+		if conv <= 0 {
+			t.Fatalf("window partition %d shows no converted spend", p)
+		}
+		if diff := math.Abs(conv - block.SpentAt(p)); diff > 1e-9 {
+			t.Fatalf("partition %d books diverge: rdp %g vs scalar %g", p, conv, block.SpentAt(p))
+		}
+	}
+	if s.MaxSpent() <= 0 || s.AverageSpent() <= 0 {
+		t.Fatal("session-level Gaussian metrics zero")
+	}
+}
+
+// TestGaussianStreamingAppend checks that stream partitions arriving into
+// a Gaussian session grow the RDP accountant alongside the scalar block.
+func TestGaussianStreamingAppend(t *testing.T) {
+	dom, ds := buildDS(t, 1)
+	cfg := defaultCfg(Streaming)
+	cfg.Gaussian = true
+	cfg.DeltaGlobal = 1e-6
+	s, err := NewSession(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := s.AppendPartition()
+	if w != 1 {
+		t.Fatalf("AppendPartition = %d", w)
+	}
+	for a := 0; a < 4; a++ {
+		_ = ds.AddCount(w, dom.Encode([]int{1, a}), 900)
+		_ = ds.AddCount(w, dom.Encode([]int{0, a}), 2100)
+	}
+	if got := s.RDPAdmission().Block().Partitions(); got != 2 {
+		t.Fatalf("RDP block has %d partitions, want 2", got)
+	}
+	q := query.MustNew(dom, map[int][]int{0: {1}}).WithWindow(1, 1)
+	if _, err := s.Answer(q); err != nil {
+		t.Fatal(err)
+	}
+	if s.RDPAdmission().Block().SpentDPAt(1) <= 0 {
+		t.Fatal("appended partition never charged")
+	}
+}
+
+func TestGaussianSessionValidation(t *testing.T) {
+	_, ds := buildDS(t, 4)
+	cfg := defaultCfg(Partitioned)
+	cfg.Gaussian = true // missing δ
 	if _, err := NewSession(cfg, ds); err == nil {
-		t.Fatal("Gaussian partitioned session accepted")
+		t.Fatal("Gaussian partitioned session without δ_G accepted")
 	}
 	_, ds1 := buildDS(t, 1)
 	cfg2 := defaultCfg(NonPartitioned)

@@ -45,7 +45,7 @@ func (s *Session) SaveState(w io.Writer) error {
 		Queries:        s.Queries(),
 		BySource:       s.SourceCounts(),
 	}
-	if s.rdp != nil {
+	if s.RDPAdmission() != nil {
 		return errors.New("core: SaveState does not support Gaussian/RDP sessions")
 	}
 	if s.single != nil {
@@ -71,6 +71,13 @@ func (s *Session) SaveState(w io.Writer) error {
 func (s *Session) LoadState(r io.Reader) error {
 	if s.Queries() > 0 {
 		return errors.New("core: LoadState after queries were served")
+	}
+	// Symmetric with SaveState: a snapshot holds only scalar spend, so
+	// restoring into a Gaussian session would leave its RDP admission
+	// layer blind to the consumed budget (the combined history could
+	// exceed ε_G and the mirrored books would desynchronize).
+	if s.RDPAdmission() != nil {
+		return errors.New("core: LoadState does not support Gaussian/RDP sessions")
 	}
 	var st sessionState
 	if err := gob.NewDecoder(r).Decode(&st); err != nil {

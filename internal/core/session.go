@@ -117,9 +117,13 @@ type Config struct {
 	Seed uint64
 	// MCSamples tunes the tree's Monte-Carlo calibration.
 	MCSamples int
-	// Gaussian switches the DP executor to the Gaussian mechanism with
-	// Rényi-DP accounting (§A.6): the session then enforces
-	// (EpsilonGlobal, DeltaGlobal)-DP. Non-partitioned mode only.
+	// Gaussian switches the session to Rényi-DP accounting (§A.6, App.
+	// B): every mechanism is admitted through a concurrent RDP filter
+	// and the session enforces (EpsilonGlobal, DeltaGlobal)-DP. In
+	// non-partitioned mode the DP executor also switches to the Gaussian
+	// mechanism; in partitioned/streaming modes the tree's per-node
+	// Laplace mechanisms stay (their joint calibration is
+	// Laplace-specific) and only the composition is Rényi.
 	Gaussian bool
 	// DeltaGlobal is δ_G for Gaussian mode; ignored otherwise.
 	DeltaGlobal float64
@@ -158,6 +162,13 @@ type Answer struct {
 	// Paid is the pure-DP budget consumed (summed over partitions for
 	// tree answers).
 	Paid float64
+	// Start, End, Rows record the partition window the answer covers and
+	// its public row count at planning time. Callers scaling the fraction
+	// into a count must use these rather than re-reading the dataset:
+	// under streaming, partitions arriving after the plan would otherwise
+	// inflate the count with rows the released fraction never covered.
+	Start, End int
+	Rows       int
 }
 
 // Session is a Turbo-fronted DP database session, safe for concurrent use:
@@ -180,8 +191,10 @@ type Session struct {
 	// through concurrent composition (Appendix B); nil in tree and
 	// Gaussian modes.
 	admit *accountant.ConcurrentFilter
-	// rdp is set in Gaussian mode and replaces block for accounting.
-	rdp *accountant.RDPFilter
+	// rdpAdmit is the curve-valued admission layer of Gaussian mode
+	// (non-partitioned); tree-mode Gaussian sessions hold theirs inside
+	// the tree. Its block mirrors δ_G-converted spend into block.
+	rdpAdmit *accountant.ConcurrentRDPFilter
 	// Partitioned machinery: the tree shards internally.
 	tree *tree.Tree
 
@@ -250,10 +263,12 @@ func NewSession(cfg Config, ds *dataset.Dataset) (*Session, error) {
 			}
 			sigma := noise.GaussianSigmaForBypass(cfg.Alpha, n, eps, cfg.Tau)
 			s.exec.WithGaussian(sigma)
-			s.rdp = accountant.NewRDPFilterForDP(accountant.DefaultOrders, cfg.EpsilonGlobal, cfg.DeltaGlobal)
-			payer = pmw.RDPPayer{
-				Filter: s.rdp, Orders: accountant.DefaultOrders,
-				Eps: eps, GaussianSigma: sigma, N: n,
+			s.rdpAdmit = accountant.NewConcurrentRDPFilter(accountant.NewRDPBlockForDP(
+				accountant.DefaultOrders, cfg.EpsilonGlobal, cfg.DeltaGlobal, ds.Partitions(), s.block))
+			payer = &admittedRDPPayer{
+				admit: s.rdpAdmit, start: 0, end: ds.Partitions() - 1,
+				release: accountant.GaussianCurve(accountant.DefaultOrders, sigma, 1/float64(n)),
+				svInit:  accountant.SVInitCurve(accountant.DefaultOrders, eps),
 			}
 		} else {
 			s.admit = accountant.NewConcurrentFilter(cfg.EpsilonGlobal)
@@ -270,8 +285,8 @@ func NewSession(cfg Config, ds *dataset.Dataset) (*Session, error) {
 		}
 		s.single = p
 	case Partitioned, Streaming:
-		if cfg.Gaussian {
-			return nil, errors.New("core: Gaussian/RDP mode is non-partitioned only")
+		if cfg.Gaussian && (cfg.DeltaGlobal <= 0 || cfg.DeltaGlobal >= 1) {
+			return nil, fmt.Errorf("core: Gaussian mode needs δ_G in (0,1), got %g", cfg.DeltaGlobal)
 		}
 		t, err := tree.New(tree.Config{
 			Alpha: cfg.Alpha, Beta: cfg.Beta, Tau: cfg.Tau,
@@ -281,6 +296,8 @@ func NewSession(cfg Config, ds *dataset.Dataset) (*Session, error) {
 			NodeExactCache: cfg.NodeExactCache,
 			MCSamples:      cfg.MCSamples,
 			Shards:         cfg.Shards,
+			Gaussian:       cfg.Gaussian,
+			DeltaGlobal:    cfg.DeltaGlobal,
 		}, s.exec, s.block, store, rng.Fork())
 		if err != nil {
 			return nil, err
@@ -298,11 +315,17 @@ func (s *Session) Dataset() *dataset.Dataset { return s.ds }
 // Planner returns the session's planning stage.
 func (s *Session) Planner() *Planner { return s.planner }
 
-// AppendPartition registers a newly-arrived stream partition with both the
-// store and the accountant, returning its index. Callers then load data
-// with Dataset().AddRow / AddCount before issuing queries over it.
+// AppendPartition registers a newly-arrived stream partition with the
+// accountants and then the store, returning its index. The accountants
+// grow first so that by the time a query can name the partition (the
+// dataset's count is the validation bound) its budget already exists.
+// Callers then load data with Dataset().AddRow / AddCount before issuing
+// queries over it.
 func (s *Session) AppendPartition() int {
 	s.block.AddPartition()
+	if s.tree != nil {
+		s.tree.AddPartition()
+	}
 	return s.ds.AppendPartition()
 }
 
@@ -316,13 +339,15 @@ func (s *Session) Answer(q *query.Query) (Answer, error) {
 	}
 	if e, ok := s.exact.Get(q, pl.Version); ok {
 		s.record(SourceExactHit)
-		return Answer{Value: e.Value, Source: SourceExactHit}, nil
+		return Answer{Value: e.Value, Source: SourceExactHit,
+			Start: pl.Start, End: pl.End, Rows: pl.Rows}, nil
 	}
 	ans, err := s.execute(pl)
 	if err != nil {
 		s.noteErr(err)
 		return Answer{}, err
 	}
+	ans.Start, ans.End, ans.Rows = pl.Start, pl.End, pl.Rows
 	// A double-check hit inside execute is already cached with its real
 	// paid budget; re-putting would redundantly re-encode and clobber
 	// the stored Eps with 0.
@@ -405,24 +430,40 @@ func (s *Session) SourceCounts() map[Source]int {
 }
 
 // AverageSpent returns the average per-partition consumed budget — the
-// paper's headline metric. In Gaussian mode it returns the RDP
-// consumption converted to (ε, δ_G)-DP.
+// paper's headline metric. In Gaussian mode it returns the per-partition
+// RDP consumption converted to (ε, δ_G)-DP, which the scalar block mirrors
+// (the two books agree to float tolerance).
 func (s *Session) AverageSpent() float64 {
-	if s.rdp != nil {
-		return s.rdp.SpentDP(s.cfg.DeltaGlobal)
+	if a := s.RDPAdmission(); a != nil {
+		return a.Block().AverageSpentDP()
 	}
 	return s.block.AverageSpent()
 }
 
-// RDP exposes the Rényi-DP filter in Gaussian mode (nil otherwise).
-func (s *Session) RDP() *accountant.RDPFilter { return s.rdp }
+// RDPAdmission exposes the concurrent RDP filter that admits every
+// mechanism in Gaussian mode (nil otherwise), for /budget's rdp section.
+func (s *Session) RDPAdmission() *accountant.ConcurrentRDPFilter {
+	if s.rdpAdmit != nil {
+		return s.rdpAdmit
+	}
+	if s.tree != nil {
+		return s.tree.Admission()
+	}
+	return nil
+}
 
 // Admission exposes the concurrent-composition filter that admits the
 // non-partitioned path's mechanisms (nil in tree and Gaussian modes).
 func (s *Session) Admission() *accountant.ConcurrentFilter { return s.admit }
 
-// MaxSpent returns the maximum per-partition consumed budget.
-func (s *Session) MaxSpent() float64 { return s.block.MaxSpent() }
+// MaxSpent returns the maximum per-partition consumed budget (the
+// δ_G-converted maximum in Gaussian mode).
+func (s *Session) MaxSpent() float64 {
+	if a := s.RDPAdmission(); a != nil {
+		return a.Block().MaxSpentDP()
+	}
+	return s.block.MaxSpent()
+}
 
 // Accountant exposes the block accountant for harness metrics.
 func (s *Session) Accountant() *accountant.Block { return s.block }

@@ -67,10 +67,15 @@ func (p *admittedPayer) PayLaplace() error {
 
 // PaySVInit admits a fresh 3ε sparse-vector run. The previous SV, if any,
 // is consumed at this point (PMW only re-initializes a dead SV), so its
-// handle is retired from the live set.
+// handle is retired up front — before the new registration, whose failure
+// must not leave the finished mechanism in the live set.
 func (p *admittedPayer) PaySVInit() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.svLive {
+		p.admit.Retire(p.sv)
+		p.svLive = false
+	}
 	h, err := p.admit.Register(pureMechanism{budget: 3 * p.eps})
 	if err != nil {
 		return err
@@ -79,9 +84,6 @@ func (p *admittedPayer) PaySVInit() error {
 		p.admit.Retire(h)
 		return err
 	}
-	if p.svLive {
-		p.admit.Retire(p.sv)
-	}
 	p.sv, p.svLive = h, true
 	return nil
 }
@@ -89,4 +91,66 @@ func (p *admittedPayer) PaySVInit() error {
 // HasBudget reports whether further queries may proceed.
 func (p *admittedPayer) HasBudget() bool {
 	return p.window.HasBudget() && p.admit.Remaining() > 0
+}
+
+// admittedRDPPayer is the Rényi-accounting counterpart of admittedPayer:
+// it implements pmw.Payer by admitting every mechanism of the Gaussian
+// path — one-shot direct releases and long-lived sparse-vector runs —
+// through the concurrent RDP filter (Thm B.2's stopping rule), each priced
+// by its Rényi curve over the session's full partition range. The filter's
+// block mirrors each partition's δ_G-converted spend into the scalar
+// per-partition accountant, so /budget reports true consumption instead of
+// the zeros the old direct-RDPFilter wiring produced.
+type admittedRDPPayer struct {
+	admit      *accountant.ConcurrentRDPFilter
+	start, end int
+	// release is the RDP curve of one direct release (the Gaussian
+	// N(0, σ²)-on-the-fraction mechanism of §A.6).
+	release accountant.Curve
+	// svInit is the RDP curve of one sparse-vector initialization.
+	svInit accountant.Curve
+
+	mu     sync.Mutex
+	sv     accountant.RDPHandle
+	svLive bool
+}
+
+// PayLaplace admits one direct release: registered, charged, and
+// immediately retired (its curve stays composed — spend is irrevocable).
+func (p *admittedRDPPayer) PayLaplace() error {
+	h, err := p.admit.Register(accountant.RDPMechanism{
+		Cost: p.release, Start: p.start, End: p.end,
+	})
+	if err != nil {
+		return err
+	}
+	p.admit.Retire(h)
+	return nil
+}
+
+// PaySVInit admits a fresh sparse-vector run as a long-lived interactive
+// mechanism. The previous SV, if any, is consumed at this point (PMW only
+// re-initializes a dead SV), so its handle is retired up front — before
+// the new registration, whose failure must not leave the finished
+// mechanism in the live set.
+func (p *admittedRDPPayer) PaySVInit() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.svLive {
+		p.admit.Retire(p.sv)
+		p.svLive = false
+	}
+	h, err := p.admit.Register(accountant.RDPMechanism{
+		Cost: p.svInit, Start: p.start, End: p.end,
+	})
+	if err != nil {
+		return err
+	}
+	p.sv, p.svLive = h, true
+	return nil
+}
+
+// HasBudget reports whether further queries may proceed.
+func (p *admittedRDPPayer) HasBudget() bool {
+	return p.admit.Block().HasBudgetRange(p.start, p.end)
 }

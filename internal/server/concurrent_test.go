@@ -162,8 +162,12 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 	for _, c := range br.BySource {
 		bySourceTotal += c
 	}
-	if bySourceTotal != br.Queries {
-		t.Fatalf("per-source counts sum to %d, queries %d", bySourceTotal, br.Queries)
+	if bySourceTotal != br.Answers {
+		t.Fatalf("per-source counts sum to %d, answers %d", bySourceTotal, br.Answers)
+	}
+	// /query traffic releases exactly one answer per served request.
+	if br.Answers != br.Queries {
+		t.Fatalf("answers %d != served requests %d under /query-only traffic", br.Answers, br.Queries)
 	}
 	for p, s := range br.PerPartition {
 		if s > br.Global+1e-9 {

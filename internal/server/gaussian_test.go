@@ -1,0 +1,176 @@
+// Regression tests for the Gaussian-mode budget books (the bug this PR
+// closes: /budget reported per_partition all-zero and max_spent 0 while
+// average_spent showed real RDP consumption, because the RDP payer never
+// charged the per-partition block) and for the served-request counter
+// semantics under /groupby.
+
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func getBudget(t *testing.T, ts *httptest.Server) BudgetResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/budget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var br BudgetResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	return br
+}
+
+// TestGaussianBudgetBooksAgree drives Gaussian sessions (both modes)
+// through the HTTP surface and asserts the per-partition scalar book, the
+// aggregate metrics, and the rdp section all tell the same story.
+func TestGaussianBudgetBooksAgree(t *testing.T) {
+	for _, mode := range []core.Mode{core.NonPartitioned, core.Partitioned} {
+		t.Run(mode.String(), func(t *testing.T) {
+			srv, _ := newTestServerWith(t, 10, func(c *core.Config) {
+				c.Mode = mode
+				c.Gaussian = true
+				c.DeltaGlobal = 1e-6
+			})
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+
+			sqls := []string{
+				"SELECT COUNT(*) FROM covid WHERE positive = 1",
+				"SELECT COUNT(*) FROM covid WHERE age = 2",
+				"SELECT COUNT(*) FROM covid WHERE positive = 0 AND age IN (0,1)",
+			}
+			for _, sql := range sqls {
+				resp, body := postQuery(t, ts, sql)
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("%q: status %d: %s", sql, resp.StatusCode, body)
+				}
+			}
+
+			br := getBudget(t, ts)
+			if br.AverageSpent <= 0 {
+				t.Fatal("average_spent zero after paid queries")
+			}
+			if br.MaxSpent <= 0 {
+				t.Fatal("max_spent zero while average_spent > 0 — the cooked books are back")
+			}
+			nonZero := 0
+			sum := 0.0
+			for _, s := range br.PerPartition {
+				if s > 0 {
+					nonZero++
+				}
+				sum += s
+			}
+			if nonZero == 0 {
+				t.Fatalf("per_partition all-zero: %v", br.PerPartition)
+			}
+			// The scalar per-partition book mirrors the converted RDP
+			// spend, so its average must match average_spent.
+			if avg := sum / float64(len(br.PerPartition)); math.Abs(avg-br.AverageSpent) > 1e-6 {
+				t.Fatalf("per_partition average %g inconsistent with average_spent %g", avg, br.AverageSpent)
+			}
+			if br.RDP == nil {
+				t.Fatal("Gaussian /budget lacks the rdp section")
+			}
+			if br.RDP.Delta != 1e-6 {
+				t.Fatalf("rdp delta = %g", br.RDP.Delta)
+			}
+			if math.Abs(br.RDP.ConvertedSpent-br.AverageSpent) > 1e-9 {
+				t.Fatalf("rdp converted_spent %g != average_spent %g", br.RDP.ConvertedSpent, br.AverageSpent)
+			}
+			if br.RDP.LiveMechanisms < 0 {
+				t.Fatalf("live mechanisms %d", br.RDP.LiveMechanisms)
+			}
+		})
+	}
+}
+
+// TestPureModeBudgetHasNoRDPSection pins the scalar path: no rdp section.
+func TestPureModeBudgetHasNoRDPSection(t *testing.T) {
+	srv, _ := newTestServer(t, 10)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if _, body := postQuery(t, ts, "SELECT COUNT(*) FROM covid WHERE positive = 1"); len(body) == 0 {
+		t.Fatal("empty query response")
+	}
+	if br := getBudget(t, ts); br.RDP != nil {
+		t.Fatalf("pure-DP /budget has an rdp section: %+v", br.RDP)
+	}
+}
+
+// TestGroupByCounterSemantics pins the corrected invariant: the served
+// counter equals client-observed 200s even when /groupby requests are
+// refused mid-group, while answers/by_source stay answer-level.
+func TestGroupByCounterSemantics(t *testing.T) {
+	srv, _ := newTestServer(t, 0.02)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	sqls := []string{
+		"SELECT COUNT(*) FROM covid WHERE positive = 1 GROUP BY age",
+		"SELECT COUNT(*) FROM covid WHERE positive = 0 GROUP BY age",
+		"SELECT COUNT(*) FROM covid GROUP BY age",
+		"SELECT COUNT(*) FROM covid WHERE age IN (1,2) GROUP BY positive",
+		"SELECT COUNT(*) FROM covid WHERE age = 3 GROUP BY positive",
+	}
+	served, refused, rows := 0, 0, 0
+	for _, sql := range sqls {
+		body, _ := json.Marshal(QueryRequest{SQL: sql})
+		resp, err := http.Post(ts.URL+"/groupby", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var gr GroupByResponse
+			if err := json.NewDecoder(resp.Body).Decode(&gr); err != nil {
+				t.Fatal(err)
+			}
+			served++
+			rows += len(gr.Rows)
+		case http.StatusTooManyRequests:
+			refused++
+		default:
+			t.Fatalf("%q: status %d", sql, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if refused == 0 {
+		t.Fatal("budget never exhausted; shrink ε_G so the test covers mid-group refusal")
+	}
+
+	br := getBudget(t, ts)
+	if br.Queries != int64(served) {
+		t.Fatalf("queries_answered %d != client-observed 200s %d", br.Queries, served)
+	}
+	if br.Refusals != int64(refused) {
+		t.Fatalf("refusals %d != client-observed 429s %d", br.Refusals, refused)
+	}
+	// Answer-level books: every delivered row is counted, and answers
+	// from groups served before a mid-group refusal stay counted too.
+	var bySourceTotal int64
+	for _, c := range br.BySource {
+		bySourceTotal += c
+	}
+	if bySourceTotal != br.Answers {
+		t.Fatalf("by_source sums to %d, answers %d", bySourceTotal, br.Answers)
+	}
+	// With this seed the third request refuses mid-group: its first
+	// groups' answers were released (and counted) before the refusal, so
+	// the answer book strictly exceeds the delivered rows while the
+	// served counter ignores the refused request entirely.
+	if br.Answers <= int64(rows) {
+		t.Fatalf("answers %d not above delivered rows %d — mid-group refusal not exercised", br.Answers, rows)
+	}
+}

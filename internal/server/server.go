@@ -7,7 +7,8 @@
 //
 //	POST /query    {"sql": "SELECT COUNT(*) FROM t WHERE ..."}
 //	               → {"fraction": .., "count": .., "source": .., "paid": ..}
-//	GET  /budget   → per-partition and average consumed budget
+//	GET  /budget   → per-partition and average consumed budget (plus an
+//	               rdp section for Gaussian/Rényi sessions)
 //	GET  /schema   → the public domain description and row counts
 //
 // The server holds no lock of its own: the session's query pipeline is
@@ -36,10 +37,16 @@ type Server struct {
 	parser *sqlparser.Parser
 	table  string
 
+	// queries counts served requests: exactly one per 200 response, so
+	// client-observed successes always equal this counter — including
+	// for /groupby, whose many primitive answers serve one request.
 	queries  atomic.Int64
 	refusals atomic.Int64
-	// bySource counts served answers per execution path (exact-hit,
-	// pmw-r1, ..., tree), maintained with atomics on the hot path.
+	// answers counts primitive answers released through the session (a
+	// /groupby request contributes one per group); bySource splits it
+	// per execution path (exact-hit, pmw-r1, ..., tree). Both are
+	// answer-level and maintained with atomics on the hot path.
+	answers  atomic.Int64
 	bySource map[core.Source]*atomic.Int64
 }
 
@@ -74,12 +81,20 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// countAnswer updates the served-query counters for one answer.
+// countAnswer updates the answer-level counters for one released answer.
+// It deliberately does not touch the served-request counter: a request is
+// counted by countServed exactly once, when its 200 is written, so a
+// mid-group refusal never leaves phantom served requests behind.
 func (s *Server) countAnswer(src core.Source) {
-	s.queries.Add(1)
+	s.answers.Add(1)
 	if c, ok := s.bySource[src]; ok {
 		c.Add(1)
 	}
+}
+
+// countServed records one successfully served request (one 200 response).
+func (s *Server) countServed() {
+	s.queries.Add(1)
 }
 
 // QueryRequest is the /query payload.
@@ -143,15 +158,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{"bad-request", err.Error()})
 		return
 	}
+	// Scale the fraction by the row count of the window the answer
+	// actually covered (carried on the Answer): re-reading the dataset
+	// here would race streaming arrivals, inflating the count with rows
+	// the released fraction never saw — and its error used to be
+	// discarded, silently reporting a count computed from n=0.
 	s.countAnswer(ans.Source)
-	start, end := 0, s.sess.Dataset().Partitions()-1
-	if a, b, ok := st.Query.Window(); ok {
-		start, end = a, b
-	}
-	n, _ := s.sess.Dataset().NRows(start, end)
+	s.countServed()
 	writeJSON(w, http.StatusOK, QueryResponse{
 		Fraction:  ans.Value,
-		Count:     ans.Value * float64(n),
+		Count:     ans.Value * float64(ans.Rows),
 		Source:    string(ans.Source),
 		Paid:      ans.Paid,
 		Remaining: s.sess.Accountant().Global() - s.sess.AverageSpent(),
@@ -178,7 +194,10 @@ type GroupByResponse struct {
 // decomposed queries flow through the same concurrent pipeline as /query
 // traffic; each primitive query is individually atomic against the
 // accountant, and a group interrupted by budget exhaustion withholds its
-// partial results.
+// partial results. Counters: each group's answer is counted at the
+// answer level (answers/by_source) as it is released, but the request
+// counts as served only when the 200 is written — a mid-group refusal is
+// a refusal, never a served request.
 func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{"bad-request", "POST only"})
@@ -218,14 +237,9 @@ func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.countAnswer(ans.Source)
-		start, end := 0, s.sess.Dataset().Partitions()-1
-		if a, b, ok := g.Query.Window(); ok {
-			start, end = a, b
-		}
-		n, _ := s.sess.Dataset().NRows(start, end)
 		row := GroupRow{
 			Fraction: ans.Value,
-			Count:    ans.Value * float64(n),
+			Count:    ans.Value * float64(ans.Rows),
 			Source:   string(ans.Source),
 		}
 		for j, v := range g.Values {
@@ -234,18 +248,35 @@ func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 		resp.Rows = append(resp.Rows, row)
 		resp.Paid += ans.Paid
 	}
+	s.countServed()
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// BudgetResponse is the /budget result.
+// RDPBudget is the /budget rdp section, present for Gaussian/Rényi
+// sessions: the δ_G target, the δ_G-converted consumption (which the
+// scalar per_partition book mirrors), and the number of live interactive
+// mechanisms registered with the concurrent RDP filter.
+type RDPBudget struct {
+	Delta          float64 `json:"delta"`
+	ConvertedSpent float64 `json:"converted_spent"`
+	MaxConverted   float64 `json:"max_converted"`
+	LiveMechanisms int     `json:"live_mechanisms"`
+}
+
+// BudgetResponse is the /budget result. Queries counts served requests
+// (200 responses); Answers and BySource count primitive answers — a
+// /groupby request contributes one served request and one answer per
+// group, so BySource sums to Answers, not Queries.
 type BudgetResponse struct {
 	Global       float64          `json:"global"`
 	AverageSpent float64          `json:"average_spent"`
 	MaxSpent     float64          `json:"max_spent"`
 	PerPartition []float64        `json:"per_partition"`
 	Queries      int64            `json:"queries_answered"`
+	Answers      int64            `json:"answers"`
 	Refusals     int64            `json:"refusals"`
 	BySource     map[string]int64 `json:"by_source"`
+	RDP          *RDPBudget       `json:"rdp,omitempty"`
 }
 
 // handleBudget serves accountant state without taking any server-level
@@ -269,15 +300,25 @@ func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
 			bySource[string(src)] = v
 		}
 	}
-	writeJSON(w, http.StatusOK, BudgetResponse{
+	resp := BudgetResponse{
 		Global:       acct.Global(),
-		AverageSpent: acct.AverageSpent(),
-		MaxSpent:     acct.MaxSpent(),
+		AverageSpent: s.sess.AverageSpent(),
+		MaxSpent:     s.sess.MaxSpent(),
 		PerPartition: per,
 		Queries:      s.queries.Load(),
+		Answers:      s.answers.Load(),
 		Refusals:     s.refusals.Load(),
 		BySource:     bySource,
-	})
+	}
+	if a := s.sess.RDPAdmission(); a != nil {
+		resp.RDP = &RDPBudget{
+			Delta:          a.Block().Delta(),
+			ConvertedSpent: a.Block().AverageSpentDP(),
+			MaxConverted:   a.Block().MaxSpentDP(),
+			LiveMechanisms: a.Live(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // SchemaResponse is the /schema result: only public metadata.

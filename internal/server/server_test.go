@@ -16,6 +16,12 @@ import (
 )
 
 func newTestServer(t *testing.T, epsG float64) (*Server, *dataset.Dataset) {
+	return newTestServerWith(t, epsG, nil)
+}
+
+// newTestServerWith builds the standard 4-partition covid test server,
+// letting mut adjust the session config (mode, Gaussian accounting, ...).
+func newTestServerWith(t *testing.T, epsG float64, mut func(*core.Config)) (*Server, *dataset.Dataset) {
 	t.Helper()
 	dom := domain.MustNew(
 		domain.Attribute{Name: "positive", Card: 2, Levels: []string{"negative", "positive"}},
@@ -28,10 +34,14 @@ func newTestServer(t *testing.T, epsG float64) (*Server, *dataset.Dataset) {
 			_ = ds.AddCount(w, dom.Encode([]int{0, a}), 4000-150*a)
 		}
 	}
-	sess, err := core.NewSession(core.Config{
+	cfg := core.Config{
 		Mode: core.Partitioned, Alpha: 0.05, Beta: 0.001,
 		EpsilonGlobal: epsG, Seed: 13, MCSamples: 2000,
-	}, ds)
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	sess, err := core.NewSession(cfg, ds)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -29,6 +29,17 @@
 // only through the block accountant, which is independently thread-safe
 // (parallel composition is exactly what makes this sound — partitions are
 // independent until budget accounting).
+//
+// # Accounting modes
+//
+// By default every mechanism pays scalar pure-DP budget against the
+// per-partition Block. With Config.Gaussian the tree instead admits each
+// mechanism — shared sparse vectors as long-lived interactive mechanisms,
+// direct Laplace releases as one-shot ones — through a concurrent RDP
+// filter (Appendix B, Thm B.2): admission succeeds while some Rényi order
+// survives on every partition of the mechanism's window, the guarantee
+// converts to (ε_G, δ_G)-DP, and converted spend is mirrored into the
+// scalar block so budget reporting stays truthful.
 package tree
 
 import (
@@ -110,6 +121,18 @@ type Config struct {
 	// With S > 1 shards, queries whose windows touch disjoint shard
 	// ranges execute in parallel.
 	Shards int
+	// Gaussian switches budget accounting to Rényi composition (§A.6,
+	// Thm B.2): the tree's mechanisms stay per-node Laplace (their joint
+	// Monte-Carlo calibration is Laplace-specific), but each one is
+	// admitted through a concurrent RDP filter as an interactive
+	// mechanism priced by its Rényi curve over its window, per partition
+	// in parallel. The tree then enforces (ε_G, δ_G)-DP per partition,
+	// converting at DeltaGlobal, and mirrors converted spend into the
+	// scalar block so /budget stays truthful. When false (the default)
+	// the scalar pure-DP path is bit-for-bit untouched.
+	Gaussian bool
+	// DeltaGlobal is δ_G for Gaussian accounting; ignored otherwise.
+	DeltaGlobal float64
 }
 
 func (c *Config) fill() error {
@@ -128,6 +151,9 @@ func (c *Config) fill() error {
 	}
 	if c.MCSamples <= 0 {
 		c.MCSamples = 20000
+	}
+	if c.Gaussian && (c.DeltaGlobal <= 0 || c.DeltaGlobal >= 1) {
+		return fmt.Errorf("tree: Rényi accounting needs δ_G in (0,1), got %g", c.DeltaGlobal)
 	}
 	return nil
 }
@@ -153,6 +179,10 @@ type stateShard struct {
 	// SV (the set S of Alg. 2); a set is owned by the shard containing
 	// its first node's start.
 	svs map[string]*sparse.SV
+	// svHandles holds, under Rényi accounting, the admission handle of
+	// each live shared SV: registered at initialization, retired when
+	// the SV is consumed (spend stays composed — irrevocable).
+	svHandles map[string]accountant.RDPHandle
 }
 
 // Tree is a tree-structured PMW-Bypass over a partitioned dataset. Safe
@@ -162,6 +192,10 @@ type Tree struct {
 	cfg   Config
 	exec  *dataset.Executor
 	block *accountant.Block
+	// admit is the concurrent RDP admission layer of Gaussian/Rényi
+	// accounting (nil in scalar mode): every mechanism registers through
+	// it, and its block mirrors converted spend into block.
+	admit *accountant.ConcurrentRDPFilter
 	rng   *noise.Rng
 	mcRng *noise.Rng
 
@@ -191,6 +225,10 @@ func New(cfg Config, exec *dataset.Executor, block *accountant.Block, store *kvs
 		block: block,
 		rng:   rng,
 		mcRng: rng.Fork(),
+	}
+	if cfg.Gaussian {
+		t.admit = accountant.NewConcurrentRDPFilter(accountant.NewRDPBlockForDP(
+			accountant.DefaultOrders, block.Global(), cfg.DeltaGlobal, block.Partitions(), block))
 	}
 	if cfg.Shards > 1 {
 		parts := exec.Dataset().Partitions()
@@ -226,8 +264,9 @@ func (t *Tree) shardAt(i int) *stateShard {
 	defer t.shardMu.Unlock()
 	for len(t.shards) <= i {
 		t.shards = append(t.shards, &stateShard{
-			nodes: make(map[interval.Node]*node),
-			svs:   make(map[string]*sparse.SV),
+			nodes:     make(map[interval.Node]*node),
+			svs:       make(map[string]*sparse.SV),
+			svHandles: make(map[string]accountant.RDPHandle),
 		})
 	}
 	return t.shards[i]
@@ -354,6 +393,40 @@ func (t *Tree) warmStart(n *node) {
 		}
 	}
 }
+
+// payLaplace charges one eps Laplace release over [start, end]: a direct
+// block charge under pure DP, or — under Rényi accounting — the admission
+// of a one-shot interactive mechanism priced by its Laplace curve,
+// registered and immediately retired (its curve stays composed; retiring
+// only removes it from the live set).
+func (t *Tree) payLaplace(start, end int, eps float64) error {
+	if t.admit == nil {
+		return t.block.PayRange(start, end, eps)
+	}
+	h, err := t.admit.Register(accountant.RDPMechanism{
+		Cost:  accountant.LaplaceCurve(t.admit.Block().Orders(), eps),
+		Start: start, End: end,
+	})
+	if err != nil {
+		return err
+	}
+	t.admit.Retire(h)
+	return nil
+}
+
+// AddPartition grows the Rényi accountant alongside the scalar block for a
+// newly-arrived stream partition; no-op under pure-DP accounting (the
+// session grows the scalar block itself, before the dataset, so the
+// accountants always cover every queryable partition).
+func (t *Tree) AddPartition() {
+	if t.admit != nil {
+		t.admit.Block().AddPartition()
+	}
+}
+
+// Admission exposes the concurrent RDP filter of Gaussian accounting (nil
+// in scalar mode).
+func (t *Tree) Admission() *accountant.ConcurrentRDPFilter { return t.admit }
 
 // svKey canonicalizes a node set for the shared-SV registry.
 func svKey(nodes []interval.Node) string {
@@ -541,8 +614,28 @@ func (t *Tree) runSVBranch(q *query.Query, svSet []interval.Node) (value, paid f
 	key := svKey(svSet)
 	sv, ok := owner.svs[key]
 	if !ok || !sv.Live() {
-		if err := t.block.PayRange(spanStart, spanEnd, 3*epsSV); err != nil {
-			return 0, 0, false, err
+		if t.admit == nil {
+			if err := t.block.PayRange(spanStart, spanEnd, 3*epsSV); err != nil {
+				return 0, 0, false, err
+			}
+		} else {
+			// The SV is a long-lived interactive mechanism: admitted
+			// here, retired when consumed (on SV failure below). A
+			// stale handle for this key belongs to a finished run, so
+			// it is retired before — not contingent on — the new
+			// registration.
+			if old, live := owner.svHandles[key]; live {
+				t.admit.Retire(old)
+				delete(owner.svHandles, key)
+			}
+			h, err := t.admit.Register(accountant.RDPMechanism{
+				Cost:  accountant.SVInitCurve(t.admit.Block().Orders(), epsSV),
+				Start: spanStart, End: spanEnd,
+			})
+			if err != nil {
+				return 0, 0, false, err
+			}
+			owner.svHandles[key] = h
 		}
 		sv = sparse.New(epsSV, t.cfg.Alpha, nSV, t.rng)
 		sv.Reset()
@@ -583,7 +676,13 @@ func (t *Tree) runSVBranch(q *query.Query, svSet []interval.Node) (value, paid f
 	t.stats.SVFailures++
 	t.statsMu.Unlock()
 	delete(owner.svs, key)
-	if err := t.block.PayRange(spanStart, spanEnd, epsSV); err != nil {
+	if t.admit != nil {
+		if h, live := owner.svHandles[key]; live {
+			t.admit.Retire(h)
+			delete(owner.svHandles, key)
+		}
+	}
+	if err := t.payLaplace(spanStart, spanEnd, epsSV); err != nil {
 		return 0, 0, false, err
 	}
 	paid += epsSV * float64(spanEnd-spanStart+1)
@@ -628,7 +727,7 @@ func (t *Tree) runLaplaceBranch(q *query.Query, lapSet []interval.Node) (values 
 			continue
 		}
 		nq := q.WithWindow(iv.Start, iv.End)
-		if err := t.block.PayRange(iv.Start, iv.End, epsLap); err != nil {
+		if err := t.payLaplace(iv.Start, iv.End, epsLap); err != nil {
 			return nil, paid, err
 		}
 		paid += epsLap * float64(iv.Len())
