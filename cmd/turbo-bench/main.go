@@ -32,6 +32,7 @@ func main() {
 		weeks    = flag.Int("weeks", 0, "override partition count")
 		rows     = flag.Int("rows", 0, "override synthetic dataset rows (both datasets)")
 		parallel = flag.String("parallel", "", "goroutine counts for -exp=scaling, e.g. 1,2,4,8,16")
+		arrivals = flag.String("arrivals", "", "queries-per-arrival ratios for -exp=streaming, e.g. 400,100,25")
 	)
 	flag.Parse()
 
@@ -70,6 +71,16 @@ func main() {
 				os.Exit(2)
 			}
 			sc.Workers = append(sc.Workers, w)
+		}
+	}
+	if *arrivals != "" {
+		for _, part := range strings.Split(*arrivals, ",") {
+			r, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || r < 1 {
+				fmt.Fprintf(os.Stderr, "turbo-bench: bad -arrivals value %q\n", part)
+				os.Exit(2)
+			}
+			sc.ArrivalRatios = append(sc.ArrivalRatios, r)
 		}
 	}
 

@@ -1,10 +1,13 @@
 // turbo-server serves a Turbo-cached DP database over HTTP: the trusted
 // aggregate-only interface of the paper's motivating scenario. Analysts
 // POST linear SQL to /query; /budget and /schema expose the public
-// accounting and schema state.
+// accounting and schema state; partitioned and streaming deployments
+// ingest new time partitions through POST /append (batched arrivals,
+// applied as ordered epochs with eager warm-start in streaming mode).
 //
-//	turbo-server -addr :8080 -dataset covid -mode partitioned
+//	turbo-server -addr :8080 -dataset covid -mode streaming
 //	curl -s localhost:8080/query -d '{"sql":"SELECT COUNT(*) FROM covid WHERE positive = 1"}'
+//	curl -s localhost:8080/append -d '{"partitions":[{}]}'
 package main
 
 import (
@@ -92,6 +95,12 @@ func main() {
 	}
 	fmt.Printf("turbo-server: %s over %s (%d rows, %d partitions) with (α=%g, β=%g), %s, %d shards\n",
 		m, ds.Domain(), ds.NRowsAll(), ds.Partitions(), *alpha, *beta, guarantee, *shards)
-	fmt.Printf("listening on http://%s  (POST /query, GET /budget, GET /schema)\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	endpoints := "POST /query, GET /budget, GET /schema"
+	if m != core.NonPartitioned {
+		endpoints = "POST /query, POST /append, GET /budget, GET /schema"
+	}
+	fmt.Printf("listening on http://%s  (%s)\n", *addr, endpoints)
+	serveErr := http.ListenAndServe(*addr, srv.Handler())
+	srv.Close() // drain the ingestion worker before reporting the error
+	log.Fatal(serveErr)
 }

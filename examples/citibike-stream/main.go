@@ -4,6 +4,11 @@
 // composition, and warm-starting lets each new week's histograms begin
 // from the previous week's learning (§4.5, use case 3).
 //
+// Arrivals flow through the streaming ingestion pipeline
+// (internal/stream): each week is submitted as a batched arrival, applied
+// as an ordered epoch (accountants → dataset → data), and its tree leaf is
+// warm-started eagerly at ingestion time rather than on the first query.
+//
 //	go run ./examples/citibike-stream [-weeks 12]
 package main
 
@@ -19,6 +24,7 @@ import (
 	"repro/internal/heuristic"
 	"repro/internal/noise"
 	"repro/internal/pmw"
+	"repro/internal/stream"
 	"repro/internal/workload"
 )
 
@@ -38,18 +44,20 @@ func main() {
 	fmt.Printf("CitiBike stream: %s, %d weeks, pool of %d primitive queries\n\n",
 		full.Domain(), *weeks, len(pool))
 
-	// The live database starts with week 0 only.
-	live := dataset.New(full.Domain(), 1)
-	feed := func(w int) {
+	// weekCounts extracts week w of the full history as an arrival payload.
+	weekCounts := func(w int) []int {
 		counts := make([]int, full.Domain().Size())
 		for bin := range counts {
 			counts[bin] = int(full.Partition(w).Count(bin))
 		}
-		if err := live.BulkLoad(w, counts); err != nil {
-			log.Fatal(err)
-		}
+		return counts
 	}
-	feed(0)
+
+	// The live database starts with week 0 only.
+	live := dataset.New(full.Domain(), 1)
+	if err := live.BulkLoad(0, weekCounts(0)); err != nil {
+		log.Fatal(err)
+	}
 
 	sess, err := core.NewSession(core.Config{
 		Mode:          core.Streaming, // tree-structured PMW-Bypass + warm-start
@@ -64,6 +72,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ing, err := stream.NewIngestor(sess)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ing.Close()
 
 	z, err := workload.NewZipf(pool, 0, noise.NewRng(11))
 	if err != nil {
@@ -74,8 +87,9 @@ func main() {
 	answered, exhausted := 0, 0
 	for w := 0; w < *weeks; w++ {
 		if w > 0 {
-			idx := sess.AppendPartition()
-			feed(idx)
+			if _, _, err := ing.Append(stream.Arrival{Counts: weekCounts(w)}); err != nil {
+				log.Fatal(err)
+			}
 		}
 		for i := 0; i < *perWeek; i++ {
 			s, e := wins.LatestWindow(sess.Dataset().Partitions())
@@ -94,8 +108,11 @@ func main() {
 	}
 
 	st := sess.Tree().Stats()
+	is := ing.Stats()
 	fmt.Printf("\nanswered %d queries (%d refused after exhaustion)\n", answered, exhausted)
 	fmt.Printf("tree activity: sv-passes=%d sv-failures=%d laplace-subqueries=%d node-updates=%d\n",
 		st.SVPasses, st.SVFailures, st.LaplaceSubs, st.NodeUpdates)
+	fmt.Printf("ingestion: batches=%d epochs=%d partitions=%d rows=%d warm-started-leaves=%d\n",
+		is.Batches, is.Epochs, is.Partitions, is.Rows, is.WarmStarted)
 	fmt.Printf("caching state: %.2f MB\n", float64(sess.MemoryBytes())/1e6)
 }

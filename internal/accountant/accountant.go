@@ -112,10 +112,22 @@ func NewBlock(global float64, partitions int) *Block {
 // AddPartition registers a newly-arrived partition (streaming use case) and
 // returns its index.
 func (b *Block) AddPartition() int {
+	return b.AddPartitions(1)
+}
+
+// AddPartitions registers k newly-arrived partitions in one atomic epoch
+// (batched streaming ingestion) and returns the index of the first. Growing
+// all k under one lock acquisition keeps a concurrent reader from observing
+// a partially-grown batch.
+func (b *Block) AddPartitions(k int) int {
+	if k <= 0 {
+		panic(fmt.Sprintf("accountant: bad partition batch %d", k))
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.spent = append(b.spent, 0)
-	return len(b.spent) - 1
+	first := len(b.spent)
+	b.spent = append(b.spent, make([]float64, k)...)
+	return first
 }
 
 // Partitions returns the number of registered partitions.

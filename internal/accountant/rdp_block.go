@@ -94,13 +94,25 @@ func (b *RDPBlock) Delta() float64 { return b.deltaG }
 
 // AddPartition registers a newly-arrived partition (streaming use case)
 // and returns its index. The mirror, when present, must be grown by the
-// caller (Session.AppendPartition already adds the scalar partition).
+// caller (Session.AppendPartitions already adds the scalar partitions).
 func (b *RDPBlock) AddPartition() int {
+	return b.AddPartitions(1)
+}
+
+// AddPartitions registers k newly-arrived partitions in one atomic epoch
+// (batched streaming ingestion) and returns the index of the first.
+func (b *RDPBlock) AddPartitions(k int) int {
+	if k <= 0 {
+		panic(fmt.Sprintf("accountant: bad partition batch %d", k))
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.spent = append(b.spent, NewCurve(b.orders))
-	b.mirrored = append(b.mirrored, 0)
-	return len(b.spent) - 1
+	first := len(b.spent)
+	for i := 0; i < k; i++ {
+		b.spent = append(b.spent, NewCurve(b.orders))
+		b.mirrored = append(b.mirrored, 0)
+	}
+	return first
 }
 
 // Partitions returns the number of registered partitions.

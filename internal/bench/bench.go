@@ -41,6 +41,9 @@ type Scale struct {
 	// Workers is the goroutine ladder for the concurrency scaling
 	// experiment; nil uses DefaultWorkers.
 	Workers []int
+	// ArrivalRatios is the queries-per-arrival ladder for the streaming
+	// ingestion experiment; nil uses DefaultArrivalRatios.
+	ArrivalRatios []int
 }
 
 // ScaleSmall is the default for Go benchmarks: same shapes, seconds of

@@ -226,7 +226,10 @@ func fig11(mkEnv func() (*Env, error), sc Scale, name string) (Result, error) {
 			run:   func(q *query.Query) error { _, err := sess.Answer(q); return err },
 			spent: sess.AverageSpent,
 			grow: func() {
-				w := sess.AppendPartition()
+				w, err := sess.AppendPartition()
+				if err != nil {
+					panic(fmt.Sprintf("bench: stream append: %v", err))
+				}
 				streamed.feed(w)
 			},
 		}, nil
@@ -262,8 +265,11 @@ func fig11(mkEnv func() (*Env, error), sc Scale, name string) (Result, error) {
 			run:   func(q *query.Query) error { _, err := bl.Run(q); return err },
 			spent: block.AverageSpent,
 			grow: func() {
-				w := ds.AppendPartition()
+				// Accountant before dataset, like Session.AppendPartitions:
+				// a racing query must never name a partition whose budget
+				// does not exist yet.
 				block.AddPartition()
+				w := ds.AppendPartition()
 				fe(w)
 			},
 		})

@@ -42,6 +42,7 @@ var Experiments = []Experiment{
 	{"rdp-capacity", "App. B: pure-ε vs Rényi admission capacity (partitioned CitiBike)", RDPCapacity},
 	{"drain", "ablation: adversarial budget drain and §A.5 cutoff", AdversarialDrain},
 	{"scaling", "concurrency: sharded pipeline throughput vs global-mutex seed", Scaling},
+	{"streaming", "streaming ingestion: arrivals interleaved with queries (batched epochs + eager warm-start)", Streaming},
 }
 
 // Lookup finds an experiment by name.

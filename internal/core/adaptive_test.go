@@ -79,7 +79,10 @@ func TestAdaptiveStreamFollowsData(t *testing.T) {
 
 	prev := -1.0
 	for week := 2; week < 6; week++ {
-		idx := s.AppendPartition()
+		idx, err := s.AppendPartition()
+		if err != nil {
+			t.Fatal(err)
+		}
 		for a := 0; a < 4; a++ {
 			// Positivity rises over time.
 			_ = ds.AddCount(idx, dom.Encode([]int{1, a}), 1000+100*a+300*week)

@@ -218,7 +218,11 @@ func TestConcurrentAppendAndAnswer(t *testing.T) {
 			go func() {
 				defer wg.Done()
 				for a := 0; a < 12; a++ {
-					w := sess.AppendPartition()
+					w, err := sess.AppendPartition()
+					if err != nil {
+						t.Errorf("AppendPartition: %v", err)
+						return
+					}
 					for bin := 0; bin < ds.Domain().Size(); bin++ {
 						if err := ds.AddCount(w, bin, 40); err != nil {
 							t.Errorf("AddCount: %v", err)

@@ -1,0 +1,100 @@
+// The single-flight stage of the sharded query pipeline: cross-shard
+// deduplication of concurrent identical cache misses.
+//
+// Two analysts issuing the same query over the same window and data
+// version race each other between the exact-cache probe and execution;
+// without coordination both would run the PMW machinery and both would pay
+// budget, even though the exact cache makes the second execution free a
+// moment later. The non-partitioned shard used to close that window with a
+// double-check under its one executor lock; the tree's per-shard executors
+// have no single lock to double-check under. The flight group generalizes
+// the idea: every cache-missed plan is keyed by its resolved window and
+// data version, the first goroutine in becomes the leader and executes,
+// and concurrent duplicates wait and observe the leader's released answer
+// — one execution, one budget payment, identical noisy values (exactly
+// what the exact cache would have served them a moment later, so sharing
+// is post-processing and privacy-free).
+//
+// The group holds only in-flight calls: the leader removes its key only
+// after its fn completes — which, in the session, includes caching the
+// released answer — so a duplicate that misses the map always finds the
+// exact cache filled, and long-term reuse stays with the cache.
+
+package core
+
+import (
+	"errors"
+	"sync"
+)
+
+// flightCall is one in-flight execution: a latch the duplicates wait on
+// plus the leader's result.
+type flightCall struct {
+	done chan struct{}
+	ans  Answer
+	err  error
+}
+
+// flightGroup deduplicates concurrent executions by key. The zero value is
+// ready to use.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+	// joins counts callers that attached to an already-in-flight call,
+	// cumulatively — the group-level view of the session's Deduped.
+	joins int64
+}
+
+// do executes fn once per key among concurrent callers: the first caller
+// runs it, later callers block until the leader finishes and share its
+// result. shared reports whether the caller observed another flight's
+// result rather than executing itself.
+func (g *flightGroup) do(key string, fn func() (Answer, error)) (ans Answer, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.joins++
+		g.mu.Unlock()
+		<-c.done
+		return c.ans, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	// The key is released and the joiners woken even if fn panics (the
+	// panic still propagates): a wedged key would hang every future
+	// identical query forever. Joiners of a panicked flight get an error,
+	// not a zero answer.
+	completed := false
+	defer func() {
+		if !completed {
+			c.err = errors.New("core: flight leader panicked")
+		}
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.ans, c.err = fn()
+	completed = true
+	return c.ans, false, c.err
+}
+
+// inFlight returns the number of keys currently executing, for tests and
+// diagnostics.
+func (g *flightGroup) inFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.calls)
+}
+
+// joinCount returns the cumulative number of callers that shared an
+// in-flight call.
+func (g *flightGroup) joinCount() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.joins
+}

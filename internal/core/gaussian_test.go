@@ -138,7 +138,10 @@ func TestGaussianStreamingAppend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := s.AppendPartition()
+	w, err := s.AppendPartition()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if w != 1 {
 		t.Fatalf("AppendPartition = %d", w)
 	}

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/dataset"
+	"repro/internal/domain"
 	"repro/internal/query"
 )
 
@@ -158,5 +160,145 @@ func TestSaveStateGaussianUnsupported(t *testing.T) {
 	var buf bytes.Buffer
 	if err := s.SaveState(&buf); err == nil {
 		t.Fatal("Gaussian SaveState accepted")
+	}
+}
+
+// loadWeek fills a streamed partition with buildDS-shaped data.
+func loadWeek(ds *dataset.Dataset, dom *domain.Domain, w int) {
+	for a := 0; a < 4; a++ {
+		_ = ds.AddCount(w, dom.Encode([]int{1, a}), 1000+100*a+20*w)
+		_ = ds.AddCount(w, dom.Encode([]int{0, a}), 4000-150*a)
+	}
+}
+
+// TestSaveLoadMidStream is the streaming persistence round-trip: a session
+// saves mid-stream (after several AppendPartitions epochs), a fresh session
+// restores it, and the stream continues — tree state, exact-cache versions,
+// and scalar budgets all survive, and post-restore appends keep working.
+func TestSaveLoadMidStream(t *testing.T) {
+	dom, ds := buildDS(t, 2)
+	cfg := defaultCfg(Streaming)
+	s1, err := NewSession(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.MustNew(dom, map[int][]int{0: {1}})
+	answerAll := func(s *Session, hi int) {
+		t.Helper()
+		for w := 0; w <= hi; w++ {
+			if _, err := s.Answer(q.WithWindow(w, hi)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	answerAll(s1, 1)
+	// Two mid-stream epochs before the snapshot.
+	for e := 0; e < 2; e++ {
+		w, err := s1.AppendPartition()
+		if err != nil {
+			t.Fatal(err)
+		}
+		loadWeek(ds, dom, w)
+		answerAll(s1, w)
+	}
+	if ds.Partitions() != 4 {
+		t.Fatalf("stream has %d partitions, want 4", ds.Partitions())
+	}
+
+	var buf bytes.Buffer
+	if err := s1.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewSession(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Tree state and scalar budgets survive, partition by partition.
+	if s2.Tree().Nodes() != s1.Tree().Nodes() {
+		t.Fatalf("restored %d nodes, want %d", s2.Tree().Nodes(), s1.Tree().Nodes())
+	}
+	for p := 0; p < ds.Partitions(); p++ {
+		if got, want := s2.Accountant().SpentAt(p), s1.Accountant().SpentAt(p); got != want {
+			t.Fatalf("partition %d spend %g, want %g", p, got, want)
+		}
+	}
+	// Exact-cache versions survive: a pre-snapshot window repeats free.
+	spent := s2.AverageSpent()
+	a, err := s2.Answer(q.WithWindow(0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Source != SourceExactHit || s2.AverageSpent() != spent {
+		t.Fatalf("pre-snapshot window after restore: %+v", a)
+	}
+
+	// The stream continues on the restored session: append, load, query.
+	w, err := s2.AppendPartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadWeek(ds, dom, w)
+	if s2.Accountant().Partitions() != ds.Partitions() {
+		t.Fatalf("post-restore append: accountant %d vs dataset %d",
+			s2.Accountant().Partitions(), ds.Partitions())
+	}
+	a, err = s2.Answer(q.WithWindow(w, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Paid <= 0 {
+		t.Fatal("fresh partition answered for free after restore")
+	}
+	if s := s2.Accountant().SpentAt(w); s <= 0 {
+		t.Fatal("post-restore epoch never charged")
+	}
+}
+
+// TestSaveLoadGaussianStreamSymmetric pins the Gaussian refusal down on
+// both sides mid-stream: a Rényi-accounted streaming session can neither
+// save (its curves are not serialized) nor load a scalar snapshot (the
+// admission layer would go blind to the restored spend).
+func TestSaveLoadGaussianStreamSymmetric(t *testing.T) {
+	dom, ds := buildDS(t, 2)
+	cfg := defaultCfg(Streaming)
+	cfg.Gaussian = true
+	cfg.DeltaGlobal = 1e-6
+	s1, err := NewSession(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s1.AppendPartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadWeek(ds, dom, w)
+	q := query.MustNew(dom, map[int][]int{0: {1}})
+	if _, err := s1.Answer(q.WithWindow(0, w)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s1.SaveState(&buf); err == nil {
+		t.Fatal("mid-stream Gaussian SaveState accepted")
+	}
+
+	// Symmetric: a pure-ε snapshot cannot restore into a Gaussian session.
+	pure, err := NewSession(defaultCfg(Streaming), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := pure.SaveState(&snap); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewSession(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.LoadState(&snap); err == nil {
+		t.Fatal("Gaussian LoadState accepted a scalar snapshot")
 	}
 }

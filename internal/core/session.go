@@ -14,14 +14,24 @@
 //  2. cache — the window-level exact cache is probed. The cache is
 //     concurrency-safe, so exact hits (the cheapest and, under skewed
 //     workloads, most common path, Fig. 11d) never serialize.
-//  3. execute — a miss runs the PMW machinery on its shard: the single
-//     PMW-Bypass behind the session's one executor lock (non-partitioned),
-//     or the tree, which locks only the state shards overlapping the
-//     query's window so disjoint windows run in parallel (partitioned).
-//  4. account — budget is deducted through the thread-safe accountant:
+//  3. dedup — cache misses enter the single-flight group keyed by the
+//     resolved window and data version (flight.go): concurrent identical
+//     first-timers execute and pay once, with duplicates observing the
+//     leader's released answer.
+//  4. execute — the flight leader runs the PMW machinery on its shard:
+//     the single PMW-Bypass behind the session's one executor lock
+//     (non-partitioned), or the tree, which locks only the state shards
+//     overlapping the query's window so disjoint windows run in parallel
+//     (partitioned).
+//  5. account — budget is deducted through the thread-safe accountant:
 //     the block accountant realizes parallel composition across shards,
 //     and the non-partitioned path additionally admits each mechanism
 //     through the Appendix B concurrent-composition filter.
+//
+// For streaming databases, partitions arrive through AppendPartitions
+// epochs (accountants grow strictly before the dataset); the
+// internal/stream Ingestor batches and coalesces those arrivals and
+// eagerly warm-starts the new tree leaves.
 //
 // Sessions are safe for concurrent use by many request goroutines.
 package core
@@ -198,7 +208,15 @@ type Session struct {
 	// Partitioned machinery: the tree shards internally.
 	tree *tree.Tree
 
+	// flights deduplicates concurrent identical cache misses so N
+	// first-timers on the same window/version execute and pay once.
+	flights flightGroup
+	// appendMu serializes stream-append epochs so each epoch's accountant
+	// growth and dataset growth assign corresponding indices.
+	appendMu sync.Mutex
+
 	queries atomic.Int64
+	deduped atomic.Int64
 	exhaust atomic.Bool
 	bySrc   [numSources]atomic.Int64
 }
@@ -315,18 +333,40 @@ func (s *Session) Dataset() *dataset.Dataset { return s.ds }
 // Planner returns the session's planning stage.
 func (s *Session) Planner() *Planner { return s.planner }
 
-// AppendPartition registers a newly-arrived stream partition with the
-// accountants and then the store, returning its index. The accountants
-// grow first so that by the time a query can name the partition (the
-// dataset's count is the validation bound) its budget already exists.
-// Callers then load data with Dataset().AddRow / AddCount before issuing
-// queries over it.
-func (s *Session) AppendPartition() int {
-	s.block.AddPartition()
-	if s.tree != nil {
-		s.tree.AddPartition()
+// AppendPartition registers one newly-arrived stream partition, returning
+// its index. See AppendPartitions for the ordering guarantees.
+func (s *Session) AppendPartition() (int, error) {
+	return s.AppendPartitions(1)
+}
+
+// AppendPartitions registers one ingestion epoch of k newly-arrived stream
+// partitions with the accountants and then the store, returning the index
+// of the first. The accountants grow strictly first so that by the time a
+// query can name any partition of the epoch (the dataset's count is the
+// validation bound) its budget already exists — the same ordering in
+// Gaussian mode, where the tree's Rényi accountant grows alongside the
+// scalar block. Epochs are serialized, so the k accountant slots and the k
+// dataset partitions of one epoch always correspond. Callers then load
+// data with Dataset().AddRow / AddCount / BulkLoad before issuing queries
+// over the new partitions.
+//
+// Non-partitioned sessions refuse the append: their single PMW-Bypass and
+// its admission window are fixed over the initial partition range, so a
+// grown dataset would let queries name partitions whose releases no
+// accountant covers.
+func (s *Session) AppendPartitions(k int) (int, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("core: bad partition batch %d", k)
 	}
-	return s.ds.AppendPartition()
+	if s.tree == nil {
+		return 0, errors.New("core: streaming arrivals need a partitioned session " +
+			"(the single PMW's accountant window cannot grow)")
+	}
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+	s.block.AddPartitions(k)
+	s.tree.AddPartitions(k)
+	return s.ds.AppendPartitions(k), nil
 }
 
 // Answer runs one linear query through the Turbo pipeline of Fig. 1:
@@ -342,34 +382,56 @@ func (s *Session) Answer(q *query.Query) (Answer, error) {
 		return Answer{Value: e.Value, Source: SourceExactHit,
 			Start: pl.Start, End: pl.End, Rows: pl.Rows}, nil
 	}
-	ans, err := s.execute(pl)
+	ans, shared, err := s.execute(pl)
 	if err != nil {
 		s.noteErr(err)
 		return Answer{}, err
 	}
 	ans.Start, ans.End, ans.Rows = pl.Start, pl.End, pl.Rows
-	// A double-check hit inside execute is already cached with its real
-	// paid budget; re-putting would redundantly re-encode and clobber
-	// the stored Eps with 0.
-	if ans.Source != SourceExactHit {
-		if err := s.exact.Put(q, pl.Version, ans.Value, ans.Paid); err != nil {
-			return Answer{}, err
-		}
+	if shared {
+		s.deduped.Add(1)
 	}
 	s.record(ans.Source)
 	return ans, nil
 }
 
-// execute runs a cache-missed plan on its executor shard.
-func (s *Session) execute(pl Plan) (Answer, error) {
-	if s.single != nil {
-		s.singleMu.Lock()
-		defer s.singleMu.Unlock()
-		// Double-check under the shard lock: a concurrent identical
-		// query may have paid for this answer while we waited.
+// execute runs a cache-missed plan through the single-flight group and, as
+// the flight leader, on its executor shard. shared reports that the answer
+// came from a concurrent identical flight (no execution, no payment).
+func (s *Session) execute(pl Plan) (Answer, bool, error) {
+	// The flight key is the exact-cache identity: predicate + window +
+	// data version. Keying on the version means a query planned against
+	// newer data never shares a stale in-flight execution.
+	key := fmt.Sprintf("%s@v%d", pl.Query.KeyWithWindow(), pl.Version)
+	return s.flights.do(key, func() (Answer, error) {
+		// Double-check the exact cache as the leader: an identical query
+		// may have completed (and cached) between this goroutine's cache
+		// probe and its flight. Sequential re-check, where the old
+		// non-partitioned path double-checked under its shard lock;
+		// concurrent duplicates are handled by the flight group itself.
 		if e, ok := s.exact.Get(pl.Query, pl.Version); ok {
 			return Answer{Value: e.Value, Source: SourceExactHit}, nil
 		}
+		ans, err := s.executeShard(pl)
+		if err != nil {
+			return Answer{}, err
+		}
+		// Cache the paid answer inside the flight, before the key is
+		// released: a duplicate that misses the in-flight map must find
+		// the cache filled, or it would execute — and pay — again.
+		if err := s.exact.Put(pl.Query, pl.Version, ans.Value, ans.Paid); err != nil {
+			return Answer{}, err
+		}
+		return ans, nil
+	})
+}
+
+// executeShard runs a plan on its executor shard: the single PMW-Bypass
+// behind its lock, or the tree's window-locked shards.
+func (s *Session) executeShard(pl Plan) (Answer, error) {
+	if s.single != nil {
+		s.singleMu.Lock()
+		defer s.singleMu.Unlock()
 		res, err := s.single.Run(pl.Query)
 		if err != nil {
 			return Answer{}, err
@@ -417,6 +479,13 @@ func (s *Session) Exhausted() bool { return s.exhaust.Load() }
 
 // Queries returns the number of answered queries.
 func (s *Session) Queries() int { return int(s.queries.Load()) }
+
+// Deduped returns the number of answers served by sharing a concurrent
+// identical flight (single-flight deduplication) rather than executing.
+func (s *Session) Deduped() int { return int(s.deduped.Load()) }
+
+// Mode returns the session's use case.
+func (s *Session) Mode() Mode { return s.cfg.Mode }
 
 // SourceCounts returns a copy of the per-source answer counts.
 func (s *Session) SourceCounts() map[Source]int {

@@ -232,7 +232,10 @@ func TestStreamingAppendAndWarmStart(t *testing.T) {
 		}
 	}
 	// New partition arrives with similar data.
-	idx := s.AppendPartition()
+	idx, err := s.AppendPartition()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if idx != 2 || s.Dataset().Partitions() != 3 || s.Accountant().Partitions() != 3 {
 		t.Fatalf("append: idx=%d parts=%d acct=%d", idx, s.Dataset().Partitions(), s.Accountant().Partitions())
 	}

@@ -68,10 +68,24 @@ func (ds *Dataset) appendPartitionLocked() int {
 // AppendPartition registers a new, empty time partition (streaming arrival)
 // and returns its index.
 func (ds *Dataset) AppendPartition() int {
+	return ds.AppendPartitions(1)
+}
+
+// AppendPartitions registers k new, empty time partitions in one atomic
+// epoch (batched streaming ingestion) and returns the index of the first.
+// A concurrent reader observes either none or all of the batch.
+func (ds *Dataset) AppendPartitions(k int) int {
+	if k <= 0 {
+		panic(fmt.Sprintf("dataset: bad partition batch %d", k))
+	}
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
-	ds.version++
-	return ds.appendPartitionLocked()
+	first := len(ds.parts)
+	for i := 0; i < k; i++ {
+		ds.version++
+		ds.appendPartitionLocked()
+	}
+	return first
 }
 
 // Domain returns the dataset's domain.

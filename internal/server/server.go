@@ -7,15 +7,21 @@
 //
 //	POST /query    {"sql": "SELECT COUNT(*) FROM t WHERE ..."}
 //	               → {"fraction": .., "count": .., "source": .., "paid": ..}
+//	POST /append   {"partitions": [{"counts": [..]}, ...]} → the batch's
+//	               assigned partition index range (streaming ingestion;
+//	               partitioned sessions only)
 //	GET  /budget   → per-partition and average consumed budget (plus an
 //	               rdp section for Gaussian/Rényi sessions)
-//	GET  /schema   → the public domain description and row counts
+//	GET  /schema   → the public domain description, row counts, and the
+//	               ingestion counters of the streaming pipeline
 //
 // The server holds no lock of its own: the session's query pipeline is
 // concurrency-safe (lock-free planning and exact-cache probes, per-shard
 // execution, thread-safe accounting), so request goroutines flow straight
-// through. GET /budget and GET /schema are lock-free reads of accountant
-// and public metadata, and the server's own counters are atomics.
+// through; /append hands arrivals to the streaming ingestor, whose epochs
+// keep racing queries accountable. GET /budget and GET /schema are
+// lock-free reads of accountant and public metadata, and the server's own
+// counters are atomics.
 package server
 
 import (
@@ -29,6 +35,7 @@ import (
 	"repro/internal/accountant"
 	"repro/internal/core"
 	"repro/internal/sqlparser"
+	"repro/internal/stream"
 )
 
 // Server handles HTTP analyst traffic over one Turbo session.
@@ -36,6 +43,9 @@ type Server struct {
 	sess   *core.Session
 	parser *sqlparser.Parser
 	table  string
+	// ing is the streaming ingestion pipeline behind POST /append; nil
+	// for non-partitioned sessions, which cannot grow.
+	ing *stream.Ingestor
 
 	// queries counts served requests: exactly one per 200 response, so
 	// client-observed successes always equal this counter — including
@@ -48,10 +58,12 @@ type Server struct {
 	// answer-level and maintained with atomics on the hot path.
 	answers  atomic.Int64
 	bySource map[core.Source]*atomic.Int64
+	appends  atomic.Int64
 }
 
 // New creates a server over sess; table is the (single) table name the
-// SQL surface accepts.
+// SQL surface accepts. Partitioned and streaming sessions get a streaming
+// ingestor behind POST /append; call Close to release its worker.
 func New(sess *core.Session, table string) (*Server, error) {
 	if sess == nil {
 		return nil, errors.New("server: nil session")
@@ -63,12 +75,27 @@ func New(sess *core.Session, table string) (*Server, error) {
 	for _, src := range core.Sources {
 		bySource[src] = new(atomic.Int64)
 	}
-	return &Server{
+	srv := &Server{
 		sess:     sess,
 		parser:   sqlparser.New(sess.Dataset().Domain()),
 		table:    table,
 		bySource: bySource,
-	}, nil
+	}
+	if sess.Tree() != nil {
+		ing, err := stream.NewIngestor(sess)
+		if err != nil {
+			return nil, err
+		}
+		srv.ing = ing
+	}
+	return srv, nil
+}
+
+// Close drains and stops the streaming ingestor (no-op without one).
+func (s *Server) Close() {
+	if s.ing != nil {
+		s.ing.Close()
+	}
 }
 
 // Handler returns the HTTP routing for the service.
@@ -76,6 +103,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/groupby", s.handleGroupBy)
+	mux.HandleFunc("/append", s.handleAppend)
 	mux.HandleFunc("/budget", s.handleBudget)
 	mux.HandleFunc("/schema", s.handleSchema)
 	return mux
@@ -252,6 +280,68 @@ func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// AppendRequest is the /append payload: one batch of partition arrivals.
+// Each arrival's counts are dense per-bin row counts over the public
+// domain; omitted counts register an empty partition.
+type AppendRequest struct {
+	Partitions []struct {
+		Counts []int `json:"counts"`
+	} `json:"partitions"`
+}
+
+// AppendResponse reports the partition index range one batch was assigned.
+type AppendResponse struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+	// Partitions is the store's partition count as of the batch's epoch
+	// (consistent with Start/End even when later epochs land first).
+	Partitions int `json:"partitions"`
+}
+
+// handleAppend feeds one batch of arrivals through the streaming ingestion
+// pipeline and blocks until its epoch is applied, so a 200 means the
+// partitions are queryable, loaded, and (in streaming mode) warm-started.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{"bad-request", "POST only"})
+		return
+	}
+	if s.ing == nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{"bad-request",
+			"streaming ingestion needs a partitioned or streaming session"})
+		return
+	}
+	var req AppendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{"bad-request", err.Error()})
+		return
+	}
+	if len(req.Partitions) == 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{"bad-request", "empty batch"})
+		return
+	}
+	arrivals := make([]stream.Arrival, len(req.Partitions))
+	for i, p := range req.Partitions {
+		arrivals[i] = stream.Arrival{Counts: p.Counts}
+	}
+	tk, err := s.ing.Submit(arrivals...)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{"bad-request", err.Error()})
+		return
+	}
+	first, last, err := tk.Wait()
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{"bad-request", err.Error()})
+		return
+	}
+	s.appends.Add(1)
+	writeJSON(w, http.StatusOK, AppendResponse{
+		Start:      first,
+		End:        last,
+		Partitions: tk.Partitions(),
+	})
+}
+
 // RDPBudget is the /budget rdp section, present for Gaussian/Rényi
 // sessions: the δ_G target, the δ_G-converted consumption (which the
 // scalar per_partition book mirrors), and the number of live interactive
@@ -321,17 +411,38 @@ func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// SchemaResponse is the /schema result: only public metadata.
+// IngestionStats is the /schema ingestion section for sessions with a
+// streaming pipeline: the ingestor's counters plus the query pipeline's
+// single-flight deduplication count.
+type IngestionStats struct {
+	// Appends counts served /append requests (200 responses).
+	Appends int64 `json:"appends"`
+	// Batches/Epochs/Partitions/Rows/WarmStarted are the ingestor's
+	// counters; Pending is the instantaneous queue depth.
+	Batches     int64 `json:"batches"`
+	Epochs      int64 `json:"epochs"`
+	Partitions  int64 `json:"partitions_ingested"`
+	Rows        int64 `json:"rows_ingested"`
+	WarmStarted int64 `json:"warm_started_leaves"`
+	Pending     int64 `json:"pending"`
+	// FlightDeduped counts answers shared from a concurrent identical
+	// flight instead of executing (single-flight window dedup).
+	FlightDeduped int64 `json:"flight_deduped"`
+}
+
+// SchemaResponse is the /schema result: only public metadata (ingestion
+// counters are data-independent operational state).
 type SchemaResponse struct {
-	Table      string   `json:"table"`
-	Domain     string   `json:"domain"`
-	Attributes []string `json:"attributes"`
-	Rows       int      `json:"rows"`
-	Partitions int      `json:"partitions"`
+	Table      string          `json:"table"`
+	Domain     string          `json:"domain"`
+	Attributes []string        `json:"attributes"`
+	Rows       int             `json:"rows"`
+	Partitions int             `json:"partitions"`
+	Ingestion  *IngestionStats `json:"ingestion,omitempty"`
 }
 
 // handleSchema serves public metadata; it touches no session state beyond
-// the dataset's own read-locked counters.
+// the dataset's own read-locked counters and the atomic ingestion stats.
 func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{"bad-request", "GET only"})
@@ -343,11 +454,25 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 		a := dom.Attr(i)
 		attrs[i] = fmt.Sprintf("%s(%d)", a.Name, a.Card)
 	}
-	writeJSON(w, http.StatusOK, SchemaResponse{
+	resp := SchemaResponse{
 		Table:      s.table,
 		Domain:     dom.String(),
 		Attributes: attrs,
 		Rows:       s.sess.Dataset().NRowsAll(),
 		Partitions: s.sess.Dataset().Partitions(),
-	})
+	}
+	if s.ing != nil {
+		st := s.ing.Stats()
+		resp.Ingestion = &IngestionStats{
+			Appends:       s.appends.Load(),
+			Batches:       st.Batches,
+			Epochs:        st.Epochs,
+			Partitions:    st.Partitions,
+			Rows:          st.Rows,
+			WarmStarted:   st.WarmStarted,
+			Pending:       st.Pending,
+			FlightDeduped: int64(s.sess.Deduped()),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

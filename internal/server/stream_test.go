@@ -1,0 +1,261 @@
+// Race-enabled test of the streaming ingestion endpoint: POST /append
+// storms interleaved with /query, /budget, and /schema traffic, pure-ε and
+// Gaussian, asserting the budget books and the public partition counts
+// stay consistent across ingestion epochs.
+
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/domain"
+)
+
+// newStreamingServer builds a streaming session over a small live store.
+func newStreamingServer(t *testing.T, gaussian bool) (*Server, *dataset.Dataset) {
+	t.Helper()
+	dom := domain.MustNew(
+		domain.Attribute{Name: "positive", Card: 2, Levels: []string{"negative", "positive"}},
+		domain.Attribute{Name: "age", Card: 4},
+	)
+	ds := dataset.New(dom, 2)
+	for w := 0; w < 2; w++ {
+		for a := 0; a < 4; a++ {
+			_ = ds.AddCount(w, dom.Encode([]int{1, a}), 1000+100*a+10*w)
+			_ = ds.AddCount(w, dom.Encode([]int{0, a}), 4000-150*a+20*w)
+		}
+	}
+	cfg := core.Config{
+		Mode: core.Streaming, Alpha: 0.05, Beta: 0.001,
+		EpsilonGlobal: 40, Seed: 23, MCSamples: 500,
+		NodeExactCache: true, Shards: 4,
+	}
+	if gaussian {
+		cfg.Gaussian = true
+		cfg.DeltaGlobal = 1e-6
+	}
+	sess, err := core.NewSession(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(sess, "covid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, ds
+}
+
+// appendBody builds one /append batch of size partitions with count rows
+// per bin.
+func appendBody(t *testing.T, domSize, size, count int) []byte {
+	t.Helper()
+	var req AppendRequest
+	for i := 0; i < size; i++ {
+		counts := make([]int, domSize)
+		for bin := range counts {
+			counts[bin] = count
+		}
+		req.Partitions = append(req.Partitions, struct {
+			Counts []int `json:"counts"`
+		}{Counts: counts})
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestAppendStormAgainstQueries(t *testing.T) {
+	for _, gaussian := range []bool{false, true} {
+		name := "pure"
+		if gaussian {
+			name = "gaussian"
+		}
+		t.Run(name, func(t *testing.T) {
+			srv, ds := newStreamingServer(t, gaussian)
+			defer srv.Close()
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			client := ts.Client()
+
+			queries := []string{
+				"SELECT COUNT(*) FROM covid WHERE positive = 1",
+				"SELECT COUNT(*) FROM covid WHERE age = 2",
+				"SELECT COUNT(*) FROM covid WHERE positive = 1 AND time BETWEEN 0 AND 1",
+			}
+
+			var wg sync.WaitGroup
+			const appenders, appendsEach = 3, 5
+			for a := 0; a < appenders; a++ {
+				wg.Add(1)
+				go func(a int) {
+					defer wg.Done()
+					for i := 0; i < appendsEach; i++ {
+						body := appendBody(t, ds.Domain().Size(), 1+(a+i)%2, 500)
+						resp, err := client.Post(ts.URL+"/append", "application/json", bytes.NewReader(body))
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						var ar AppendResponse
+						if resp.StatusCode != http.StatusOK {
+							msg, _ := io.ReadAll(resp.Body)
+							resp.Body.Close()
+							t.Errorf("append status %d: %s", resp.StatusCode, msg)
+							return
+						}
+						if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+							t.Error(err)
+						}
+						resp.Body.Close()
+						if ar.End < ar.Start || ar.Partitions <= ar.End {
+							t.Errorf("append response inconsistent: %+v", ar)
+							return
+						}
+					}
+				}(a)
+			}
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 20; i++ {
+						switch (w + i) % 3 {
+						case 0, 1:
+							body, _ := json.Marshal(QueryRequest{SQL: queries[(w+i)%len(queries)]})
+							resp, err := client.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+							if err != nil {
+								t.Error(err)
+								return
+							}
+							io.Copy(io.Discard, resp.Body)
+							resp.Body.Close()
+							if resp.StatusCode != http.StatusOK &&
+								resp.StatusCode != http.StatusTooManyRequests {
+								t.Errorf("query status %d", resp.StatusCode)
+								return
+							}
+						default:
+							resp, err := client.Get(ts.URL + "/schema")
+							if err != nil {
+								t.Error(err)
+								return
+							}
+							var sr SchemaResponse
+							if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+								t.Error(err)
+							}
+							resp.Body.Close()
+							if sr.Ingestion == nil {
+								t.Error("streaming /schema lacks ingestion counters")
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			// Final consistency: dataset grew by every appended partition,
+			// the accountants cover all of them, and the books agree.
+			wantParts := 2
+			for a := 0; a < appenders; a++ {
+				for i := 0; i < appendsEach; i++ {
+					wantParts += 1 + (a+i)%2
+				}
+			}
+			if ds.Partitions() != wantParts {
+				t.Fatalf("dataset has %d partitions, want %d", ds.Partitions(), wantParts)
+			}
+			acct := srv.sess.Accountant()
+			if acct.Partitions() != wantParts {
+				t.Fatalf("block has %d partitions, want %d", acct.Partitions(), wantParts)
+			}
+			for i := 0; i < wantParts; i++ {
+				if s := acct.SpentAt(i); s > acct.Global()+1e-9 {
+					t.Fatalf("partition %d overspent: %g", i, s)
+				}
+			}
+			if a := srv.sess.RDPAdmission(); a != nil {
+				for i := 0; i < wantParts; i++ {
+					conv := a.Block().SpentDPAt(i)
+					if diff := conv - acct.SpentAt(i); diff > 1e-9 || diff < -1e-9 {
+						t.Fatalf("partition %d books diverge: %g vs %g", i, conv, acct.SpentAt(i))
+					}
+				}
+			}
+
+			// /schema must report the ingestion totals.
+			resp, err := client.Get(ts.URL + "/schema")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sr SchemaResponse
+			if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if sr.Partitions != wantParts {
+				t.Fatalf("/schema partitions = %d, want %d", sr.Partitions, wantParts)
+			}
+			ing := sr.Ingestion
+			if ing == nil {
+				t.Fatal("no ingestion section")
+			}
+			if ing.Appends != appenders*appendsEach || ing.Batches != appenders*appendsEach {
+				t.Fatalf("ingestion counters %+v, want %d appends", ing, appenders*appendsEach)
+			}
+			if ing.Partitions != int64(wantParts-2) || ing.Pending != 0 {
+				t.Fatalf("ingestion counters %+v, want %d partitions ingested", ing, wantParts-2)
+			}
+			if ing.WarmStarted != int64(wantParts-2) {
+				t.Fatalf("warm-started %d leaves, want %d (streaming mode is eager)", ing.WarmStarted, wantParts-2)
+			}
+		})
+	}
+}
+
+// TestAppendRefusedNonPartitioned checks the endpoint's refusal shape for
+// sessions that cannot grow.
+func TestAppendRefusedNonPartitioned(t *testing.T) {
+	dom := domain.MustNew(domain.Attribute{Name: "positive", Card: 2})
+	ds := dataset.New(dom, 1)
+	_ = ds.AddCount(0, 0, 500)
+	_ = ds.AddCount(0, 1, 500)
+	sess, err := core.NewSession(core.Config{
+		Mode: core.NonPartitioned, Alpha: 0.05, Beta: 0.001, EpsilonGlobal: 10, Seed: 2,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(sess, "covid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := appendBody(t, dom.Size(), 1, 10)
+	resp, err := ts.Client().Post(ts.URL+"/append", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, msg)
+	}
+	if ds.Partitions() != 1 {
+		t.Fatalf("refused append grew the dataset to %d", ds.Partitions())
+	}
+}

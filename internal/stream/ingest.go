@@ -1,0 +1,302 @@
+// Package stream is Turbo's streaming ingestion subsystem (§4.5, use case
+// 3): the write-side counterpart of the core query pipeline. Partitions
+// arriving over time are submitted in batches, coalesced into ordered
+// ingestion epochs, and applied to the session in the order that keeps
+// every concurrent query accountable:
+//
+//  1. accountants — the scalar block (and, in Gaussian mode, the Rényi
+//     block) grow first, so a query can never name a partition whose
+//     budget does not exist (Session.AppendPartitions).
+//  2. dataset — the new partitions appear, initially empty.
+//  3. data — each arrival's per-bin counts are bulk-loaded.
+//  4. warm-start — under Mode Streaming, the new tree leaves are
+//     materialized eagerly, copying the previous leaf's trained histogram
+//     and heuristic state (§4.5) at ingestion time instead of on the first
+//     query, which keeps first-query latency flat under load.
+//
+// One worker goroutine applies epochs; any number of producers may Submit
+// concurrently. Submissions made while an epoch is being applied coalesce
+// into the next epoch, so a burst of B batches costs O(1) epochs rather
+// than B lock round-trips per layer — the batched AppendPartition the
+// streaming evaluation drives (turbo-bench -exp=streaming).
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Arrival is one new partition's payload: dense per-bin row counts over
+// the session's domain. A nil Counts registers an empty partition (rows
+// can be loaded later through the dataset, e.g. row-by-row ingestion).
+type Arrival struct {
+	Counts []int
+}
+
+// Ticket tracks one submitted batch through its ingestion epoch.
+type Ticket struct {
+	done  chan struct{}
+	first int
+	count int
+	parts int
+	err   error
+}
+
+// Wait blocks until the batch's epoch has been applied and returns the
+// inclusive partition index range assigned to the batch's arrivals.
+func (t *Ticket) Wait() (first, last int, err error) {
+	<-t.done
+	if t.err != nil {
+		return 0, 0, t.err
+	}
+	return t.first, t.first + t.count - 1, nil
+}
+
+// Partitions returns the store's partition count as of the batch's epoch
+// (captured atomically with the index assignment, so it is consistent
+// with Wait's range even while later epochs land). Valid after Wait.
+func (t *Ticket) Partitions() int {
+	<-t.done
+	return t.parts
+}
+
+// Stats are the ingestion counters the server exposes in /schema.
+type Stats struct {
+	// Batches counts Submit calls; Epochs counts the coalesced
+	// AppendPartitions rounds that applied them (Epochs ≤ Batches).
+	Batches, Epochs int64
+	// Partitions and Rows count ingested partitions and rows.
+	Partitions, Rows int64
+	// WarmStarted counts tree leaves materialized eagerly at ingestion.
+	WarmStarted int64
+	// Pending is the instantaneous number of batches not yet fully
+	// applied: queued plus those inside the in-flight epoch.
+	Pending int64
+}
+
+// Ingestor turns asynchronous batched partition arrivals into ordered
+// ingestion epochs over one streaming (or partitioned) session. Safe for
+// concurrent use by any number of producers.
+type Ingestor struct {
+	sess *core.Session
+
+	mu      sync.Mutex
+	pending []pendingBatch
+	// applying is the number of batches swapped out of pending whose
+	// epoch is still being applied; Flush waits on both.
+	applying int
+	closed   bool
+	wake     chan struct{}
+	drained  *sync.Cond // signaled when the queue and in-flight epoch empty
+
+	wg sync.WaitGroup
+
+	batches, epochs, parts, rows, warmed atomic.Int64
+}
+
+// pendingBatch is one Submit awaiting its epoch.
+type pendingBatch struct {
+	arrivals []Arrival
+	ticket   *Ticket
+}
+
+// NewIngestor creates an ingestor over sess and starts its epoch worker.
+// The session must be partitioned or streaming: non-partitioned sessions
+// cannot grow (core.Session.AppendPartitions refuses them). Close releases
+// the worker.
+func NewIngestor(sess *core.Session) (*Ingestor, error) {
+	if sess == nil {
+		return nil, errors.New("stream: nil session")
+	}
+	if sess.Tree() == nil {
+		return nil, errors.New("stream: ingestion needs a partitioned or streaming session")
+	}
+	in := &Ingestor{
+		sess: sess,
+		wake: make(chan struct{}, 1),
+	}
+	in.drained = sync.NewCond(&in.mu)
+	in.wg.Add(1)
+	go in.worker()
+	return in, nil
+}
+
+// Submit enqueues one batch of arrivals for the next ingestion epoch and
+// returns immediately with a ticket; partition indices are assigned in
+// submission order when the epoch is applied. Payloads are validated here,
+// before any index is assigned, so a malformed batch fails fast without
+// consuming partitions.
+func (in *Ingestor) Submit(arrivals ...Arrival) (*Ticket, error) {
+	if len(arrivals) == 0 {
+		return nil, errors.New("stream: empty batch")
+	}
+	domSize := in.sess.Dataset().Domain().Size()
+	for i, a := range arrivals {
+		if a.Counts == nil {
+			continue
+		}
+		if len(a.Counts) != domSize {
+			return nil, fmt.Errorf("stream: arrival %d has %d bins, domain has %d", i, len(a.Counts), domSize)
+		}
+		for bin, c := range a.Counts {
+			if c < 0 {
+				return nil, fmt.Errorf("stream: arrival %d has negative count %d at bin %d", i, c, bin)
+			}
+		}
+	}
+	t := &Ticket{done: make(chan struct{}), count: len(arrivals)}
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return nil, errors.New("stream: ingestor closed")
+	}
+	in.pending = append(in.pending, pendingBatch{arrivals: arrivals, ticket: t})
+	in.mu.Unlock()
+	in.batches.Add(1)
+	select {
+	case in.wake <- struct{}{}:
+	default: // worker already has a wake-up pending
+	}
+	return t, nil
+}
+
+// Append is the synchronous convenience: Submit plus Wait.
+func (in *Ingestor) Append(arrivals ...Arrival) (first, last int, err error) {
+	t, err := in.Submit(arrivals...)
+	if err != nil {
+		return 0, 0, err
+	}
+	return t.Wait()
+}
+
+// Flush blocks until every batch submitted before the call has been
+// applied.
+func (in *Ingestor) Flush() {
+	in.mu.Lock()
+	for len(in.pending) > 0 || in.applying > 0 {
+		in.drained.Wait()
+	}
+	in.mu.Unlock()
+}
+
+// Close drains the queue, stops the worker, and fails any batch submitted
+// after the close began. Idempotent.
+func (in *Ingestor) Close() {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return
+	}
+	in.closed = true
+	in.mu.Unlock()
+	select {
+	case in.wake <- struct{}{}:
+	default:
+	}
+	in.wg.Wait()
+}
+
+// Stats returns a snapshot of the ingestion counters.
+func (in *Ingestor) Stats() Stats {
+	in.mu.Lock()
+	pending := int64(len(in.pending) + in.applying)
+	in.mu.Unlock()
+	return Stats{
+		Batches:     in.batches.Load(),
+		Epochs:      in.epochs.Load(),
+		Partitions:  in.parts.Load(),
+		Rows:        in.rows.Load(),
+		WarmStarted: in.warmed.Load(),
+		Pending:     pending,
+	}
+}
+
+// worker applies ingestion epochs until Close. Each round swaps out the
+// whole pending queue and applies it as one epoch.
+func (in *Ingestor) worker() {
+	defer in.wg.Done()
+	for {
+		in.mu.Lock()
+		batch := in.pending
+		in.pending = nil
+		in.applying = len(batch)
+		closed := in.closed
+		in.mu.Unlock()
+		if len(batch) > 0 {
+			in.applyEpoch(batch)
+			in.mu.Lock()
+			in.applying = 0
+			if len(in.pending) == 0 {
+				in.drained.Broadcast()
+			}
+			in.mu.Unlock()
+			continue // re-check for submissions that arrived mid-epoch
+		}
+		if closed {
+			in.mu.Lock()
+			in.drained.Broadcast()
+			in.mu.Unlock()
+			return
+		}
+		<-in.wake
+	}
+}
+
+// applyEpoch ingests the coalesced batches in the accountants-first order
+// the package comment documents.
+func (in *Ingestor) applyEpoch(batch []pendingBatch) {
+	k := 0
+	for _, b := range batch {
+		k += len(b.arrivals)
+	}
+	first, err := in.sess.AppendPartitions(k)
+	if err != nil {
+		for _, b := range batch {
+			b.ticket.err = err
+			close(b.ticket.done)
+		}
+		return
+	}
+	in.epochs.Add(1)
+	in.parts.Add(int64(k))
+
+	ds := in.sess.Dataset()
+	next := first
+	for _, b := range batch {
+		b.ticket.first = next
+		b.ticket.parts = first + k
+		for _, a := range b.arrivals {
+			if a.Counts != nil {
+				if err := ds.BulkLoad(next, a.Counts); err != nil {
+					// Counts were validated at Submit; a failure here means
+					// the partition index is wrong, which the epoch
+					// serialization makes impossible. Surface it anyway.
+					b.ticket.err = err
+				} else {
+					for _, c := range a.Counts {
+						in.rows.Add(int64(c))
+					}
+				}
+			}
+			next++
+		}
+	}
+	// Eagerly warm-start the epoch's tree leaves, left to right so each
+	// new leaf can copy from its (possibly epoch-mate) predecessor. Under
+	// Mode Partitioned (no warm-start) this is a no-op and leaves stay
+	// lazy.
+	if t := in.sess.Tree(); t != nil && in.sess.Mode() == core.Streaming {
+		for p := first; p < first+k; p++ {
+			if t.EagerWarmStart(p) {
+				in.warmed.Add(1)
+			}
+		}
+	}
+	for _, b := range batch {
+		close(b.ticket.done)
+	}
+}

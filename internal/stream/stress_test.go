@@ -1,0 +1,205 @@
+// Race/stress suite for the streaming ingestion pipeline: ingestion storms
+// interleaved with tree-mode queries (run with -race), covering pure-ε and
+// Gaussian sessions, asserting the budget books stay consistent across
+// epochs.
+
+package stream
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/accountant"
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// TestIngestionStorm floods a session with concurrent arrival batches while
+// query workers hammer windows over whatever partitions currently exist.
+// Invariants checked after the storm, for pure-ε and Gaussian accounting:
+//
+//   - every accountant covers every dataset partition (never lagged);
+//   - per-partition spend stays within ε_G (Gaussian: converted spend, and
+//     the mirrored scalar book agrees with it);
+//   - every ticket resolved to a unique, dense partition index;
+//   - ingested partitions hold exactly the submitted rows.
+func TestIngestionStorm(t *testing.T) {
+	for _, gaussian := range []bool{false, true} {
+		name := "pure"
+		if gaussian {
+			name = "gaussian"
+		}
+		t.Run(name, func(t *testing.T) {
+			const initial = 2
+			ds := testDS(t, initial)
+			sess := streamingSession(t, ds, core.Streaming, gaussian)
+			ing, err := NewIngestor(sess)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ing.Close()
+
+			pool := []*query.Query{
+				query.MustNew(ds.Domain(), map[int][]int{0: {1}}),
+				query.MustNew(ds.Domain(), map[int][]int{1: {0, 2}}),
+				query.MustNew(ds.Domain(), map[int][]int{0: {2}, 1: {3}}),
+			}
+
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			var indices []int
+			const producers, batchesPer = 4, 6
+			rowsPerBin := 20
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for b := 0; b < batchesPer; b++ {
+						size := 1 + (p+b)%2
+						batch := make([]Arrival, size)
+						for i := range batch {
+							batch[i] = arrival(ds.Domain(), rowsPerBin)
+						}
+						first, last, err := ing.Append(batch...)
+						if err != nil {
+							t.Errorf("producer %d: %v", p, err)
+							return
+						}
+						mu.Lock()
+						for i := first; i <= last; i++ {
+							indices = append(indices, i)
+						}
+						mu.Unlock()
+					}
+				}(p)
+			}
+			const workers = 6
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 50; i++ {
+						// Windows over partitions that existed at loop
+						// entry: valid even as the stream grows, and every
+						// named partition's budget exists (accountants grow
+						// before the dataset).
+						parts := ds.Partitions()
+						lo := (w + i) % parts
+						q := pool[i%len(pool)].WithWindow(lo, parts-1)
+						if _, err := sess.Answer(q); err != nil && !errors.Is(err, accountant.ErrBudgetExhausted) {
+							t.Errorf("worker %d: %v", w, err)
+							return
+						}
+						if sess.Accountant().Partitions() < ds.Partitions() {
+							t.Error("scalar block lags the dataset")
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			ing.Flush()
+
+			// Index assignment: a dense, unique range after the initial
+			// partitions.
+			sort.Ints(indices)
+			for i, idx := range indices {
+				if idx != initial+i {
+					t.Fatalf("indices not dense at %d: got %d", i, idx)
+				}
+			}
+			if ds.Partitions() != initial+len(indices) {
+				t.Fatalf("dataset has %d partitions, want %d", ds.Partitions(), initial+len(indices))
+			}
+			for _, idx := range indices {
+				if n := ds.PartitionN(idx); n != rowsPerBin*ds.Domain().Size() {
+					t.Fatalf("partition %d holds %d rows", idx, n)
+				}
+			}
+
+			// Budget books: consistent across every epoch the storm drove.
+			acct := sess.Accountant()
+			if acct.Partitions() != ds.Partitions() {
+				t.Fatalf("block has %d partitions, dataset %d", acct.Partitions(), ds.Partitions())
+			}
+			for i := 0; i < acct.Partitions(); i++ {
+				if s := acct.SpentAt(i); s > acct.Global()+1e-9 {
+					t.Fatalf("partition %d overspent: %g", i, s)
+				}
+			}
+			if a := sess.RDPAdmission(); a != nil {
+				if a.Block().Partitions() != ds.Partitions() {
+					t.Fatalf("RDP block has %d partitions, dataset %d", a.Block().Partitions(), ds.Partitions())
+				}
+				for i := 0; i < ds.Partitions(); i++ {
+					conv := a.Block().SpentDPAt(i)
+					if conv > acct.Global()+1e-9 {
+						t.Fatalf("partition %d converted spend %g exceeds ε_G", i, conv)
+					}
+					if diff := conv - acct.SpentAt(i); diff > 1e-9 || diff < -1e-9 {
+						t.Fatalf("partition %d books diverge: %g vs %g", i, conv, acct.SpentAt(i))
+					}
+				}
+			}
+
+			st := ing.Stats()
+			if st.Partitions != int64(len(indices)) || st.Pending != 0 {
+				t.Fatalf("stats: %+v, want %d partitions, 0 pending", st, len(indices))
+			}
+		})
+	}
+}
+
+// TestStormWithDedup layers identical concurrent queries on top of an
+// ingestion storm: the single-flight group must keep the pipeline safe
+// when many goroutines race the same window/version while partitions
+// arrive.
+func TestStormWithDedup(t *testing.T) {
+	ds := testDS(t, 4)
+	sess := streamingSession(t, ds, core.Streaming, false)
+	ing, err := NewIngestor(sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing.Close()
+
+	q := query.MustNew(ds.Domain(), map[int][]int{0: {1}})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for b := 0; b < 8; b++ {
+			if _, _, err := ing.Append(arrival(ds.Domain(), 15)); err != nil {
+				t.Errorf("append: %v", err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				// Everyone chases the same fixed window so duplicates pile
+				// onto the same flight key per data version.
+				if _, err := sess.Answer(q.WithWindow(0, 3)); err != nil && !errors.Is(err, accountant.ErrBudgetExhausted) {
+					t.Errorf("answer: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	acct := sess.Accountant()
+	for i := 0; i < acct.Partitions(); i++ {
+		if s := acct.SpentAt(i); s > acct.Global()+1e-9 {
+			t.Fatalf("partition %d overspent: %g", i, s)
+		}
+	}
+	if sess.Queries() == 0 {
+		t.Fatal("no queries served")
+	}
+}

@@ -419,9 +419,37 @@ func (t *Tree) payLaplace(start, end int, eps float64) error {
 // session grows the scalar block itself, before the dataset, so the
 // accountants always cover every queryable partition).
 func (t *Tree) AddPartition() {
+	t.AddPartitions(1)
+}
+
+// AddPartitions grows the Rényi accountant by one ingestion epoch of k
+// partitions; no-op under pure-DP accounting (see AddPartition).
+func (t *Tree) AddPartitions(k int) {
 	if t.admit != nil {
-		t.admit.Block().AddPartition()
+		t.admit.Block().AddPartitions(k)
 	}
+}
+
+// EagerWarmStart materializes partition p's leaf state ahead of its first
+// query, applying the §4.5 warm-start (copy the previous leaf's histogram
+// and heuristic state) at ingestion time instead of on the first query
+// that touches the partition. It reports whether a new leaf was created;
+// it is a no-op when warm-starting is disabled, the partition is out of
+// range, or the leaf already exists. Safe for concurrent use: it follows
+// the window-locking discipline of Run over [p, p] (extended one left by
+// lockWindow for the warm-start read).
+func (t *Tree) EagerWarmStart(p int) bool {
+	if !t.cfg.WarmStart || p < 0 || p >= t.exec.Dataset().Partitions() {
+		return false
+	}
+	locked := t.lockWindow(p, p)
+	defer unlockAll(locked)
+	iv := interval.Node{Start: p, End: p}
+	if _, ok := t.lookupNode(iv); ok {
+		return false
+	}
+	t.getNode(iv)
+	return true
 }
 
 // Admission exposes the concurrent RDP filter of Gaussian accounting (nil
