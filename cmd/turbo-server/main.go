@@ -5,20 +5,36 @@
 // ingest new time partitions through POST /append (batched arrivals,
 // applied as ordered epochs with eager warm-start in streaming mode).
 //
+// Durable state: -state loads a snapshot at boot (when the file exists)
+// and writes one atomically (temp file + rename) on SIGINT/SIGTERM, so a
+// restart forfeits neither spent budget nor cache warmth; GET /snapshot
+// and POST /restore expose the same envelope over HTTP. -append-backlog
+// bounds the ingestion queue: overflowing appends shed with 503 +
+// Retry-After instead of queueing without bound.
+//
 //	turbo-server -addr :8080 -dataset covid -mode streaming
 //	curl -s localhost:8080/query -d '{"sql":"SELECT COUNT(*) FROM covid WHERE positive = 1"}'
 //	curl -s localhost:8080/append -d '{"partitions":[{}]}'
+//	curl -s localhost:8080/snapshot -o turbo.snap
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/persist"
 	"repro/internal/server"
 	"repro/internal/tree"
 	"repro/internal/workload"
@@ -38,6 +54,8 @@ func main() {
 		deltaG      = flag.Float64("delta", 1e-6, "δ_G for -gaussian")
 		seed        = flag.Uint64("seed", 42, "deterministic seed")
 		shards      = flag.Int("shards", runtime.NumCPU(), "concurrent executor shards (partitioned modes)")
+		statePath   = flag.String("state", "", "snapshot file: restored at boot if present, written atomically on SIGINT/SIGTERM")
+		backlog     = flag.Int("append-backlog", 0, "bound on queued /append batches; overflow sheds with 503 (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -84,9 +102,30 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := server.New(sess, table)
+	srv, err := server.New(sess, table, server.WithAppendBacklog(*backlog))
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Durable state: restore before serving, checkpoint on shutdown. The
+	// snapshot must have been taken by a server with the same flags (the
+	// session identity — dataset build, mode, budgets — must match).
+	// The dataset rides inside the snapshot (PersistDataset): the
+	// synthetic store is in-memory, so without it a checkpoint taken
+	// after any /append could never match a freshly-rebuilt dataset.
+	if *statePath != "" {
+		sess.PersistDataset()
+		if f, err := os.Open(*statePath); err == nil {
+			loadErr := sess.LoadState(f)
+			f.Close()
+			if loadErr != nil {
+				log.Fatalf("turbo-server: restore %s: %v", *statePath, loadErr)
+			}
+			fmt.Printf("restored state from %s (%d queries served, avg spent %.4g)\n",
+				*statePath, sess.Queries(), sess.AverageSpent())
+		} else if !os.IsNotExist(err) {
+			log.Fatal(err)
+		}
 	}
 
 	guarantee := fmt.Sprintf("ε_G=%g", *epsG)
@@ -95,12 +134,51 @@ func main() {
 	}
 	fmt.Printf("turbo-server: %s over %s (%d rows, %d partitions) with (α=%g, β=%g), %s, %d shards\n",
 		m, ds.Domain(), ds.NRowsAll(), ds.Partitions(), *alpha, *beta, guarantee, *shards)
-	endpoints := "POST /query, GET /budget, GET /schema"
+	endpoints := "POST /query, GET /budget, GET /schema, GET /snapshot, POST /restore"
 	if m != core.NonPartitioned {
-		endpoints = "POST /query, POST /append, GET /budget, GET /schema"
+		endpoints = "POST /query, POST /append, GET /budget, GET /schema, GET /snapshot, POST /restore"
 	}
 	fmt.Printf("listening on http://%s  (%s)\n", *addr, endpoints)
-	serveErr := http.ListenAndServe(*addr, srv.Handler())
-	srv.Close() // drain the ingestion worker before reporting the error
-	log.Fatal(serveErr)
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	shutdownDone := make(chan struct{})
+	go func() {
+		<-sigs
+		// Stop accepting and wait for in-flight requests before the
+		// checkpoint below: budget paid by a request racing the snapshot
+		// would otherwise be forfeited on restore — released results
+		// whose charge the restored accountant never saw. A hung
+		// connection must not postpone the checkpoint forever, so the
+		// drain is bounded and a second signal forces it immediately.
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		go func() {
+			<-sigs
+			hs.Close()
+		}()
+		if err := hs.Shutdown(ctx); err != nil {
+			hs.Close()
+		}
+		close(shutdownDone)
+	}()
+	serveErr := hs.ListenAndServe()
+	if !errors.Is(serveErr, http.ErrServerClosed) {
+		log.Fatal(serveErr)
+	}
+	// ListenAndServe returns as soon as the listener closes; the drain
+	// is done only when Shutdown itself has returned. Only then may the
+	// ingestor drain and the checkpoint run — otherwise still-active
+	// handlers (a /query paying budget, a /snapshot holding the quiesce)
+	// would race them.
+	<-shutdownDone
+	srv.Close() // drain the ingestion worker: pending epochs apply before the snapshot
+	if *statePath != "" {
+		if err := persist.WriteFileAtomic(*statePath, func(w io.Writer) error {
+			return sess.SaveState(w)
+		}); err != nil {
+			log.Fatalf("turbo-server: checkpoint: %v", err)
+		}
+		fmt.Printf("checkpointed state to %s\n", *statePath)
+	}
 }

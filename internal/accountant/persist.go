@@ -1,0 +1,150 @@
+// Durable accountant state: the Block and RDPBlock sections of a session
+// snapshot (internal/persist). Spend is the one thing a restart must
+// never forfeit — forgetting consumption would let a restored deployment
+// exceed ε_G — so both accountants serialize their full consumption
+// state: the scalar per-partition spend vector, and, for Rényi
+// accounting, the per-partition consumed curves plus the δ_G-converted
+// amounts already mirrored into the scalar block. Restoring the curves
+// is what lifts the old "SaveState does not support Gaussian/RDP
+// sessions" refusal: a restored admission layer sees the exact composed
+// history, so the combined pre- and post-restore consumption can never
+// exceed the (ε_G, δ_G) target.
+//
+// Live interactive mechanisms (shared sparse vectors) are deliberately
+// not persisted: their consumed curves are irrevocable and stay in the
+// spent state, and a restored session re-initializes SVs on first use —
+// one fresh init payment per node set, which is always privacy-safe.
+
+package accountant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/persist"
+)
+
+// SectionBlock tags the scalar per-partition accountant in snapshots.
+const SectionBlock = "accountant/block"
+
+// SectionRDP tags the Rényi per-partition accountant in snapshots.
+const SectionRDP = "accountant/rdp"
+
+// blockState is the Block section payload.
+type blockState struct {
+	Global float64
+	Spent  []float64
+}
+
+// SnapshotSection implements persist.Snapshotter.
+func (b *Block) SnapshotSection() string { return SectionBlock }
+
+// SnapshotPayload exports the per-partition spend vector.
+func (b *Block) SnapshotPayload() ([]byte, error) {
+	return persist.Encode(blockState{Global: b.Global(), Spent: b.SpentVector()})
+}
+
+// RestorePayload replaces the per-partition spend with a snapshot's. The
+// block must cover the same partitions under the same ε_G; values are
+// validated by RestoreSpent (each in [0, ε_G]).
+func (b *Block) RestorePayload(payload []byte) error {
+	var st blockState
+	if err := persist.Decode(payload, &st); err != nil {
+		return err
+	}
+	if st.Global != b.Global() {
+		return fmt.Errorf("accountant: snapshot ε_G %g != session ε_G %g", st.Global, b.Global())
+	}
+	return b.RestoreSpent(st.Spent)
+}
+
+// rdpBlockState is the RDPBlock section payload: the full consumed curve
+// per partition plus the converted spend already mirrored into the
+// scalar block (which the Block section restores separately — the two
+// books stay consistent because both come from the same snapshot).
+type rdpBlockState struct {
+	Orders   []float64
+	EpsG     float64
+	DeltaG   float64
+	Spent    [][]float64
+	Mirrored []float64
+}
+
+// SnapshotSection implements persist.Snapshotter.
+func (b *RDPBlock) SnapshotSection() string { return SectionRDP }
+
+// SnapshotPayload exports every partition's consumed Rényi curve.
+func (b *RDPBlock) SnapshotPayload() ([]byte, error) {
+	b.mu.Lock()
+	st := rdpBlockState{
+		Orders:   append([]float64(nil), b.orders...),
+		EpsG:     b.epsG,
+		DeltaG:   b.deltaG,
+		Spent:    make([][]float64, len(b.spent)),
+		Mirrored: append([]float64(nil), b.mirrored...),
+	}
+	for p, c := range b.spent {
+		st.Spent[p] = append([]float64(nil), c.Eps...)
+	}
+	b.mu.Unlock()
+	return persist.Encode(st)
+}
+
+// RestorePayload replaces the consumed curves with a snapshot's. The
+// snapshot must target the same (ε_G, δ_G) over the same order grid and
+// partition count. The scalar mirror is NOT re-charged: the mirrored
+// amounts were already part of the scalar block's own section, so this
+// only records how much of that spend this accountant accounts for. A
+// restored history needs no stopping-rule check — it was admitted
+// payment by payment when first composed — but every value must be a
+// finite, non-negative ε and the mirrored spend must stay within the
+// mirror's actual books.
+func (b *RDPBlock) RestorePayload(payload []byte) error {
+	var st rdpBlockState
+	if err := persist.Decode(payload, &st); err != nil {
+		return err
+	}
+	if st.EpsG != b.epsG || st.DeltaG != b.deltaG {
+		return fmt.Errorf("accountant: snapshot targets (ε_G=%g, δ_G=%g), session enforces (%g, %g)",
+			st.EpsG, st.DeltaG, b.epsG, b.deltaG)
+	}
+	if len(st.Orders) != len(b.orders) {
+		return fmt.Errorf("accountant: snapshot order grid has %d orders, session has %d",
+			len(st.Orders), len(b.orders))
+	}
+	for i, a := range st.Orders {
+		if a != b.orders[i] {
+			return fmt.Errorf("accountant: snapshot order grid differs at %d (%g vs %g)", i, a, b.orders[i])
+		}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(st.Spent) != len(b.spent) || len(st.Mirrored) != len(b.spent) {
+		return fmt.Errorf("accountant: snapshot covers %d partitions (mirrored %d), session has %d",
+			len(st.Spent), len(st.Mirrored), len(b.spent))
+	}
+	for p, eps := range st.Spent {
+		if len(eps) != len(b.orders) {
+			return fmt.Errorf("accountant: partition %d curve has %d orders, want %d", p, len(eps), len(b.orders))
+		}
+		for _, e := range eps {
+			if e < 0 || math.IsNaN(e) || math.IsInf(e, 0) {
+				return fmt.Errorf("accountant: bad restored curve value %g at partition %d", e, p)
+			}
+		}
+	}
+	for p, m := range st.Mirrored {
+		if m < 0 || math.IsNaN(m) {
+			return fmt.Errorf("accountant: bad restored mirrored spend %g at partition %d", m, p)
+		}
+		if b.mirror != nil && m > b.mirror.SpentAt(p)+curveTol {
+			return fmt.Errorf("accountant: partition %d mirrored spend %g exceeds the scalar book's %g",
+				p, m, b.mirror.SpentAt(p))
+		}
+	}
+	for p := range b.spent {
+		copy(b.spent[p].Eps, st.Spent[p])
+	}
+	copy(b.mirrored, st.Mirrored)
+	return nil
+}

@@ -1,0 +1,143 @@
+package accountant
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBlockSnapshotRoundTrip(t *testing.T) {
+	b1 := NewBlock(5, 4)
+	if err := b1.PayRange(0, 2, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b1.PayRange(3, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := b1.SnapshotPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b2 := NewBlock(5, 4)
+	if err := b2.RestorePayload(payload); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		if b2.SpentAt(p) != b1.SpentAt(p) {
+			t.Fatalf("partition %d: restored %g, want %g", p, b2.SpentAt(p), b1.SpentAt(p))
+		}
+	}
+	// Restored consumption keeps enforcing: partition 3 has 1 left.
+	if err := b2.PayRange(3, 3, 1.5); err == nil {
+		t.Fatal("over-budget payment accepted after restore")
+	}
+	if err := b2.PayRange(3, 3, 0.5); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mismatched ε_G and partition count are refused.
+	if err := NewBlock(7, 4).RestorePayload(payload); err == nil ||
+		!strings.Contains(err.Error(), "ε_G") {
+		t.Fatalf("ε_G mismatch accepted: %v", err)
+	}
+	if err := NewBlock(5, 3).RestorePayload(payload); err == nil {
+		t.Fatal("partition mismatch accepted")
+	}
+	if err := NewBlock(5, 4).RestorePayload([]byte("junk")); err == nil {
+		t.Fatal("garbage payload accepted")
+	}
+}
+
+func TestRDPBlockSnapshotRoundTrip(t *testing.T) {
+	const epsG, deltaG = 5.0, 1e-6
+	mirror1 := NewBlock(epsG, 3)
+	b1 := NewRDPBlockForDP(DefaultOrders, epsG, deltaG, 3, mirror1)
+	if err := b1.PayRange(0, 1, GaussianCurve(DefaultOrders, 2.0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b1.PayRange(1, 2, LaplaceCurve(DefaultOrders, 0.7)); err != nil {
+		t.Fatal(err)
+	}
+	rdpPayload, err := b1.SnapshotPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockPayload, err := mirror1.SnapshotPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore order mirrors the session registry: scalar block first.
+	mirror2 := NewBlock(epsG, 3)
+	b2 := NewRDPBlockForDP(DefaultOrders, epsG, deltaG, 3, mirror2)
+	if err := mirror2.RestorePayload(blockPayload); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.RestorePayload(rdpPayload); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 3; p++ {
+		c1, c2 := b1.SpentCurveAt(p), b2.SpentCurveAt(p)
+		for i := range c1.Eps {
+			if c1.Eps[i] != c2.Eps[i] {
+				t.Fatalf("partition %d order %g: restored %g, want %g",
+					p, c1.Orders[i], c2.Eps[i], c1.Eps[i])
+			}
+		}
+		if b1.SpentDPAt(p) != b2.SpentDPAt(p) {
+			t.Fatalf("partition %d converted spend %g != %g", p, b2.SpentDPAt(p), b1.SpentDPAt(p))
+		}
+		if mirror1.SpentAt(p) != mirror2.SpentAt(p) {
+			t.Fatalf("partition %d mirror %g != %g", p, mirror2.SpentAt(p), mirror1.SpentAt(p))
+		}
+	}
+
+	// Post-restore payments mirror only the increment: the books advance
+	// in step from the restored baseline, not from zero.
+	if err := b2.PayRange(0, 0, LaplaceCurve(DefaultOrders, 0.3)); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mirror2.SpentAt(0), b2.SpentDPAt(0); got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("mirror %g != converted %g after post-restore payment", got, want)
+	}
+}
+
+func TestRDPBlockRestoreValidation(t *testing.T) {
+	const epsG, deltaG = 5.0, 1e-6
+	src := NewRDPBlockForDP(DefaultOrders, epsG, deltaG, 2, nil)
+	if err := src.PayRange(0, 1, LaplaceCurve(DefaultOrders, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := src.SnapshotPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong DP target.
+	if err := NewRDPBlockForDP(DefaultOrders, epsG, 1e-7, 2, nil).RestorePayload(payload); err == nil {
+		t.Fatal("δ_G mismatch accepted")
+	}
+	// Wrong partition count.
+	if err := NewRDPBlockForDP(DefaultOrders, epsG, deltaG, 3, nil).RestorePayload(payload); err == nil {
+		t.Fatal("partition mismatch accepted")
+	}
+	// Wrong order grid.
+	if err := NewRDPBlockForDP([]float64{2, 4, 8}, epsG, deltaG, 2, nil).RestorePayload(payload); err == nil {
+		t.Fatal("order grid mismatch accepted")
+	}
+	// Mirrored spend exceeding the scalar book (mirror restored empty).
+	mirror := NewBlock(epsG, 2)
+	withMirror := NewRDPBlockForDP(DefaultOrders, epsG, deltaG, 2, mirror)
+	srcM := NewRDPBlockForDP(DefaultOrders, epsG, deltaG, 2, NewBlock(epsG, 2))
+	if err := srcM.PayRange(0, 1, LaplaceCurve(DefaultOrders, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	payloadM, err := srcM.SnapshotPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := withMirror.RestorePayload(payloadM); err == nil ||
+		!strings.Contains(err.Error(), "scalar book") {
+		t.Fatalf("mirror desync accepted: %v", err)
+	}
+}

@@ -43,6 +43,7 @@ var Experiments = []Experiment{
 	{"drain", "ablation: adversarial budget drain and §A.5 cutoff", AdversarialDrain},
 	{"scaling", "concurrency: sharded pipeline throughput vs global-mutex seed", Scaling},
 	{"streaming", "streaming ingestion: arrivals interleaved with queries (batched epochs + eager warm-start)", Streaming},
+	{"checkpoint", "durability: snapshot/restore latency and post-restore cache hit-rate vs cold start (internal/persist)", Checkpoint},
 }
 
 // Lookup finds an experiment by name.

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/kvstore"
+	"repro/internal/persist"
 	"repro/internal/query"
 )
 
@@ -137,6 +138,31 @@ func (c *Exact) invalidate(key string, stale Entry) {
 	}
 	c.mu.Unlock()
 	c.store.CompareDelete(c.ns, key, stale)
+}
+
+// SnapshotSection implements persist.Snapshotter: each cache persists the
+// namespace slice of the KV store it owns, tagged by that namespace.
+func (c *Exact) SnapshotSection() string { return "cache/" + c.ns }
+
+// SnapshotPayload exports the cache's stored entries (raw KV bytes; the
+// decoded fast map is a rebuildable acceleration layer and is skipped).
+func (c *Exact) SnapshotPayload() ([]byte, error) {
+	return persist.Encode(c.store.ExportNamespace(c.ns))
+}
+
+// RestorePayload replaces the cache's namespace contents with a
+// snapshot's and resets the fast map, so every restored entry is decoded
+// from the store on first touch.
+func (c *Exact) RestorePayload(payload []byte) error {
+	var data map[string][]byte
+	if err := persist.Decode(payload, &data); err != nil {
+		return err
+	}
+	c.store.ImportNamespace(c.ns, data)
+	c.mu.Lock()
+	c.fast = make(map[string]Entry)
+	c.mu.Unlock()
+	return nil
 }
 
 // Stats returns hit and miss counts.

@@ -1,108 +1,152 @@
 // Session persistence: the prototype keeps all caching state in Redis
-// (§5); here a session can serialize that state — exact caches, PMW
-// histograms, heuristic thresholds, and the accountant — to any
-// io.Writer, and a fresh session over the same dataset can restore it.
+// (§5); here a session serializes that state — exact caches, PMW/tree
+// histograms, heuristic thresholds, and both accountants — through the
+// internal/persist envelope (versioned, section-tagged), and a fresh
+// session over the same dataset restores it. SaveState/LoadState are
+// thin orchestrators: every stateful layer registers itself as a
+// persist.Snapshotter section (see NewSession and
+// stream.NewIngestor), and the registry does the rest.
+//
+// Gaussian/Rényi sessions round-trip like pure-ε ones: the RDPBlock
+// section carries the per-partition consumed curves and the mirrored
+// δ_G-converted spend, so a restored admission layer sees the exact
+// composed history (the old scalar-only format had to refuse them).
 //
 // Sparse-vector state is intentionally not persisted: a restored session
-// re-initializes SVs on first use (one 3ε payment per SV), which is
+// re-initializes SVs on first use (one init payment per SV), which is
 // always safe. Restoring must happen before the new session answers any
-// query.
+// query, and a LoadState error leaves the session in an undefined state —
+// discard it.
 
 package core
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/heuristic"
 	"repro/internal/histogram"
-	"repro/internal/kvstore"
+	"repro/internal/persist"
 	"repro/internal/tree"
 )
 
-// sessionState is the gob wire format of a session's caching state.
-type sessionState struct {
-	Mode             Mode
-	DatasetVersion   int
-	Partitions       int
-	Spent            []float64
-	Single           *histogram.State
-	SingleThresholds []float64
-	Nodes            []tree.NodeState
-	Queries          int
-	BySource         map[Source]int
-}
+// ErrAlreadyServing reports a LoadState attempted after the session
+// answered queries; restore only targets fresh sessions.
+var ErrAlreadyServing = errors.New("core: LoadState after queries were served")
 
-// SaveState serializes the session's caching and accounting state.
+// ErrStateCorrupt reports traffic refused because a failed LoadState
+// left the session partially restored. The partial state is always
+// privacy-conservative (charges restore before the results they paid
+// for), but it is undefined — the session must be discarded.
+var ErrStateCorrupt = errors.New("core: session state corrupted by a failed restore; discard the session")
+
+// ErrRestoring reports a query refused because a LoadState is in
+// progress; the caller may retry once the restore completes.
+var ErrRestoring = errors.New("core: state restore in progress")
+
+// SaveState serializes the session's caching and accounting state as a
+// persist envelope: one section per registered layer, streaming layers
+// quiesced at an epoch boundary for the duration. The image is fully
+// consistent when no queries are in flight; concurrent answers at worst
+// skew late sections the way any external observer could (and only in
+// the conservative direction — see persist.Registry.Save). A session
+// poisoned by a failed restore refuses to snapshot: its undefined state
+// must never overwrite a good checkpoint.
 func (s *Session) SaveState(w io.Writer) error {
-	st := sessionState{
-		Mode:           s.cfg.Mode,
-		DatasetVersion: s.ds.Version(),
-		Partitions:     s.ds.Partitions(),
-		Spent:          s.block.SpentVector(),
-		Queries:        s.Queries(),
-		BySource:       s.SourceCounts(),
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if s.corrupt.Load() {
+		return ErrStateCorrupt
 	}
-	if s.RDPAdmission() != nil {
-		return errors.New("core: SaveState does not support Gaussian/RDP sessions")
-	}
-	if s.single != nil {
-		hs := s.single.Histogram().State()
-		st.Single = &hs
-		if ap, ok := s.single.Heuristic().(*heuristic.AdaptivePerBin); ok {
-			_, _, st.SingleThresholds = ap.State()
-		}
-	}
-	if s.tree != nil {
-		st.Nodes = s.tree.ExportNodes()
-	}
-	if err := gob.NewEncoder(w).Encode(st); err != nil {
+	// Quiesce first (an in-flight ingestion epoch holds appendMu, so the
+	// barrier must come after it lands), then hold the epoch mutex for
+	// the whole capture: a direct AppendPartitions racing the capture
+	// would otherwise leave the snapshot's accountant and dataset
+	// sections disagreeing on the partition count — a checkpoint that
+	// reports success but can never restore.
+	resume := s.registry.QuiesceAll()
+	defer resume()
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+	if err := s.registry.Capture(w); err != nil {
 		return fmt.Errorf("core: save state: %w", err)
 	}
-	// The KV store carries the exact-cache entries.
-	return s.store.Snapshot(w)
+	return nil
 }
 
 // LoadState restores previously saved state into a freshly-created
-// session over the same dataset (same partition count and version). It
-// must run before any query is answered.
+// session with the same configuration over the same dataset (same
+// partition count and version). It must run before any query is
+// answered. Envelope and section failures surface as typed errors
+// (persist.ErrBadMagic, persist.ErrTruncated, *persist.SectionError
+// naming the offending section, ...); on any error the session state is
+// undefined and the session must be discarded.
 func (s *Session) LoadState(r io.Reader) error {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if s.corrupt.Load() {
+		// A retry over a poisoned session could report success while the
+		// poison still refuses traffic; the session must be recreated.
+		return ErrStateCorrupt
+	}
+	// Refuse a doomed restore before raising the gate: the counter is
+	// monotone, so a serving session stays refused — without this check
+	// first, every stray /restore against a busy server would bounce
+	// concurrent queries with ErrRestoring while the drain ran, only to
+	// fail here anyway.
 	if s.Queries() > 0 {
-		return errors.New("core: LoadState after queries were served")
+		return ErrAlreadyServing
 	}
-	// Symmetric with SaveState: a snapshot holds only scalar spend, so
-	// restoring into a Gaussian session would leave its RDP admission
-	// layer blind to the consumed budget (the combined history could
-	// exceed ε_G and the mirrored books would desynchronize).
-	if s.RDPAdmission() != nil {
-		return errors.New("core: LoadState does not support Gaussian/RDP sessions")
+	// Close the in-flight window: a query that has already paid but not
+	// yet recorded would otherwise slip past the freshness check below
+	// and have its charge wiped by the restored accountant sections —
+	// its released answer would then be free. New queries fail fast
+	// with ErrRestoring; draining makes any racer finish recording, so
+	// the Queries() check sees it.
+	s.restoring.Store(true)
+	defer s.restoring.Store(false)
+	for s.inflight.Load() > 0 {
+		time.Sleep(50 * time.Microsecond)
 	}
-	var st sessionState
-	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+	// Appends are gated the same way (AppendPartitions fails fast while
+	// restoring); taking and releasing the epoch mutex waits out any
+	// epoch that slipped in before the gate rose, so no append can
+	// interleave with the section restores. The gate drops just before
+	// the stream section restores (see gateOpener) — its pending epochs
+	// re-apply through the normal append path over the fully-restored
+	// core state.
+	s.appendMu.Lock()
+	s.appendMu.Unlock()
+	if s.Queries() > 0 {
+		return ErrAlreadyServing
+	}
+	s.restoreMutated = false
+	if err := s.registry.Load(r); err != nil {
+		// A failure after some section began mutating leaves the session
+		// partially restored; poison it so further traffic is refused
+		// (ErrStateCorrupt) instead of served from undefined state. The
+		// core-owned sections flip restoreMutated only once their
+		// validations pass (so envelope failures and pure validation
+		// mismatches — not-a-snapshot, wrong mode, foreign accounting —
+		// leave the session untouched and usable), and every other
+		// section runs after core/meta has already flipped it.
+		if s.restoreMutated {
+			s.corrupt.Store(true)
+		}
 		return fmt.Errorf("core: load state: %w", err)
-	}
-	if st.Mode != s.cfg.Mode {
-		return fmt.Errorf("core: snapshot mode %v != session mode %v", st.Mode, s.cfg.Mode)
-	}
-	if st.Partitions != s.ds.Partitions() {
-		return fmt.Errorf("core: snapshot has %d partitions, dataset has %d", st.Partitions, s.ds.Partitions())
-	}
-	if st.DatasetVersion != s.ds.Version() {
-		return fmt.Errorf("core: snapshot taken at dataset version %d, have %d — cached results would be stale",
-			st.DatasetVersion, s.ds.Version())
-	}
-	if err := s.block.RestoreSpent(st.Spent); err != nil {
-		return err
 	}
 	// Re-admit the restored consumption into the concurrent filter so the
 	// two budget books stay in step (the non-partitioned path pays full
 	// range, so the scalar book equals the per-partition spend). The
-	// mechanism is retired immediately: its budget stays spent.
+	// mechanism is retired immediately: its budget stays spent. The
+	// Gaussian path needs no equivalent — its RDPBlock section restores
+	// the admission layer's own books directly.
 	if s.admit != nil {
 		spent := 0.0
-		for _, v := range st.Spent {
+		for _, v := range s.block.SpentVector() {
 			if v > spent {
 				spent = v
 			}
@@ -115,33 +159,285 @@ func (s *Session) LoadState(r io.Reader) error {
 			s.admit.Retire(h)
 		}
 	}
-	if s.single != nil {
-		if st.Single == nil {
-			return errors.New("core: snapshot lacks the PMW histogram")
-		}
-		h, err := histogram.FromState(*st.Single)
-		if err != nil {
-			return err
-		}
-		if err := s.single.WarmStart(h, nil); err != nil {
-			return err
-		}
-		if ap, ok := s.single.Heuristic().(*heuristic.AdaptivePerBin); ok && st.SingleThresholds != nil {
-			ap.SetThresholds(st.SingleThresholds)
-		}
+	return nil
+}
+
+// RegisterSnapshotter adds (or, for a re-created layer with the same
+// section tag, replaces) one layer in the session's snapshot registry.
+// The streaming ingestor registers its pending-epoch queue this way.
+// External sections restore after every core section, and through a
+// wrapper that first lowers the restore gate: the ingestor's pending
+// epochs re-apply via the normal append path, which the gate would
+// otherwise refuse — and by then the core state they land on is fully
+// restored and consistent.
+func (s *Session) RegisterSnapshotter(sn persist.Snapshotter) {
+	// persistMu keeps the registry mutation exclusive with a concurrent
+	// SaveState/LoadState iterating it (re-creating an ingestor over a
+	// live session is supported).
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	s.registry.Register(gateOpener{s: s, sn: sn})
+}
+
+// gateOpener wraps an externally-registered Snapshotter, forwarding the
+// optional persist capabilities and dropping the session's restore gate
+// before the wrapped section restores.
+type gateOpener struct {
+	s  *Session
+	sn persist.Snapshotter
+}
+
+// SnapshotSection implements persist.Snapshotter.
+func (g gateOpener) SnapshotSection() string { return g.sn.SnapshotSection() }
+
+// SnapshotPayload implements persist.Snapshotter.
+func (g gateOpener) SnapshotPayload() ([]byte, error) { return g.sn.SnapshotPayload() }
+
+// RestorePayload lowers the restore gate, then delegates.
+func (g gateOpener) RestorePayload(p []byte) error {
+	g.s.restoring.Store(false)
+	return g.sn.RestorePayload(p)
+}
+
+// SnapshotOptional forwards the wrapped layer's optionality.
+func (g gateOpener) SnapshotOptional() bool {
+	o, ok := g.sn.(persist.OptionalSection)
+	return ok && o.SnapshotOptional()
+}
+
+// Quiesce forwards the wrapped layer's quiesce (no-op without one).
+func (g gateOpener) Quiesce() func() {
+	if q, ok := g.sn.(persist.Quiescer); ok {
+		return q.Quiesce()
 	}
-	if s.tree != nil {
-		if err := s.tree.RestoreNodes(st.Nodes); err != nil {
-			return err
-		}
+	return func() {}
+}
+
+// PersistDataset opts the session into writing the dataset itself as a
+// snapshot section ("dataset/partitions"). Sessions over an
+// externally-durable DBMS never need it — the restore contract is "same
+// dataset" — but deployments whose store is in-memory (the HTTP server
+// under streaming ingestion, turbo-server's synthetic builds) would
+// otherwise produce checkpoints that can never be restored once /append
+// has grown the dataset beyond what a fresh boot rebuilds. The section
+// restores between identity and meta: after the config validation (a
+// foreign snapshot must not replace the dataset), before the meta
+// section's partition/version check (which then runs against the
+// restored data); the session's accountants grow to match before their
+// own sections restore. Restoring such snapshots needs no opt-in: the
+// section's owner is always registered. Call before serving traffic.
+func (s *Session) PersistDataset() {
+	s.persistData = true
+}
+
+// Corrupt reports whether a failed restore poisoned the session (see
+// ErrStateCorrupt); a poisoned session must be discarded.
+func (s *Session) Corrupt() bool { return s.corrupt.Load() }
+
+// datasetSection adapts the dataset (plus the accountant growth a
+// restored stream implies) into a persist.Snapshotter.
+type datasetSection struct{ s *Session }
+
+// SnapshotSection implements persist.Snapshotter.
+func (d datasetSection) SnapshotSection() string { return "dataset/partitions" }
+
+// SnapshotOptional lets snapshots without the section (sessions that
+// never opted in) restore anywhere.
+func (d datasetSection) SnapshotOptional() bool { return true }
+
+// SnapshotPayload exports the full dataset content, or omits the
+// section entirely unless the session opted in (PersistDataset).
+func (d datasetSection) SnapshotPayload() ([]byte, error) {
+	if !d.s.persistData {
+		return nil, nil
 	}
-	// Restore exact-cache contents. Replace the store in place so the
-	// cache objects (which hold a reference) observe the entries; the
-	// kvstore Restore method swaps contents under its own lock.
-	if err := restoreStore(s.store, r); err != nil {
+	return persist.Encode(d.s.ds.ExportState())
+}
+
+// RestorePayload replaces the dataset content and grows the session's
+// accountants over any partitions the snapshot's stream had appended
+// beyond the fresh build — accountants first, the AppendPartitions
+// ordering, so the books always cover every queryable partition.
+func (d datasetSection) RestorePayload(payload []byte) error {
+	var st dataset.State
+	if err := persist.Decode(payload, &st); err != nil {
 		return err
 	}
+	s := d.s
+	delta := len(st.Parts) - s.ds.Partitions()
+	if delta < 0 {
+		return fmt.Errorf("core: snapshot dataset has %d partitions, session already has %d",
+			len(st.Parts), s.ds.Partitions())
+	}
+	if delta > 0 && s.tree == nil {
+		return errors.New("core: snapshot dataset grew beyond the non-partitioned session's fixed range")
+	}
+	s.restoreMutated = true
+	if delta > 0 {
+		s.block.AddPartitions(delta)
+		s.tree.AddPartitions(delta)
+	}
+	return s.ds.RestoreState(st)
+}
+
+// buildRegistry assembles the session's snapshot sections in restore
+// order: identity first (validation-only, so a foreign-config snapshot
+// is refused before anything — the optional dataset section included —
+// mutates), then meta (dataset shape and counters), then accountants
+// (scalar before Rényi — the RDP section validates its mirrored spend
+// against the restored scalar book), then caches and histogram
+// machinery. The streaming ingestor appends itself last, which is also
+// correct restore order: pending epochs re-apply only after every
+// applied section is in place.
+func (s *Session) buildRegistry() {
+	s.registry = persist.NewRegistry()
+	s.registry.Register(identitySection{s})
+	// The dataset section's owner is always registered — every session
+	// can RESTORE a dataset-carrying snapshot — but the section is only
+	// WRITTEN after PersistDataset() opts in, so snapshots stay lean for
+	// sessions whose store is externally durable.
+	s.registry.Register(datasetSection{s})
+	s.registry.Register(metaSection{s})
+	s.registry.Register(s.block)
+	if a := s.RDPAdmission(); a != nil {
+		s.registry.Register(a.Block())
+	}
+	s.registry.Register(s.exact)
+	if s.single != nil {
+		s.registry.Register(singleSection{s})
+	}
+	if s.tree != nil {
+		s.registry.Register(s.tree)
+		if c := s.tree.Cache(); c != nil {
+			s.registry.Register(c)
+		}
+	}
+}
+
+// sessionIdentity is the "core/identity" section payload: the
+// configuration a snapshot was taken under. Its restore is pure
+// validation — it never mutates, so a foreign-config snapshot is always
+// a recoverable refusal, even when a dataset section follows.
+type sessionIdentity struct {
+	Mode          Mode
+	Gaussian      bool
+	EpsilonGlobal float64
+	DeltaGlobal   float64
+	// Alpha/Beta/Tau are part of the identity because restored caches
+	// and histograms were trained under them: serving a cached answer
+	// produced at a looser accuracy target would silently violate the
+	// new session's (α, β) guarantee.
+	Alpha, Beta, Tau float64
+	// Structure shapes the tree's node intervals; restoring Flat nodes
+	// into a Binary tree (or vice versa) would mix decompositions.
+	Structure tree.Structure
+}
+
+// identitySection adapts the session's configuration identity into a
+// persist.Snapshotter.
+type identitySection struct{ s *Session }
+
+// SnapshotSection implements persist.Snapshotter.
+func (m identitySection) SnapshotSection() string { return "core/identity" }
+
+// SnapshotPayload captures the configuration identity.
+func (m identitySection) SnapshotPayload() ([]byte, error) {
+	s := m.s
+	return persist.Encode(sessionIdentity{
+		Mode:          s.cfg.Mode,
+		Gaussian:      s.cfg.Gaussian,
+		EpsilonGlobal: s.cfg.EpsilonGlobal,
+		DeltaGlobal:   s.cfg.DeltaGlobal,
+		Alpha:         s.cfg.Alpha,
+		Beta:          s.cfg.Beta,
+		Tau:           s.cfg.Tau,
+		Structure:     s.cfg.Structure,
+	})
+}
+
+// RestorePayload validates — and only validates — the configuration.
+func (m identitySection) RestorePayload(payload []byte) error {
+	s := m.s
+	var st sessionIdentity
+	if err := persist.Decode(payload, &st); err != nil {
+		return err
+	}
+	if st.Mode != s.cfg.Mode {
+		return fmt.Errorf("core: snapshot mode %v != session mode %v", st.Mode, s.cfg.Mode)
+	}
+	if st.Gaussian != s.cfg.Gaussian {
+		return fmt.Errorf("core: snapshot accounting (gaussian=%t) != session accounting (gaussian=%t)",
+			st.Gaussian, s.cfg.Gaussian)
+	}
+	if st.EpsilonGlobal != s.cfg.EpsilonGlobal {
+		return fmt.Errorf("core: snapshot ε_G %g != session ε_G %g", st.EpsilonGlobal, s.cfg.EpsilonGlobal)
+	}
+	if st.Gaussian && st.DeltaGlobal != s.cfg.DeltaGlobal {
+		return fmt.Errorf("core: snapshot δ_G %g != session δ_G %g", st.DeltaGlobal, s.cfg.DeltaGlobal)
+	}
+	if st.Alpha != s.cfg.Alpha || st.Beta != s.cfg.Beta {
+		return fmt.Errorf("core: snapshot accuracy target (%g,%g) != session (%g,%g)",
+			st.Alpha, st.Beta, s.cfg.Alpha, s.cfg.Beta)
+	}
+	if st.Tau != s.cfg.Tau {
+		return fmt.Errorf("core: snapshot τ %g != session τ %g", st.Tau, s.cfg.Tau)
+	}
+	if st.Structure != s.cfg.Structure {
+		return fmt.Errorf("core: snapshot structure %v != session structure %v", st.Structure, s.cfg.Structure)
+	}
+	return nil
+}
+
+// sessionMeta is the "core/meta" section payload: the dataset shape the
+// snapshot was taken at plus the session-level counters.
+type sessionMeta struct {
+	DatasetVersion int
+	Partitions     int
+	Queries        int
+	Deduped        int
+	BySource       map[Source]int
+}
+
+// metaSection adapts the session's dataset-shape validation and
+// counters into a persist.Snapshotter.
+type metaSection struct{ s *Session }
+
+// SnapshotSection implements persist.Snapshotter.
+func (m metaSection) SnapshotSection() string { return "core/meta" }
+
+// SnapshotPayload captures the dataset shape and counters.
+func (m metaSection) SnapshotPayload() ([]byte, error) {
+	s := m.s
+	return persist.Encode(sessionMeta{
+		DatasetVersion: s.ds.Version(),
+		Partitions:     s.ds.Partitions(),
+		Queries:        s.Queries(),
+		Deduped:        s.Deduped(),
+		BySource:       s.SourceCounts(),
+	})
+}
+
+// RestorePayload validates that the snapshot matches the session's
+// dataset (as possibly just restored by the dataset section), then
+// restores the counters.
+func (m metaSection) RestorePayload(payload []byte) error {
+	s := m.s
+	var st sessionMeta
+	if err := persist.Decode(payload, &st); err != nil {
+		return err
+	}
+	if st.Partitions != s.ds.Partitions() {
+		return fmt.Errorf("core: snapshot has %d partitions, dataset has %d", st.Partitions, s.ds.Partitions())
+	}
+	if st.DatasetVersion != s.ds.Version() {
+		return fmt.Errorf("core: snapshot taken at dataset version %d, have %d — cached results would be stale",
+			st.DatasetVersion, s.ds.Version())
+	}
+	// Every validation passed: counters move here, and every machinery
+	// section runs after this one.
+	s.restoreMutated = true
 	s.queries.Store(int64(st.Queries))
+	s.deduped.Store(int64(st.Deduped))
 	for k, v := range st.BySource {
 		if i, ok := sourceIndex[k]; ok {
 			s.bySrc[i].Store(int64(v))
@@ -150,6 +446,49 @@ func (s *Session) LoadState(r io.Reader) error {
 	return nil
 }
 
-func restoreStore(store *kvstore.Store, r io.Reader) error {
-	return store.Restore(r)
+// singleState is the "pmw/single" section payload: the non-partitioned
+// PMW-Bypass's trained histogram and adaptive thresholds.
+type singleState struct {
+	Hist       histogram.State
+	Thresholds []float64
+}
+
+// singleSection adapts the single PMW-Bypass into a persist.Snapshotter.
+type singleSection struct{ s *Session }
+
+// SnapshotSection implements persist.Snapshotter.
+func (p singleSection) SnapshotSection() string { return "pmw/single" }
+
+// SnapshotPayload exports the histogram and heuristic thresholds.
+func (p singleSection) SnapshotPayload() ([]byte, error) {
+	s := p.s
+	s.singleMu.Lock()
+	st := singleState{Hist: s.single.Histogram().State()}
+	if ap, ok := s.single.Heuristic().(*heuristic.AdaptivePerBin); ok {
+		_, _, st.Thresholds = ap.State()
+	}
+	s.singleMu.Unlock()
+	return persist.Encode(st)
+}
+
+// RestorePayload warm-starts the fresh PMW from the snapshot.
+func (p singleSection) RestorePayload(payload []byte) error {
+	s := p.s
+	var st singleState
+	if err := persist.Decode(payload, &st); err != nil {
+		return err
+	}
+	h, err := histogram.FromState(st.Hist)
+	if err != nil {
+		return err
+	}
+	s.singleMu.Lock()
+	defer s.singleMu.Unlock()
+	if err := s.single.WarmStart(h, nil); err != nil {
+		return err
+	}
+	if ap, ok := s.single.Heuristic().(*heuristic.AdaptivePerBin); ok && st.Thresholds != nil {
+		ap.SetThresholds(st.Thresholds)
+	}
+	return nil
 }

@@ -2,11 +2,14 @@ package core
 
 import (
 	"bytes"
+	"errors"
+	"math/rand"
 	"strings"
 	"testing"
 
 	"repro/internal/dataset"
 	"repro/internal/domain"
+	"repro/internal/persist"
 	"repro/internal/query"
 )
 
@@ -148,18 +151,308 @@ func TestLoadStateValidation(t *testing.T) {
 	}
 }
 
-func TestSaveStateGaussianUnsupported(t *testing.T) {
-	_, ds := buildDS(t, 1)
-	cfg := defaultCfg(NonPartitioned)
-	cfg.Gaussian = true
-	cfg.DeltaGlobal = 1e-6
-	s, err := NewSession(cfg, ds)
+// TestSaveLoadPersistDataset covers the in-memory-store deployment
+// (turbo-server -state): with PersistDataset the snapshot carries the
+// dataset itself, so a checkpoint taken after mid-stream growth
+// restores onto a fresh initial build — partitions, data, versions, and
+// accountant coverage all re-grown from the section.
+func TestSaveLoadPersistDataset(t *testing.T) {
+	dom, ds1 := buildDS(t, 2)
+	cfg := defaultCfg(Streaming)
+	s1, err := NewSession(cfg, ds1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.PersistDataset()
+	q := query.MustNew(dom, map[int][]int{0: {1}})
+	for e := 0; e < 2; e++ {
+		w, err := s1.AppendPartition()
+		if err != nil {
+			t.Fatal(err)
+		}
+		loadWeek(ds1, dom, w)
+		if _, err := s1.Answer(q.WithWindow(0, w)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := s1.SaveState(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh boot: only the initial 2 partitions exist, like a restarted
+	// server rebuilding its synthetic dataset.
+	_, ds2 := buildDS(t, 2)
+	s2, err := NewSession(cfg, ds2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.PersistDataset()
+	if err := s2.LoadState(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if ds2.Partitions() != 4 || ds2.Version() != ds1.Version() {
+		t.Fatalf("restored dataset %d partitions v%d, want 4 v%d",
+			ds2.Partitions(), ds2.Version(), ds1.Version())
+	}
+	for p := 0; p < 4; p++ {
+		if ds2.PartitionN(p) != ds1.PartitionN(p) {
+			t.Fatalf("partition %d has %d rows, want %d", p, ds2.PartitionN(p), ds1.PartitionN(p))
+		}
+		if got, want := s2.Accountant().SpentAt(p), s1.Accountant().SpentAt(p); got != want {
+			t.Fatalf("partition %d spend %g, want %g", p, got, want)
+		}
+	}
+	// Pre-snapshot windows repeat free, and the restored stream keeps
+	// growing.
+	a, err := s2.Answer(q.WithWindow(0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Source != SourceExactHit {
+		t.Fatalf("repeat after restore = %s, want exact-hit", a.Source)
+	}
+	w, err := s2.AppendPartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadWeek(ds2, dom, w)
+	if _, err := s2.Answer(q.WithWindow(w, w)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A dataset-carrying snapshot under a foreign config is refused by
+	// the identity section BEFORE the dataset section can mutate: the
+	// target stays fully usable (not poisoned, data untouched).
+	_, dsF := buildDS(t, 2)
+	foreignCfg := defaultCfg(Streaming)
+	foreignCfg.EpsilonGlobal = cfg.EpsilonGlobal / 2
+	foreign, err := NewSession(foreignCfg, dsF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign.PersistDataset()
+	err = foreign.LoadState(bytes.NewReader(snap.Bytes()))
+	var se *persist.SectionError
+	if err == nil || !errors.As(err, &se) || se.Section != "core/identity" {
+		t.Fatalf("foreign-config dataset snapshot: %v, want core/identity refusal", err)
+	}
+	if dsF.Partitions() != 2 {
+		t.Fatalf("identity refusal mutated the dataset: %d partitions", dsF.Partitions())
+	}
+	if _, err := foreign.Answer(q.WithWindow(0, 1)); err != nil {
+		t.Fatalf("query after identity refusal refused: %v (session must stay usable)", err)
+	}
+
+	// A plain snapshot (no dataset section) still restores into a
+	// PersistDataset session: the section is optional.
+	_, ds3 := buildDS(t, 2)
+	plain, err := NewSession(cfg, ds3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plainSnap bytes.Buffer
+	if err := plain.SaveState(&plainSnap); err != nil {
+		t.Fatal(err)
+	}
+	_, ds4 := buildDS(t, 2)
+	s4, err := NewSession(cfg, ds4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4.PersistDataset()
+	if err := s4.LoadState(&plainSnap); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadStateErrorTaxonomy pins the error hygiene down: envelope and
+// section failures surface as typed, wrapped errors naming the offender
+// instead of raw gob decode noise.
+func TestLoadStateErrorTaxonomy(t *testing.T) {
+	dom, ds := buildDS(t, 2)
+	cfg := defaultCfg(Partitioned)
+	s1, _ := NewSession(cfg, ds)
+	q := query.MustNew(dom, map[int][]int{0: {1}}).WithWindow(0, 1)
+	if _, err := s1.Answer(q); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := s1.SaveState(&snap); err != nil {
+		t.Fatal(err)
+	}
+	raw := snap.Bytes()
+	fresh := func() *Session {
+		s, err := NewSession(cfg, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	// Not a snapshot at all.
+	if err := fresh().LoadState(strings.NewReader("definitely not a snapshot")); !errors.Is(err, persist.ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+	// Truncated at several depths: always the typed truncation error.
+	for _, cut := range []int{10, len(raw) / 2, len(raw) - 1} {
+		if err := fresh().LoadState(bytes.NewReader(raw[:cut])); !errors.Is(err, persist.ErrTruncated) {
+			t.Fatalf("cut %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+	// Restore into a session that already served traffic.
+	busy := fresh()
+	if _, err := busy.Answer(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := busy.LoadState(bytes.NewReader(raw)); !errors.Is(err, ErrAlreadyServing) {
+		t.Fatalf("err = %v, want ErrAlreadyServing", err)
+	}
+	// A corrupted section payload names the offending section, and —
+	// because restore had begun mutating by the time it failed — the
+	// session is poisoned: traffic, snapshots, and retry restores all
+	// refuse until it is recreated.
+	var se *persist.SectionError
+	victim := fresh()
+	if err := corruptSection(t, raw, victim, "tree/nodes"); !errors.As(err, &se) {
+		t.Fatalf("corrupt section: err = %v, want a SectionError", err)
+	} else if se.Section != "tree/nodes" {
+		t.Fatalf("SectionError names %q, want tree/nodes", se.Section)
+	}
+	if _, err := victim.Answer(q); !errors.Is(err, ErrStateCorrupt) {
+		t.Fatalf("query after failed restore: %v, want ErrStateCorrupt", err)
+	}
+	if _, err := victim.AppendPartitions(1); !errors.Is(err, ErrStateCorrupt) {
+		t.Fatalf("append after failed restore: %v, want ErrStateCorrupt", err)
+	}
+	if err := victim.SaveState(&bytes.Buffer{}); !errors.Is(err, ErrStateCorrupt) {
+		t.Fatalf("snapshot of poisoned session: %v, want ErrStateCorrupt (must not overwrite a good checkpoint)", err)
+	}
+	if err := victim.LoadState(bytes.NewReader(raw)); !errors.Is(err, ErrStateCorrupt) {
+		t.Fatalf("retry restore on poisoned session: %v, want ErrStateCorrupt (a 'success' would leave it refusing traffic)", err)
+	}
+	// Envelope-level failures and pure validation mismatches never
+	// mutate, so the session stays usable.
+	clean := fresh()
+	if err := clean.LoadState(bytes.NewReader(raw[:len(raw)/2])); !errors.Is(err, persist.ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	if _, err := clean.Answer(q); err != nil {
+		t.Fatalf("query after envelope-level failure refused: %v", err)
+	}
+}
+
+// corruptSection rewrites the snapshot with the named section's payload
+// replaced by garbage and returns the LoadState error.
+func corruptSection(t *testing.T, raw []byte, s *Session, section string) error {
+	t.Helper()
+	payloads, order, err := persist.ReadSections(bytes.NewReader(raw))
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := s.SaveState(&buf); err == nil {
-		t.Fatal("Gaussian SaveState accepted")
+	w, err := persist.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, name := range order {
+		p := payloads[name]
+		if name == section {
+			p = []byte("corrupted payload bytes")
+			found = true
+		}
+		if err := w.WriteSection(name, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !found {
+		t.Fatalf("snapshot has no section %q (have %v)", section, order)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return s.LoadState(&buf)
+}
+
+// requireEqualRDP asserts two sessions' Rényi books agree exactly:
+// consumed curve and converted spend per partition.
+func requireEqualRDP(t *testing.T, s1, s2 *Session) {
+	t.Helper()
+	a1, a2 := s1.RDPAdmission(), s2.RDPAdmission()
+	if a1 == nil || a2 == nil {
+		t.Fatal("expected Gaussian sessions")
+	}
+	for p := 0; p < a1.Block().Partitions(); p++ {
+		c1, c2 := a1.Block().SpentCurveAt(p), a2.Block().SpentCurveAt(p)
+		for i := range c1.Eps {
+			if c1.Eps[i] != c2.Eps[i] {
+				t.Fatalf("partition %d order %g: restored curve %g, want %g",
+					p, c1.Orders[i], c2.Eps[i], c1.Eps[i])
+			}
+		}
+		if a1.Block().SpentDPAt(p) != a2.Block().SpentDPAt(p) {
+			t.Fatalf("partition %d converted spend differs", p)
+		}
+	}
+}
+
+// TestSaveLoadGaussianNonPartitioned replaces the old refusal test: a
+// Gaussian/RDP session round-trips through SaveState/LoadState, curves
+// included, and the restored admission layer keeps enforcing.
+func TestSaveLoadGaussianNonPartitioned(t *testing.T) {
+	dom, ds := buildDS(t, 1)
+	cfg := defaultCfg(NonPartitioned)
+	cfg.Gaussian = true
+	cfg.DeltaGlobal = 1e-6
+	s1, err := NewSession(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qs []*query.Query
+	for p := 0; p < 2; p++ {
+		for a := 0; a < 4; a++ {
+			qs = append(qs, query.MustNew(dom, map[int][]int{0: {p}, 1: {a}}))
+		}
+	}
+	for _, q := range qs {
+		if _, err := s1.Answer(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s1.AverageSpent() <= 0 {
+		t.Fatal("warmup never spent")
+	}
+	var buf bytes.Buffer
+	if err := s1.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewSession(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	requireEqualRDP(t, s1, s2)
+	if s2.AverageSpent() != s1.AverageSpent() || s2.Queries() != s1.Queries() {
+		t.Fatalf("restored spend/queries %g/%d, want %g/%d",
+			s2.AverageSpent(), s2.Queries(), s1.AverageSpent(), s1.Queries())
+	}
+	// Repeats after restore are free exact hits with the same values.
+	spent := s2.AverageSpent()
+	for _, q := range qs {
+		a2, err := s2.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a2.Source != SourceExactHit {
+			t.Fatalf("repeat after restore = %s, want exact-hit", a2.Source)
+		}
+	}
+	if s2.AverageSpent() != spent {
+		t.Fatal("restored exact hits consumed budget")
 	}
 }
 
@@ -258,11 +551,13 @@ func TestSaveLoadMidStream(t *testing.T) {
 	}
 }
 
-// TestSaveLoadGaussianStreamSymmetric pins the Gaussian refusal down on
-// both sides mid-stream: a Rényi-accounted streaming session can neither
-// save (its curves are not serialized) nor load a scalar snapshot (the
-// admission layer would go blind to the restored spend).
-func TestSaveLoadGaussianStreamSymmetric(t *testing.T) {
+// TestSaveLoadGaussianMidStream replaces the old symmetric-refusal test:
+// a Rényi-accounted streaming session saves mid-stream and a fresh one
+// restores curves, scalar mirror, tree state, and caches, then keeps
+// streaming. Accounting mode remains part of the snapshot identity: a
+// scalar snapshot still cannot restore into a Gaussian session (and vice
+// versa), now as a typed meta mismatch instead of a blanket refusal.
+func TestSaveLoadGaussianMidStream(t *testing.T) {
 	dom, ds := buildDS(t, 2)
 	cfg := defaultCfg(Streaming)
 	cfg.Gaussian = true
@@ -277,15 +572,54 @@ func TestSaveLoadGaussianStreamSymmetric(t *testing.T) {
 	}
 	loadWeek(ds, dom, w)
 	q := query.MustNew(dom, map[int][]int{0: {1}})
-	if _, err := s1.Answer(q.WithWindow(0, w)); err != nil {
-		t.Fatal(err)
+	for hi := 0; hi <= w; hi++ {
+		if _, err := s1.Answer(q.WithWindow(0, hi)); err != nil {
+			t.Fatal(err)
+		}
 	}
 	var buf bytes.Buffer
-	if err := s1.SaveState(&buf); err == nil {
-		t.Fatal("mid-stream Gaussian SaveState accepted")
+	if err := s1.SaveState(&buf); err != nil {
+		t.Fatal(err)
 	}
 
-	// Symmetric: a pure-ε snapshot cannot restore into a Gaussian session.
+	s2, err := NewSession(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	requireEqualRDP(t, s1, s2)
+	if s2.Tree().Nodes() != s1.Tree().Nodes() {
+		t.Fatalf("restored %d nodes, want %d", s2.Tree().Nodes(), s1.Tree().Nodes())
+	}
+	for p := 0; p < ds.Partitions(); p++ {
+		if got, want := s2.Accountant().SpentAt(p), s1.Accountant().SpentAt(p); got != want {
+			t.Fatalf("partition %d scalar mirror %g, want %g", p, got, want)
+		}
+	}
+	// A pre-snapshot window repeats free, and the stream continues.
+	spent := s2.AverageSpent()
+	a, err := s2.Answer(q.WithWindow(0, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Source != SourceExactHit || s2.AverageSpent() != spent {
+		t.Fatalf("pre-snapshot window after restore: %+v", a)
+	}
+	w2, err := s2.AppendPartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadWeek(ds, dom, w2)
+	if _, err := s2.Answer(q.WithWindow(w2, w2)); err != nil {
+		t.Fatal(err)
+	}
+	if s2.RDPAdmission().Block().SpentDPAt(w2) <= 0 {
+		t.Fatal("post-restore epoch never charged the Rényi book")
+	}
+
+	// Accounting mode stays part of the snapshot identity.
 	pure, err := NewSession(defaultCfg(Streaming), ds)
 	if err != nil {
 		t.Fatal(err)
@@ -298,7 +632,116 @@ func TestSaveLoadGaussianStreamSymmetric(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := g2.LoadState(&snap); err == nil {
-		t.Fatal("Gaussian LoadState accepted a scalar snapshot")
+	// The scalar snapshot lacks the Rényi section a Gaussian session
+	// requires: refused up front, before anything mutates.
+	err = g2.LoadState(&snap)
+	if !errors.Is(err, persist.ErrMissingSection) || !strings.Contains(err.Error(), "accountant/rdp") {
+		t.Fatalf("scalar snapshot into Gaussian session: %v, want missing accountant/rdp section", err)
+	}
+	// A pure validation mismatch mutates nothing: the refused session
+	// stays fully usable (not poisoned).
+	if _, err := g2.Answer(q.WithWindow(0, 0)); err != nil {
+		t.Fatalf("query after validation-only restore failure refused: %v", err)
+	}
+}
+
+// TestSaveLoadGaussianTreeProperty is the snapshot-equivalence property
+// test: a Gaussian tree-mode session's noise-free internals — budget
+// books (scalar and curve), cache contents, dedup and per-source
+// counters, warm node state — are identical before SaveState and after
+// LoadState, and both sessions answer the full asked-so-far workload
+// identically (free exact hits) afterwards.
+func TestSaveLoadGaussianTreeProperty(t *testing.T) {
+	dom, ds := buildDS(t, 4)
+	cfg := defaultCfg(Streaming)
+	cfg.Gaussian = true
+	cfg.DeltaGlobal = 1e-6
+	cfg.NodeExactCache = true
+	s1, err := NewSession(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seeded pseudo-random workload over random windows, with a
+	// mid-stream append, repeats included (so dedup/exact paths engage).
+	rng := rand.New(rand.NewSource(7))
+	var asked []*query.Query
+	for i := 0; i < 60; i++ {
+		if i == 30 {
+			w, err := s1.AppendPartition()
+			if err != nil {
+				t.Fatal(err)
+			}
+			loadWeek(ds, dom, w)
+		}
+		var q *query.Query
+		if len(asked) > 0 && rng.Intn(3) == 0 {
+			q = asked[rng.Intn(len(asked))] // repeat
+		} else {
+			parts := ds.Partitions()
+			s := rng.Intn(parts)
+			e := s + rng.Intn(parts-s)
+			q = query.MustNew(dom, map[int][]int{0: {rng.Intn(2)}, 1: {rng.Intn(4)}}).WithWindow(s, e)
+		}
+		asked = append(asked, q)
+		if _, err := s1.Answer(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := s1.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSession(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Noise-free internals agree exactly.
+	requireEqualRDP(t, s1, s2)
+	v1, v2 := s1.Accountant().SpentVector(), s2.Accountant().SpentVector()
+	for p := range v1 {
+		if v1[p] != v2[p] {
+			t.Fatalf("partition %d scalar spend %g != %g", p, v2[p], v1[p])
+		}
+	}
+	if s2.Queries() != s1.Queries() || s2.Deduped() != s1.Deduped() {
+		t.Fatalf("counters %d/%d, want %d/%d", s2.Queries(), s2.Deduped(), s1.Queries(), s1.Deduped())
+	}
+	c1, c2 := s1.SourceCounts(), s2.SourceCounts()
+	for src, n := range c1 {
+		if c2[src] != n {
+			t.Fatalf("source %s count %d, want %d", src, c2[src], n)
+		}
+	}
+	if s2.Tree().Nodes() != s1.Tree().Nodes() {
+		t.Fatalf("restored %d nodes, want %d", s2.Tree().Nodes(), s1.Tree().Nodes())
+	}
+	if s2.ExactCache().Len() != s1.ExactCache().Len() {
+		t.Fatalf("restored cache %d entries, want %d", s2.ExactCache().Len(), s1.ExactCache().Len())
+	}
+
+	// Every asked query now answers identically on both sessions, for
+	// free: the exact caches carry the released answers.
+	spent1, spent2 := s1.AverageSpent(), s2.AverageSpent()
+	for _, q := range asked {
+		a1, err1 := s1.Answer(q)
+		a2, err2 := s2.Answer(q)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if a1.Value != a2.Value {
+			t.Fatalf("replay %v: %g != %g", q, a2.Value, a1.Value)
+		}
+		if a1.Source != SourceExactHit || a2.Source != SourceExactHit {
+			t.Fatalf("replay %v: sources %s/%s, want exact hits", q, a1.Source, a2.Source)
+		}
+	}
+	if s1.AverageSpent() != spent1 || s2.AverageSpent() != spent2 {
+		t.Fatal("replay consumed budget")
 	}
 }

@@ -48,6 +48,7 @@ import (
 	"repro/internal/heuristic"
 	"repro/internal/kvstore"
 	"repro/internal/noise"
+	"repro/internal/persist"
 	"repro/internal/pmw"
 	"repro/internal/query"
 	"repro/internal/tree"
@@ -211,6 +212,17 @@ type Session struct {
 	// flights deduplicates concurrent identical cache misses so N
 	// first-timers on the same window/version execute and pay once.
 	flights flightGroup
+	// registry holds the session's durable-state sections (persist.go);
+	// stateful layers register at construction, the streaming ingestor
+	// later through RegisterSnapshotter. persistMu serializes
+	// SaveState/LoadState against each other; restoreMutated records,
+	// under persistMu, whether the in-flight restore started mutating.
+	registry       *persist.Registry
+	persistMu      sync.Mutex
+	restoreMutated bool
+	// persistData opts snapshots into carrying the dataset itself
+	// (PersistDataset); set before serving traffic.
+	persistData bool
 	// appendMu serializes stream-append epochs so each epoch's accountant
 	// growth and dataset growth assign corresponding indices.
 	appendMu sync.Mutex
@@ -218,7 +230,16 @@ type Session struct {
 	queries atomic.Int64
 	deduped atomic.Int64
 	exhaust atomic.Bool
-	bySrc   [numSources]atomic.Int64
+	// corrupt marks the session unusable after a failed LoadState
+	// mutated it (persist.go); Answer and AppendPartitions then refuse
+	// with ErrStateCorrupt.
+	corrupt atomic.Bool
+	// inflight counts queries between Answer entry and return;
+	// restoring fails new ones fast so LoadState can drain the window
+	// where a paid-but-unrecorded charge could be wiped by a restore.
+	inflight  atomic.Int64
+	restoring atomic.Bool
+	bySrc     [numSources]atomic.Int64
 }
 
 // numSources sizes the per-source counter array; the sourceIndex
@@ -324,6 +345,7 @@ func NewSession(cfg Config, ds *dataset.Dataset) (*Session, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown mode %v", cfg.Mode)
 	}
+	s.buildRegistry()
 	return s, nil
 }
 
@@ -358,12 +380,28 @@ func (s *Session) AppendPartitions(k int) (int, error) {
 	if k <= 0 {
 		return 0, fmt.Errorf("core: bad partition batch %d", k)
 	}
+	if s.corrupt.Load() {
+		return 0, ErrStateCorrupt
+	}
+	if s.restoring.Load() {
+		// A growing accountant or dataset interleaving with a restore's
+		// section-by-section replacement would be erased or fail the
+		// restore's length validations; shed until the gate drops (it
+		// does before any restored pending epoch re-applies).
+		return 0, ErrRestoring
+	}
 	if s.tree == nil {
 		return 0, errors.New("core: streaming arrivals need a partitioned session " +
 			"(the single PMW's accountant window cannot grow)")
 	}
 	s.appendMu.Lock()
 	defer s.appendMu.Unlock()
+	// Re-check under the epoch mutex: a racer past the gate check above
+	// could otherwise acquire the mutex after LoadState's barrier
+	// released it and grow the accountants mid-restore.
+	if s.restoring.Load() {
+		return 0, ErrRestoring
+	}
 	s.block.AddPartitions(k)
 	s.tree.AddPartitions(k)
 	return s.ds.AppendPartitions(k), nil
@@ -373,6 +411,17 @@ func (s *Session) AppendPartitions(k int) (int, error) {
 // plan, exact cache, then PMW-Bypass (single or tree). It returns
 // accountant.ErrBudgetExhausted (wrapped) once the global guarantee binds.
 func (s *Session) Answer(q *query.Query) (Answer, error) {
+	if s.corrupt.Load() {
+		return Answer{}, ErrStateCorrupt
+	}
+	// Enter the in-flight window before checking the restore gate, so a
+	// LoadState that observes inflight == 0 after raising the gate knows
+	// no query can be mid-payment (see persist.go).
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.restoring.Load() {
+		return Answer{}, ErrRestoring
+	}
 	pl, err := s.planner.Plan(q)
 	if err != nil {
 		return Answer{}, err

@@ -198,6 +198,68 @@ func (ds *Dataset) BulkLoad(p int, counts []int) error {
 	return nil
 }
 
+// PartitionState is the serializable content of one partition.
+type PartitionState struct {
+	Counts  []float64
+	N       int
+	Version int
+}
+
+// State is the full serializable content of a dataset, for deployments
+// whose store is in-memory (turbo-server's synthetic builds) rather than
+// an external durable DBMS: the session can carry it as a snapshot
+// section (core.Session.PersistDataset) so applied streaming arrivals
+// survive a restart.
+type State struct {
+	Version int
+	Parts   []PartitionState
+}
+
+// ExportState copies the dataset's full content.
+func (ds *Dataset) ExportState() State {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	st := State{Version: ds.version, Parts: make([]PartitionState, len(ds.parts))}
+	for i, p := range ds.parts {
+		st.Parts[i] = PartitionState{
+			Counts:  append([]float64(nil), p.counts...),
+			N:       p.n,
+			Version: p.version,
+		}
+	}
+	return st
+}
+
+// RestoreState replaces the dataset's content (partitions and version
+// counter) with a previously-exported state over the same domain.
+func (ds *Dataset) RestoreState(st State) error {
+	parts := make([]*Partition, len(st.Parts))
+	for i, p := range st.Parts {
+		if len(p.Counts) != ds.dom.Size() {
+			return fmt.Errorf("dataset: restored partition %d has %d bins, domain has %d",
+				i, len(p.Counts), ds.dom.Size())
+		}
+		if p.N < 0 {
+			return fmt.Errorf("dataset: restored partition %d has negative row count %d", i, p.N)
+		}
+		for bin, c := range p.Counts {
+			if c < 0 {
+				return fmt.Errorf("dataset: restored partition %d has negative count %g at bin %d", i, c, bin)
+			}
+		}
+		parts[i] = &Partition{
+			counts:  append([]float64(nil), p.Counts...),
+			n:       p.N,
+			version: p.Version,
+		}
+	}
+	ds.mu.Lock()
+	ds.parts = parts
+	ds.version = st.Version
+	ds.mu.Unlock()
+	return nil
+}
+
 // NRows returns the public total row count of partitions [start, end].
 func (ds *Dataset) NRows(start, end int) (int, error) {
 	ds.mu.RLock()

@@ -3,10 +3,11 @@
 // exact-cache entries, PMW histograms, SV state, and heuristic thresholds.
 //
 // It provides namespaced string keys with arbitrary gob-encoded values,
-// optimistic versioning, and whole-store snapshot/restore — the subset of
+// optimistic versioning, and per-namespace export/import — the subset of
 // Redis semantics Turbo relies on. The paper notes Redis "can be replaced
-// with a persistent, consistent and durable storage service"; snapshots to
-// an io.Writer play that role here.
+// with a persistent, consistent and durable storage service"; the
+// internal/persist snapshot envelope plays that role, each exact cache
+// persisting its namespace as one section.
 //
 // The store is internally striped by key hash (the way a Redis Cluster
 // spreads its hash slots), so concurrent shards of the query pipeline that
@@ -18,7 +19,6 @@ import (
 	"encoding/gob"
 	"fmt"
 	"hash/maphash"
-	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -181,51 +181,45 @@ func (s *Store) MemoryBytes() int {
 	return total
 }
 
-// snapshot is the gob wire format of a store. It is stripe-agnostic, so
-// snapshots taken before striping restore unchanged.
-type snapshot struct {
-	Version uint64
-	Data    map[string][]byte
-}
-
-// Snapshot serializes the whole store. The snapshot is consistent per
-// stripe; callers that need a fully consistent image serialize writes, as
-// the session persistence layer does.
-func (s *Store) Snapshot(w io.Writer) error {
-	snap := snapshot{Version: s.version.Load(), Data: make(map[string][]byte)}
+// ExportNamespace returns the raw stored bytes of every key in ns (keys
+// without the prefix), for per-namespace persistence: each exact cache
+// snapshots exactly the slice of the store it owns.
+func (s *Store) ExportNamespace(ns string) map[string][]byte {
+	prefix := ns + ":"
+	out := make(map[string][]byte)
 	for i := range s.stripes {
 		st := &s.stripes[i]
 		st.mu.RLock()
 		for k, v := range st.data {
-			snap.Data[k] = v
+			if strings.HasPrefix(k, prefix) {
+				out[strings.TrimPrefix(k, prefix)] = v
+			}
 		}
 		st.mu.RUnlock()
 	}
-	if err := gob.NewEncoder(w).Encode(snap); err != nil {
-		return fmt.Errorf("kvstore: snapshot: %w", err)
-	}
-	return nil
+	return out
 }
 
-// Restore replaces the store contents with a snapshot previously written by
-// Snapshot.
-func (s *Store) Restore(r io.Reader) error {
-	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return fmt.Errorf("kvstore: restore: %w", err)
-	}
+// ImportNamespace replaces the contents of ns with previously-exported
+// raw entries, leaving every other namespace untouched.
+func (s *Store) ImportNamespace(ns string, data map[string][]byte) {
+	prefix := ns + ":"
 	for i := range s.stripes {
 		st := &s.stripes[i]
 		st.mu.Lock()
-		st.data = make(map[string][]byte)
+		for k := range st.data {
+			if strings.HasPrefix(k, prefix) {
+				delete(st.data, k)
+			}
+		}
 		st.mu.Unlock()
 	}
-	for k, v := range snap.Data {
-		st := s.stripeFor(k)
+	for k, v := range data {
+		full := prefix + k
+		st := s.stripeFor(full)
 		st.mu.Lock()
-		st.data[k] = v
+		st.data[full] = append([]byte(nil), v...)
 		st.mu.Unlock()
 	}
-	s.version.Store(snap.Version)
-	return nil
+	s.version.Add(1)
 }

@@ -1,7 +1,6 @@
 package kvstore
 
 import (
-	"bytes"
 	"testing"
 )
 
@@ -112,36 +111,29 @@ func TestMemoryBytes(t *testing.T) {
 	}
 }
 
-func TestSnapshotRestore(t *testing.T) {
+func TestExportImportNamespace(t *testing.T) {
 	s := New()
 	_ = s.Set("ns", "k1", payload{X: 1})
 	_ = s.Set("ns", "k2", payload{X: 2})
-	var buf bytes.Buffer
-	if err := s.Snapshot(&buf); err != nil {
-		t.Fatal(err)
+	_ = s.Set("other", "x", payload{X: 9})
+	data := s.ExportNamespace("ns")
+	if len(data) != 2 {
+		t.Fatalf("exported %d keys, want 2", len(data))
 	}
 
 	r := New()
-	_ = r.Set("junk", "x", 99)
-	if err := r.Restore(&buf); err != nil {
-		t.Fatal(err)
-	}
+	_ = r.Set("ns", "stale", payload{X: 7})
+	_ = r.Set("other", "keep", payload{X: 8})
+	r.ImportNamespace("ns", data)
 	var out payload
 	if ok, _ := r.Get("ns", "k2", &out); !ok || out.X != 2 {
-		t.Fatalf("restored k2 = %+v ok=%v", out, ok)
+		t.Fatalf("imported k2 = %+v ok=%v", out, ok)
 	}
-	if ok, _ := r.Get("junk", "x", &out); ok {
-		t.Fatal("restore kept pre-existing keys")
+	if ok, _ := r.Get("ns", "stale", &out); ok {
+		t.Fatal("import kept pre-existing namespace keys")
 	}
-	if r.Version() != s.Version() {
-		t.Fatal("restore lost version")
-	}
-}
-
-func TestRestoreGarbage(t *testing.T) {
-	s := New()
-	if err := s.Restore(bytes.NewReader([]byte("not gob"))); err == nil {
-		t.Fatal("garbage restore succeeded")
+	if ok, _ := r.Get("other", "keep", &out); !ok || out.X != 8 {
+		t.Fatal("import touched a foreign namespace")
 	}
 }
 

@@ -1,0 +1,413 @@
+// Package persist is Turbo's durable-state subsystem: a versioned,
+// section-tagged snapshot envelope plus the registry that orchestrates
+// saving and restoring every stateful layer of a session.
+//
+// The paper's whole value proposition is accumulated state — exact-cache
+// entries, PMW/tree histograms, and spent privacy budget — so a restart
+// must not forfeit it (§5 notes Redis "can be replaced with a persistent,
+// consistent and durable storage service"; this package is that seam).
+// Each stateful layer (accountant blocks, exact caches, the tree, the
+// streaming ingestor) implements Snapshotter and contributes one named
+// section; the envelope carries them behind a magic header and a format
+// version, so a future storage backend (e.g. kvstore-backed snapshots)
+// plugs in by bumping the version rather than breaking old files.
+//
+// # Envelope format
+//
+//	offset 0: magic "TURBOSNP" (8 bytes, raw)
+//	offset 8: format version (uint32, big-endian)
+//	then:     a gob stream of {Name string; Payload []byte} sections,
+//	          terminated by an explicit end marker (Name == "")
+//
+// The raw magic lets a reader reject non-snapshot input with a typed
+// error instead of a confusing gob failure; the explicit end marker lets
+// it distinguish a cleanly-terminated snapshot from a truncated one.
+// Section payloads are opaque to the envelope: each layer encodes and
+// decodes its own bytes, so a payload failure can be attributed to the
+// offending section by name (SectionError).
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// magic identifies a Turbo snapshot stream. Exactly 8 bytes.
+const magic = "TURBOSNP"
+
+// FormatVersion is the envelope format written by this build. Readers
+// refuse other versions with ErrBadVersion.
+const FormatVersion uint32 = 1
+
+// Typed envelope errors: LoadState callers (and the HTTP /restore
+// endpoint) branch on these instead of string-matching gob failures.
+var (
+	// ErrBadMagic reports input that is not a Turbo snapshot at all.
+	ErrBadMagic = errors.New("persist: not a Turbo snapshot (bad magic)")
+	// ErrBadVersion reports a snapshot from an incompatible format version.
+	ErrBadVersion = errors.New("persist: unsupported snapshot format version")
+	// ErrTruncated reports a stream that ended before its end marker.
+	ErrTruncated = errors.New("persist: truncated snapshot")
+	// ErrUnknownSection reports a section no registered layer owns.
+	ErrUnknownSection = errors.New("persist: unknown snapshot section")
+	// ErrMissingSection reports a required section absent from the stream.
+	ErrMissingSection = errors.New("persist: snapshot lacks required section")
+	// ErrDuplicateSection reports a section tag appearing twice.
+	ErrDuplicateSection = errors.New("persist: duplicate snapshot section")
+)
+
+// SectionError attributes a payload encode/decode/restore failure to the
+// offending section by name.
+type SectionError struct {
+	Section string
+	Err     error
+}
+
+// Error implements error.
+func (e *SectionError) Error() string {
+	return fmt.Sprintf("persist: section %q: %v", e.Section, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *SectionError) Unwrap() error { return e.Err }
+
+// Snapshotter is one stateful layer's contribution to a snapshot: a
+// uniquely-tagged section whose payload the layer encodes and decodes
+// itself. Restore runs on a freshly-constructed layer, before it serves
+// any traffic; on error the layer's state is undefined and the owning
+// session must be discarded.
+type Snapshotter interface {
+	// SnapshotSection returns the layer's unique section tag
+	// (conventionally "layer/detail", e.g. "accountant/block").
+	SnapshotSection() string
+	// SnapshotPayload encodes the layer's current state. An optional
+	// section (see OptionalSection) may return (nil, nil) to omit itself
+	// from the snapshot entirely.
+	SnapshotPayload() ([]byte, error)
+	// RestorePayload decodes a previously-encoded payload into the layer.
+	RestorePayload(payload []byte) error
+}
+
+// OptionalSection marks a Snapshotter whose section may legitimately be
+// absent from a snapshot (e.g. the streaming ingestor's pending queue:
+// sessions without an ingestor never write it, and an idle ingestor omits
+// it so its snapshots restore into ingestor-less sessions).
+type OptionalSection interface {
+	SnapshotOptional() bool
+}
+
+// Quiescer is optionally implemented by layers with background work that
+// must pause around a snapshot (the streaming ingestor's epoch worker).
+// Quiesce blocks until the layer is at a section boundary — no epoch
+// mid-application — and returns the function that resumes it. Resume
+// functions must be safe to call exactly once; Registry.Save handles the
+// pairing.
+type Quiescer interface {
+	Quiesce() (resume func())
+}
+
+// section is the gob wire format of one envelope entry. A Name of ""
+// is the end marker.
+type section struct {
+	Name    string
+	Payload []byte
+}
+
+// Writer writes a snapshot envelope section by section.
+type Writer struct {
+	enc *gob.Encoder
+}
+
+// NewWriter writes the magic header and format version to w and returns
+// a section writer over it.
+func NewWriter(w io.Writer) (*Writer, error) {
+	if _, err := io.WriteString(w, magic); err != nil {
+		return nil, fmt.Errorf("persist: write magic: %w", err)
+	}
+	if err := binary.Write(w, binary.BigEndian, FormatVersion); err != nil {
+		return nil, fmt.Errorf("persist: write version: %w", err)
+	}
+	return &Writer{enc: gob.NewEncoder(w)}, nil
+}
+
+// WriteSection appends one named section. Names must be non-empty and
+// unique within a snapshot; the Registry enforces uniqueness.
+func (w *Writer) WriteSection(name string, payload []byte) error {
+	if name == "" {
+		return errors.New("persist: empty section name")
+	}
+	if err := w.enc.Encode(section{Name: name, Payload: payload}); err != nil {
+		return &SectionError{Section: name, Err: err}
+	}
+	return nil
+}
+
+// Close writes the end marker. The underlying writer is not closed.
+func (w *Writer) Close() error {
+	if err := w.enc.Encode(section{}); err != nil {
+		return fmt.Errorf("persist: write end marker: %w", err)
+	}
+	return nil
+}
+
+// ReadSections validates the envelope header and reads every section,
+// returning payloads by name plus the on-stream order. It fails with
+// ErrBadMagic, ErrBadVersion, ErrTruncated, or ErrDuplicateSection.
+func ReadSections(r io.Reader) (map[string][]byte, []string, error) {
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, head); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			// Too short to even carry the magic: not a snapshot.
+			return nil, nil, ErrBadMagic
+		}
+		// A genuine read failure is not a verdict about the content.
+		return nil, nil, fmt.Errorf("persist: read snapshot header: %w", err)
+	}
+	if string(head) != magic {
+		return nil, nil, ErrBadMagic
+	}
+	var version uint32
+	if err := binary.Read(r, binary.BigEndian, &version); err != nil {
+		return nil, nil, fmt.Errorf("%w: header ends before format version", ErrTruncated)
+	}
+	if version != FormatVersion {
+		return nil, nil, fmt.Errorf("%w: snapshot is v%d, this build reads v%d",
+			ErrBadVersion, version, FormatVersion)
+	}
+	dec := gob.NewDecoder(r)
+	payloads := make(map[string][]byte)
+	var order []string
+	for {
+		var s section
+		if err := dec.Decode(&s); err != nil {
+			// Any decode failure before the end marker — io.EOF included —
+			// means the stream stopped mid-snapshot.
+			return nil, nil, fmt.Errorf("%w: stream ends before the end marker (%v)", ErrTruncated, err)
+		}
+		if s.Name == "" {
+			return payloads, order, nil
+		}
+		if _, dup := payloads[s.Name]; dup {
+			return nil, nil, fmt.Errorf("%w: %q", ErrDuplicateSection, s.Name)
+		}
+		payloads[s.Name] = s.Payload
+		order = append(order, s.Name)
+	}
+}
+
+// Registry holds the Snapshotters of one session in registration order,
+// which is restore order (validation sections first, so a mismatched
+// snapshot fails before any machinery state moves); Save captures in the
+// reverse order (see Save for why).
+type Registry struct {
+	order  []Snapshotter
+	byName map[string]Snapshotter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]Snapshotter)}
+}
+
+// Register adds a layer at the end of the restore order. Registering a
+// section tag again replaces the previous owner in place (keeping its
+// position): the newest layer owns the section, which is the semantic a
+// re-created streaming ingestor over one session needs.
+func (r *Registry) Register(s Snapshotter) {
+	name := s.SnapshotSection()
+	if name == "" {
+		panic("persist: Snapshotter with empty section name")
+	}
+	if _, ok := r.byName[name]; ok {
+		for i, old := range r.order {
+			if old.SnapshotSection() == name {
+				r.order[i] = s
+				break
+			}
+		}
+	} else {
+		r.order = append(r.order, s)
+	}
+	r.byName[name] = s
+}
+
+// Sections returns the registered section tags in order.
+func (r *Registry) Sections() []string {
+	out := make([]string, len(r.order))
+	for i, s := range r.order {
+		out[i] = s.SnapshotSection()
+	}
+	return out
+}
+
+// optional reports whether a Snapshotter's section may be absent.
+func optional(s Snapshotter) bool {
+	o, ok := s.(OptionalSection)
+	return ok && o.SnapshotOptional()
+}
+
+// Save quiesces every Quiescer (in registration order; resumed in
+// reverse), then writes one section per registered layer. An optional
+// layer returning a nil payload is omitted.
+//
+// Sections are CAPTURED in reverse registration order — machinery state
+// (caches, histograms: the released results) before the accountants —
+// while Load restores in registration order regardless of on-stream
+// order. The reversal is what makes a payment racing the snapshot skew
+// conservative only: every mechanism pays before it caches its result,
+// so a release captured in an earlier-read cache section already has
+// its charge in the later-read accountant sections. The opposite order
+// could capture a cached DP release whose budget charge is missing,
+// and a restore would then under-count privacy spend. (A fully
+// consistent image still wants no in-flight queries; the race can at
+// worst record spend whose result was not yet cached.)
+func (r *Registry) Save(w io.Writer) error {
+	resume := r.QuiesceAll()
+	defer resume()
+	return r.Capture(w)
+}
+
+// QuiesceAll pauses every registered Quiescer in registration order and
+// returns the single function that resumes them all (reverse order,
+// safe to call once). Callers that must interleave their own barriers
+// between the quiesce and the capture (the session holds its append
+// mutex) use QuiesceAll + Capture instead of Save.
+func (r *Registry) QuiesceAll() (resume func()) {
+	var resumes []func()
+	for _, s := range r.order {
+		if q, ok := s.(Quiescer); ok {
+			resumes = append(resumes, q.Quiesce())
+		}
+	}
+	return func() {
+		for i := len(resumes) - 1; i >= 0; i-- {
+			resumes[i]()
+		}
+	}
+}
+
+// Capture writes every section without quiescing anything; see Save
+// for the capture-order contract.
+func (r *Registry) Capture(w io.Writer) error {
+	sw, err := NewWriter(w)
+	if err != nil {
+		return err
+	}
+	for i := len(r.order) - 1; i >= 0; i-- {
+		s := r.order[i]
+		name := s.SnapshotSection()
+		payload, err := s.SnapshotPayload()
+		if err != nil {
+			return &SectionError{Section: name, Err: err}
+		}
+		if payload == nil && optional(s) {
+			continue
+		}
+		if err := sw.WriteSection(name, payload); err != nil {
+			return err
+		}
+	}
+	return sw.Close()
+}
+
+// Load reads a snapshot and restores every registered layer from its
+// section, in registration order regardless of on-stream order. A
+// section with no registered owner is ErrUnknownSection; a registered
+// non-optional layer with no section is ErrMissingSection; a payload
+// failure is a SectionError naming the layer. Restore is not
+// transactional: on error the layers' state is undefined and the owning
+// session must be discarded.
+func (r *Registry) Load(rd io.Reader) error {
+	payloads, names, err := ReadSections(rd)
+	if err != nil {
+		return err
+	}
+	// Refuse unknown and missing sections BEFORE any layer restores: a
+	// recognizably-foreign snapshot must be a pure validation failure,
+	// not a fully-mutated session followed by an error.
+	for _, name := range names {
+		if _, ok := r.byName[name]; !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownSection, name)
+		}
+	}
+	for _, s := range r.order {
+		if _, ok := payloads[s.SnapshotSection()]; !ok && !optional(s) {
+			return fmt.Errorf("%w: %q", ErrMissingSection, s.SnapshotSection())
+		}
+	}
+	for _, s := range r.order {
+		name := s.SnapshotSection()
+		payload, ok := payloads[name]
+		if !ok {
+			continue // optional, absent
+		}
+		if err := s.RestorePayload(payload); err != nil {
+			var se *SectionError
+			if errors.As(err, &se) {
+				return err
+			}
+			return &SectionError{Section: name, Err: err}
+		}
+	}
+	return nil
+}
+
+// Encode gob-encodes one section payload. Layers use it so every payload
+// shares one codec (and one failure shape).
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode gob-decodes one section payload into out (a pointer).
+func Decode(payload []byte, out any) error {
+	return gob.NewDecoder(bytes.NewReader(payload)).Decode(out)
+}
+
+// WriteFileAtomic writes a snapshot (or any stream) to path via a
+// temporary file in the same directory, fsync, and rename, so a crash
+// mid-write never leaves a torn snapshot where a valid one stood — the
+// write discipline the server's checkpoint path and turbo-server's
+// -state flag rely on.
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".turbosnap-*")
+	if err != nil {
+		return fmt.Errorf("persist: create temp snapshot: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("persist: sync snapshot: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("persist: close snapshot: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("persist: publish snapshot: %w", err)
+	}
+	// Make the rename itself durable: without a directory fsync a crash
+	// right after "checkpoint written" could still resurface the old (or
+	// no) snapshot at next boot on some filesystems.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -14,26 +14,37 @@
 //	               rdp section for Gaussian/Rényi sessions)
 //	GET  /schema   → the public domain description, row counts, and the
 //	               ingestion counters of the streaming pipeline
+//	GET  /snapshot → the session's durable state as a persist envelope
+//	               (accountants incl. RDP curves, caches, tree, pending
+//	               ingestion epochs)
+//	POST /restore  → restore a snapshot into this (fresh) session; 200
+//	               means every section — pending epochs included — is
+//	               applied and queryable
 //
 // The server holds no lock of its own: the session's query pipeline is
 // concurrency-safe (lock-free planning and exact-cache probes, per-shard
 // execution, thread-safe accounting), so request goroutines flow straight
 // through; /append hands arrivals to the streaming ingestor, whose epochs
-// keep racing queries accountable. GET /budget and GET /schema are
-// lock-free reads of accountant and public metadata, and the server's own
-// counters are atomics.
+// keep racing queries accountable. With WithAppendBacklog the ingestor's
+// submission queue is bounded and an overflowing /append sheds with 503 +
+// Retry-After instead of blocking the handler. GET /budget and GET
+// /schema are lock-free reads of accountant and public metadata, and the
+// server's own counters are atomics.
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 
 	"repro/internal/accountant"
 	"repro/internal/core"
+	"repro/internal/persist"
 	"repro/internal/sqlparser"
 	"repro/internal/stream"
 )
@@ -46,6 +57,12 @@ type Server struct {
 	// ing is the streaming ingestion pipeline behind POST /append; nil
 	// for non-partitioned sessions, which cannot grow.
 	ing *stream.Ingestor
+
+	// appendBacklog bounds the ingestor's submission queue (0 keeps it
+	// unbounded); overflow sheds with 503 + Retry-After.
+	appendBacklog int
+	// retryAfter is the Retry-After hint (seconds) on shed appends.
+	retryAfter int
 
 	// queries counts served requests: exactly one per 200 response, so
 	// client-observed successes always equal this counter — including
@@ -61,10 +78,21 @@ type Server struct {
 	appends  atomic.Int64
 }
 
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithAppendBacklog bounds the streaming ingestor's submission queue to n
+// batches; an overflowing POST /append returns 503 with a Retry-After
+// header instead of queueing without bound. n <= 0 keeps the queue
+// unbounded (the default).
+func WithAppendBacklog(n int) Option {
+	return func(s *Server) { s.appendBacklog = n }
+}
+
 // New creates a server over sess; table is the (single) table name the
 // SQL surface accepts. Partitioned and streaming sessions get a streaming
 // ingestor behind POST /append; call Close to release its worker.
-func New(sess *core.Session, table string) (*Server, error) {
+func New(sess *core.Session, table string, opts ...Option) (*Server, error) {
 	if sess == nil {
 		return nil, errors.New("server: nil session")
 	}
@@ -76,20 +104,33 @@ func New(sess *core.Session, table string) (*Server, error) {
 		bySource[src] = new(atomic.Int64)
 	}
 	srv := &Server{
-		sess:     sess,
-		parser:   sqlparser.New(sess.Dataset().Domain()),
-		table:    table,
-		bySource: bySource,
+		sess:       sess,
+		parser:     sqlparser.New(sess.Dataset().Domain()),
+		table:      table,
+		bySource:   bySource,
+		retryAfter: 1,
+	}
+	for _, opt := range opts {
+		opt(srv)
 	}
 	if sess.Tree() != nil {
-		ing, err := stream.NewIngestor(sess)
+		ing, err := stream.NewIngestor(sess, stream.WithMaxPending(srv.appendBacklog))
 		if err != nil {
 			return nil, err
 		}
 		srv.ing = ing
+		// The server's store is in-memory and /append grows it, so
+		// snapshots must carry the dataset itself: without it, a
+		// /snapshot taken after any append could never restore into a
+		// freshly-booted twin (its rebuilt dataset would be smaller).
+		sess.PersistDataset()
 	}
 	return srv, nil
 }
+
+// Ingestor exposes the streaming ingestion pipeline (nil for
+// non-partitioned sessions), for operational tooling and tests.
+func (s *Server) Ingestor() *stream.Ingestor { return s.ing }
 
 // Close drains and stops the streaming ingestor (no-op without one).
 func (s *Server) Close() {
@@ -106,6 +147,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/append", s.handleAppend)
 	mux.HandleFunc("/budget", s.handleBudget)
 	mux.HandleFunc("/schema", s.handleSchema)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/restore", s.handleRestore)
 	return mux
 }
 
@@ -142,7 +185,12 @@ type QueryResponse struct {
 
 // ErrorResponse carries a machine-readable error kind plus a message.
 type ErrorResponse struct {
-	Kind    string `json:"kind"` // "parse", "exhausted", "internal", "bad-request"
+	// Kind is one of "parse", "exhausted", "internal", "bad-request",
+	// "overloaded" (transient: shed by the bounded ingest queue or a
+	// restore in progress, retry later), "conflict" (restore into a
+	// session that already served queries), or "corrupt" (a failed
+	// restore poisoned the session; restart required).
+	Kind    string `json:"kind"`
 	Message string `json:"message"`
 }
 
@@ -181,6 +229,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// beyond what the public accountant state already reveals.
 		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{"exhausted",
 			"global privacy budget exhausted"})
+		return
+	case errors.Is(err, core.ErrStateCorrupt):
+		// A failed POST /restore left the session undefined: refuse to
+		// serve from it rather than risk inconsistent answers.
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{"corrupt", err.Error()})
+		return
+	case errors.Is(err, core.ErrRestoring):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter))
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{"overloaded", err.Error()})
 		return
 	case err != nil:
 		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{"bad-request", err.Error()})
@@ -260,6 +317,15 @@ func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 				"global privacy budget exhausted mid-group; partial results withheld"})
 			return
 		}
+		if errors.Is(err, core.ErrStateCorrupt) {
+			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{"corrupt", err.Error()})
+			return
+		}
+		if errors.Is(err, core.ErrRestoring) {
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter))
+			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{"overloaded", err.Error()})
+			return
+		}
 		if err != nil {
 			writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{"bad-request", err.Error()})
 			return
@@ -325,12 +391,30 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		arrivals[i] = stream.Arrival{Counts: p.Counts}
 	}
 	tk, err := s.ing.Submit(arrivals...)
+	if errors.Is(err, stream.ErrBacklogFull) {
+		// Backpressure: the bounded submission queue is at capacity. Shed
+		// with a retry hint instead of parking the handler goroutine (and
+		// the client connection) behind an unbounded backlog.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter))
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{"overloaded", err.Error()})
+		return
+	}
 	if err != nil {
 		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{"bad-request", err.Error()})
 		return
 	}
 	first, last, err := tk.Wait()
-	if err != nil {
+	switch {
+	case errors.Is(err, core.ErrRestoring):
+		// The batch's epoch landed inside a restore window: transient,
+		// retryable — the same mapping /query uses for this condition.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter))
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{"overloaded", err.Error()})
+		return
+	case errors.Is(err, core.ErrStateCorrupt):
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{"corrupt", err.Error()})
+		return
+	case err != nil:
 		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{"bad-request", err.Error()})
 		return
 	}
@@ -425,6 +509,8 @@ type IngestionStats struct {
 	Rows        int64 `json:"rows_ingested"`
 	WarmStarted int64 `json:"warm_started_leaves"`
 	Pending     int64 `json:"pending"`
+	// Shed counts /append submissions refused by the bounded queue.
+	Shed int64 `json:"shed"`
 	// FlightDeduped counts answers shared from a concurrent identical
 	// flight instead of executing (single-flight window dedup).
 	FlightDeduped int64 `json:"flight_deduped"`
@@ -471,8 +557,93 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 			Rows:          st.Rows,
 			WarmStarted:   st.WarmStarted,
 			Pending:       st.Pending,
+			Shed:          st.Shed,
 			FlightDeduped: int64(s.sess.Deduped()),
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSnapshot streams the session's durable state as a persist
+// envelope: both accountants (RDP curves included), exact caches, tree
+// node state, and any pending ingestion epochs, captured under the
+// ingestor's quiesce barrier. The snapshot is buffered before the first
+// byte is written so an encoding failure surfaces as a clean 500 rather
+// than a torn 200 body.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{"bad-request", "GET only"})
+		return
+	}
+	var buf bytes.Buffer
+	err := s.sess.SaveState(&buf)
+	if errors.Is(err, core.ErrStateCorrupt) {
+		// A poisoned session must never export its undefined state.
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{"corrupt", err.Error()})
+		return
+	}
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{"internal", err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// RestoreResponse summarizes a successful POST /restore.
+type RestoreResponse struct {
+	Partitions   int     `json:"partitions"`
+	Queries      int64   `json:"queries_answered"`
+	AverageSpent float64 `json:"average_spent"`
+}
+
+// handleRestore loads a snapshot (the POST body) into the session, which
+// must not have answered any query yet. Envelope failures map to typed
+// statuses: input that is not a snapshot or from another format version
+// is 400; a session that already served traffic is 409; a section-level
+// mismatch (wrong mode, stale dataset, foreign accounting) is 422. After
+// a 200 every restored section — pending ingestion epochs included — is
+// applied and queryable. A failure that began mutating sections poisons
+// the session (core.ErrStateCorrupt): further /query traffic sheds with
+// 503 until the operator restarts with a good snapshot, rather than
+// serving from undefined state.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{"bad-request", "POST only"})
+		return
+	}
+	err := s.sess.LoadState(r.Body)
+	switch {
+	case err == nil:
+	case errors.Is(err, core.ErrAlreadyServing):
+		writeJSON(w, http.StatusConflict, ErrorResponse{"conflict", err.Error()})
+		return
+	case errors.Is(err, core.ErrStateCorrupt):
+		// Poisoned by an earlier failed restore: only a restart helps.
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{"corrupt", err.Error()})
+		return
+	case errors.Is(err, persist.ErrBadMagic), errors.Is(err, persist.ErrBadVersion),
+		errors.Is(err, persist.ErrTruncated):
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{"bad-request", err.Error()})
+		return
+	case s.sess.Corrupt():
+		// The failure began mutating sections: the session is poisoned
+		// and only a restart helps — distinct from a recoverable
+		// validation refusal.
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{"corrupt", err.Error()})
+		return
+	default:
+		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{"bad-request", err.Error()})
+		return
+	}
+	// LoadState is fully synchronous — restored pending epochs are
+	// applied (or have failed the restore) by the time it returns — so a
+	// 200 here means every section is queryable.
+	writeJSON(w, http.StatusOK, RestoreResponse{
+		Partitions:   s.sess.Dataset().Partitions(),
+		Queries:      int64(s.sess.Queries()),
+		AverageSpent: s.sess.AverageSpent(),
+	})
 }

@@ -20,7 +20,7 @@ import (
 )
 
 // newStreamingServer builds a streaming session over a small live store.
-func newStreamingServer(t *testing.T, gaussian bool) (*Server, *dataset.Dataset) {
+func newStreamingServer(t *testing.T, gaussian bool, opts ...Option) (*Server, *dataset.Dataset) {
 	t.Helper()
 	dom := domain.MustNew(
 		domain.Attribute{Name: "positive", Card: 2, Levels: []string{"negative", "positive"}},
@@ -46,7 +46,7 @@ func newStreamingServer(t *testing.T, gaussian bool) (*Server, *dataset.Dataset)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(sess, "covid")
+	srv, err := New(sess, "covid", opts...)
 	if err != nil {
 		t.Fatal(err)
 	}

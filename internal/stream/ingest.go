@@ -19,6 +19,18 @@
 // into the next epoch, so a burst of B batches costs O(1) epochs rather
 // than B lock round-trips per layer — the batched AppendPartition the
 // streaming evaluation drives (turbo-bench -exp=streaming).
+//
+// Two operational concerns ride on the same queue:
+//
+//   - Backpressure: WithMaxPending bounds the submission queue; an
+//     overflowing Submit fails fast with ErrBacklogFull instead of letting
+//     an ingest storm grow the backlog (and every waiting producer's
+//     latency) without bound. The HTTP layer maps it to 503 + Retry-After.
+//   - Durability: the ingestor is a persist.Snapshotter. Quiesce pauses
+//     the worker at an epoch boundary; a snapshot then serializes the
+//     pending (submitted but unapplied) batches, and restoring re-enqueues
+//     them on the fresh session — the applied state was captured by the
+//     other sections, so every partition lands exactly once.
 package stream
 
 import (
@@ -28,7 +40,16 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/persist"
 )
+
+// ErrBacklogFull reports a Submit refused because the bounded submission
+// queue is at capacity. The caller should shed or retry after a beat (the
+// server translates this into 503 + Retry-After).
+var ErrBacklogFull = errors.New("stream: ingestion backlog full")
+
+// SectionPending tags the pending-epoch queue in session snapshots.
+const SectionPending = "stream/pending"
 
 // Arrival is one new partition's payload: dense per-bin row counts over
 // the session's domain. A nil Counts registers an empty partition (rows
@@ -76,26 +97,44 @@ type Stats struct {
 	// Pending is the instantaneous number of batches not yet fully
 	// applied: queued plus those inside the in-flight epoch.
 	Pending int64
+	// Shed counts Submits refused by the bounded queue (ErrBacklogFull).
+	Shed int64
+}
+
+// Option configures an Ingestor at construction.
+type Option func(*Ingestor)
+
+// WithMaxPending bounds the submission queue to at most n batches awaiting
+// or inside an epoch; further Submits fail with ErrBacklogFull until the
+// worker drains. n <= 0 keeps the queue unbounded (the default).
+func WithMaxPending(n int) Option {
+	return func(in *Ingestor) { in.maxPending = n }
 }
 
 // Ingestor turns asynchronous batched partition arrivals into ordered
 // ingestion epochs over one streaming (or partitioned) session. Safe for
 // concurrent use by any number of producers.
 type Ingestor struct {
-	sess *core.Session
+	sess       *core.Session
+	maxPending int
 
 	mu      sync.Mutex
 	pending []pendingBatch
 	// applying is the number of batches swapped out of pending whose
 	// epoch is still being applied; Flush waits on both.
 	applying int
-	closed   bool
-	wake     chan struct{}
-	drained  *sync.Cond // signaled when the queue and in-flight epoch empty
+	// paused counts active Quiesce holds; the worker starts no epoch
+	// while it is positive.
+	paused int
+	closed bool
+	// work wakes the worker (new batch, resume, close); drained is
+	// signaled whenever the in-flight epoch lands or the queue empties.
+	work    *sync.Cond
+	drained *sync.Cond
 
 	wg sync.WaitGroup
 
-	batches, epochs, parts, rows, warmed atomic.Int64
+	batches, epochs, parts, rows, warmed, shed atomic.Int64
 }
 
 // pendingBatch is one Submit awaiting its epoch.
@@ -104,35 +143,36 @@ type pendingBatch struct {
 	ticket   *Ticket
 }
 
-// NewIngestor creates an ingestor over sess and starts its epoch worker.
-// The session must be partitioned or streaming: non-partitioned sessions
-// cannot grow (core.Session.AppendPartitions refuses them). Close releases
-// the worker.
-func NewIngestor(sess *core.Session) (*Ingestor, error) {
+// NewIngestor creates an ingestor over sess, starts its epoch worker, and
+// registers the pending queue as the session's "stream/pending" snapshot
+// section. The session must be partitioned or streaming: non-partitioned
+// sessions cannot grow (core.Session.AppendPartitions refuses them).
+// Close releases the worker.
+func NewIngestor(sess *core.Session, opts ...Option) (*Ingestor, error) {
 	if sess == nil {
 		return nil, errors.New("stream: nil session")
 	}
 	if sess.Tree() == nil {
 		return nil, errors.New("stream: ingestion needs a partitioned or streaming session")
 	}
-	in := &Ingestor{
-		sess: sess,
-		wake: make(chan struct{}, 1),
-	}
+	in := &Ingestor{sess: sess}
+	in.work = sync.NewCond(&in.mu)
 	in.drained = sync.NewCond(&in.mu)
+	for _, opt := range opts {
+		opt(in)
+	}
+	sess.RegisterSnapshotter(in)
 	in.wg.Add(1)
 	go in.worker()
 	return in, nil
 }
 
-// Submit enqueues one batch of arrivals for the next ingestion epoch and
-// returns immediately with a ticket; partition indices are assigned in
-// submission order when the epoch is applied. Payloads are validated here,
-// before any index is assigned, so a malformed batch fails fast without
+// validate checks a batch's payloads against the session's domain before
+// any index is assigned, so a malformed batch fails fast without
 // consuming partitions.
-func (in *Ingestor) Submit(arrivals ...Arrival) (*Ticket, error) {
+func (in *Ingestor) validate(arrivals []Arrival) error {
 	if len(arrivals) == 0 {
-		return nil, errors.New("stream: empty batch")
+		return errors.New("stream: empty batch")
 	}
 	domSize := in.sess.Dataset().Domain().Size()
 	for i, a := range arrivals {
@@ -140,28 +180,57 @@ func (in *Ingestor) Submit(arrivals ...Arrival) (*Ticket, error) {
 			continue
 		}
 		if len(a.Counts) != domSize {
-			return nil, fmt.Errorf("stream: arrival %d has %d bins, domain has %d", i, len(a.Counts), domSize)
+			return fmt.Errorf("stream: arrival %d has %d bins, domain has %d", i, len(a.Counts), domSize)
 		}
 		for bin, c := range a.Counts {
 			if c < 0 {
-				return nil, fmt.Errorf("stream: arrival %d has negative count %d at bin %d", i, c, bin)
+				return fmt.Errorf("stream: arrival %d has negative count %d at bin %d", i, c, bin)
 			}
 		}
 	}
-	t := &Ticket{done: make(chan struct{}), count: len(arrivals)}
+	return nil
+}
+
+// Submit enqueues one batch of arrivals for the next ingestion epoch and
+// returns immediately with a ticket; partition indices are assigned in
+// submission order when the epoch is applied. With a bounded queue
+// (WithMaxPending), a Submit that would exceed the bound fails with
+// ErrBacklogFull and consumes nothing.
+func (in *Ingestor) Submit(arrivals ...Arrival) (*Ticket, error) {
+	if err := in.validate(arrivals); err != nil {
+		return nil, err
+	}
+	tickets, err := in.enqueue([][]Arrival{arrivals}, true)
+	if err != nil {
+		return nil, err
+	}
+	return tickets[0], nil
+}
+
+// enqueue appends validated batches to the pending queue and wakes the
+// worker, returning one ticket per batch. It is the single enqueue
+// protocol shared by Submit and the snapshot restore path; bounded is
+// false only for restored batches, which were admitted once already.
+func (in *Ingestor) enqueue(batches [][]Arrival, bounded bool) ([]*Ticket, error) {
 	in.mu.Lock()
 	if in.closed {
 		in.mu.Unlock()
 		return nil, errors.New("stream: ingestor closed")
 	}
-	in.pending = append(in.pending, pendingBatch{arrivals: arrivals, ticket: t})
-	in.mu.Unlock()
-	in.batches.Add(1)
-	select {
-	case in.wake <- struct{}{}:
-	default: // worker already has a wake-up pending
+	if depth := len(in.pending) + in.applying; bounded && in.maxPending > 0 && depth >= in.maxPending {
+		in.mu.Unlock()
+		in.shed.Add(1)
+		return nil, fmt.Errorf("%w: %d batches queued (bound %d)", ErrBacklogFull, depth, in.maxPending)
 	}
-	return t, nil
+	tickets := make([]*Ticket, len(batches))
+	for i, arrivals := range batches {
+		tickets[i] = &Ticket{done: make(chan struct{}), count: len(arrivals)}
+		in.pending = append(in.pending, pendingBatch{arrivals: arrivals, ticket: tickets[i]})
+	}
+	in.mu.Unlock()
+	in.batches.Add(int64(len(batches)))
+	in.work.Broadcast()
+	return tickets, nil
 }
 
 // Append is the synchronous convenience: Submit plus Wait.
@@ -174,7 +243,9 @@ func (in *Ingestor) Append(arrivals ...Arrival) (first, last int, err error) {
 }
 
 // Flush blocks until every batch submitted before the call has been
-// applied.
+// applied. It must not be called while the ingestor is quiesced (a
+// quiesced worker applies nothing, so a non-empty queue would never
+// drain).
 func (in *Ingestor) Flush() {
 	in.mu.Lock()
 	for len(in.pending) > 0 || in.applying > 0 {
@@ -183,8 +254,36 @@ func (in *Ingestor) Flush() {
 	in.mu.Unlock()
 }
 
+// Quiesce pauses the worker at an epoch boundary: it blocks until no
+// epoch is mid-application, then keeps the worker from starting another
+// until the returned resume function runs. Quiesce holds nest (each
+// resume releases one); SaveState takes one automatically around a
+// snapshot. Submissions stay accepted while quiesced — they accumulate
+// as pending batches (and, with WithMaxPending, eventually shed).
+func (in *Ingestor) Quiesce() (resume func()) {
+	in.mu.Lock()
+	in.paused++
+	for in.applying > 0 {
+		in.drained.Wait()
+	}
+	in.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			in.mu.Lock()
+			in.paused--
+			in.mu.Unlock()
+			in.work.Broadcast()
+		})
+	}
+}
+
 // Close drains the queue, stops the worker, and fails any batch submitted
-// after the close began. Idempotent.
+// after the close began. Idempotent. Close respects an active Quiesce:
+// the final drain waits until every hold resumes, so a snapshot racing a
+// forced shutdown can never capture batches as pending while the drain
+// also applies them (which a restore would then double-apply). Callers
+// must therefore resume their holds; SaveState always does.
 func (in *Ingestor) Close() {
 	in.mu.Lock()
 	if in.closed {
@@ -193,10 +292,7 @@ func (in *Ingestor) Close() {
 	}
 	in.closed = true
 	in.mu.Unlock()
-	select {
-	case in.wake <- struct{}{}:
-	default:
-	}
+	in.work.Broadcast()
 	in.wg.Wait()
 }
 
@@ -212,37 +308,103 @@ func (in *Ingestor) Stats() Stats {
 		Rows:        in.rows.Load(),
 		WarmStarted: in.warmed.Load(),
 		Pending:     pending,
+		Shed:        in.shed.Load(),
 	}
 }
 
+// pendingState is the "stream/pending" section payload: the arrivals of
+// every submitted-but-unapplied batch, in submission order, batch
+// boundaries preserved.
+type pendingState struct {
+	Batches [][]Arrival
+}
+
+// SnapshotSection implements persist.Snapshotter.
+func (in *Ingestor) SnapshotSection() string { return SectionPending }
+
+// SnapshotOptional marks the section as legitimately absent: sessions
+// without an ingestor never write it, and an idle ingestor omits it so
+// its snapshots restore anywhere.
+func (in *Ingestor) SnapshotOptional() bool { return true }
+
+// SnapshotPayload serializes the pending queue. The registry quiesces the
+// ingestor first (Quiescer), so no batch can be mid-application: every
+// batch is either fully applied (captured by the dataset/accountant/tree
+// sections) or fully pending (captured here) — never both.
+func (in *Ingestor) SnapshotPayload() ([]byte, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.applying > 0 {
+		return nil, errors.New("stream: snapshot while an epoch is mid-application (quiesce first)")
+	}
+	if len(in.pending) == 0 {
+		return nil, nil // omit the section entirely
+	}
+	st := pendingState{Batches: make([][]Arrival, len(in.pending))}
+	for i, b := range in.pending {
+		st.Batches[i] = b.arrivals
+	}
+	return persist.Encode(st)
+}
+
+// RestorePayload re-enqueues a snapshot's pending batches on this
+// ingestor's fresh session and blocks until their epochs are applied,
+// so a LoadState that returns nil really has every restored partition
+// queryable — and an epoch failure surfaces as the restore's error
+// instead of vanishing with an unobserved ticket. The batches bypass
+// the backlog bound (they were admitted once already). No partition can
+// double-apply: the snapshot's applied sections never include these
+// batches (see SnapshotPayload). The ingestor must not be quiesced
+// during a restore (a paused worker would never apply the batches).
+func (in *Ingestor) RestorePayload(payload []byte) error {
+	var st pendingState
+	if err := persist.Decode(payload, &st); err != nil {
+		return err
+	}
+	for i, arrivals := range st.Batches {
+		if err := in.validate(arrivals); err != nil {
+			return fmt.Errorf("stream: restored batch %d: %w", i, err)
+		}
+	}
+	tickets, err := in.enqueue(st.Batches, false)
+	if err != nil {
+		return err
+	}
+	for i, t := range tickets {
+		if _, _, err := t.Wait(); err != nil {
+			return fmt.Errorf("stream: apply restored batch %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // worker applies ingestion epochs until Close. Each round swaps out the
-// whole pending queue and applies it as one epoch.
+// whole pending queue and applies it as one epoch; it idles while there
+// is nothing to do or a Quiesce hold is active (the hold pauses even
+// the final close-time drain — see Close).
 func (in *Ingestor) worker() {
 	defer in.wg.Done()
+	in.mu.Lock()
 	for {
-		in.mu.Lock()
-		batch := in.pending
-		in.pending = nil
-		in.applying = len(batch)
-		closed := in.closed
-		in.mu.Unlock()
-		if len(batch) > 0 {
-			in.applyEpoch(batch)
-			in.mu.Lock()
-			in.applying = 0
+		for in.paused > 0 || (!in.closed && len(in.pending) == 0) {
 			if len(in.pending) == 0 {
 				in.drained.Broadcast()
 			}
-			in.mu.Unlock()
-			continue // re-check for submissions that arrived mid-epoch
+			in.work.Wait()
 		}
-		if closed {
-			in.mu.Lock()
+		if len(in.pending) == 0 { // closed with nothing left
 			in.drained.Broadcast()
 			in.mu.Unlock()
 			return
 		}
-		<-in.wake
+		batch := in.pending
+		in.pending = nil
+		in.applying = len(batch)
+		in.mu.Unlock()
+		in.applyEpoch(batch)
+		in.mu.Lock()
+		in.applying = 0
+		in.drained.Broadcast()
 	}
 }
 

@@ -12,7 +12,35 @@ import (
 	"repro/internal/heuristic"
 	"repro/internal/histogram"
 	"repro/internal/interval"
+	"repro/internal/persist"
 )
+
+// SectionNodes tags the tree's warm node state in session snapshots.
+const SectionNodes = "tree/nodes"
+
+// SnapshotSection implements persist.Snapshotter.
+func (t *Tree) SnapshotSection() string { return SectionNodes }
+
+// SnapshotPayload exports every materialized node across all state
+// shards (histograms, heuristic thresholds); sparse vectors are dropped
+// by design (see the file comment).
+func (t *Tree) SnapshotPayload() ([]byte, error) {
+	return persist.Encode(treeState{Nodes: t.ExportNodes()})
+}
+
+// RestorePayload rebuilds node state from a snapshot into a fresh tree.
+func (t *Tree) RestorePayload(payload []byte) error {
+	var st treeState
+	if err := persist.Decode(payload, &st); err != nil {
+		return err
+	}
+	return t.RestoreNodes(st.Nodes)
+}
+
+// treeState is the tree section payload.
+type treeState struct {
+	Nodes []NodeState
+}
 
 // NodeState is the serializable state of one tree node.
 type NodeState struct {

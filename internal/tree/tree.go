@@ -456,6 +456,10 @@ func (t *Tree) EagerWarmStart(p int) bool {
 // in scalar mode).
 func (t *Tree) Admission() *accountant.ConcurrentRDPFilter { return t.admit }
 
+// Cache exposes the per-node exact cache (nil unless NodeExactCache),
+// so the session can register it as its own snapshot section.
+func (t *Tree) Cache() *cache.Exact { return t.cache }
+
 // svKey canonicalizes a node set for the shared-SV registry.
 func svKey(nodes []interval.Node) string {
 	key := ""
