@@ -36,6 +36,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/persist"
 	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/tree"
 	"repro/internal/workload"
 )
@@ -56,6 +57,10 @@ func main() {
 		shards      = flag.Int("shards", runtime.NumCPU(), "concurrent executor shards (partitioned modes)")
 		statePath   = flag.String("state", "", "snapshot file: restored at boot if present, written atomically on SIGINT/SIGTERM")
 		backlog     = flag.Int("append-backlog", 0, "bound on queued /append batches; overflow sheds with 503 (0 = unbounded)")
+		storeKind   = flag.String("store", "map", "storage backend: map (unbounded striped map) | bounded (memory-bounded segmented LRU, privacy-cost-aware eviction)")
+		storeMaxMB  = flag.Int("store-max-mb", 64, "resident cache-store bound in MiB for -store=bounded (0 = bytes unbounded)")
+		storeMaxEnt = flag.Int("store-max-entries", 0, "resident cache-store entry bound for -store=bounded (0 = entries unbounded)")
+		ckptEvery   = flag.Duration("checkpoint-interval", 0, "background checkpoint period for -state (0 disables; failures log and retry next tick)")
 	)
 	flag.Parse()
 
@@ -98,6 +103,17 @@ func main() {
 		cfg.Gaussian = true
 		cfg.DeltaGlobal = *deltaG
 	}
+	switch *storeKind {
+	case "map":
+		// nil Backend: the session defaults to the unbounded striped map.
+	case "bounded":
+		cfg.Backend = store.NewBounded(store.BoundedConfig{
+			MaxBytes:   *storeMaxMB << 20,
+			MaxEntries: *storeMaxEnt,
+		})
+	default:
+		log.Fatalf("turbo-server: unknown store %q (map|bounded)", *storeKind)
+	}
 	sess, err := core.NewSession(cfg, ds)
 	if err != nil {
 		log.Fatal(err)
@@ -126,6 +142,38 @@ func main() {
 		} else if !os.IsNotExist(err) {
 			log.Fatal(err)
 		}
+	}
+
+	// Background checkpointing: every -checkpoint-interval, write the
+	// snapshot atomically (same quiesce barrier + temp-file+rename as the
+	// shutdown checkpoint). A failed periodic checkpoint is logged and
+	// retried next tick — SaveState never mutates, so a failure cannot
+	// poison the session, and the atomic write discipline means a crash
+	// mid-checkpoint never tears the previous good snapshot.
+	ckptStop := make(chan struct{})
+	ckptDone := make(chan struct{})
+	if *ckptEvery > 0 && *statePath != "" {
+		go func() {
+			defer close(ckptDone)
+			ticker := time.NewTicker(*ckptEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if err := persist.WriteFileAtomic(*statePath, func(w io.Writer) error {
+						return sess.SaveState(w)
+					}); err != nil {
+						log.Printf("turbo-server: periodic checkpoint: %v (will retry)", err)
+						continue
+					}
+					log.Printf("turbo-server: checkpointed state to %s", *statePath)
+				case <-ckptStop:
+					return
+				}
+			}
+		}()
+	} else {
+		close(ckptDone)
 	}
 
 	guarantee := fmt.Sprintf("ε_G=%g", *epsG)
@@ -172,6 +220,10 @@ func main() {
 	// handlers (a /query paying budget, a /snapshot holding the quiesce)
 	// would race them.
 	<-shutdownDone
+	// Stop the periodic checkpointer before the final one so the two
+	// never interleave their SaveState captures.
+	close(ckptStop)
+	<-ckptDone
 	srv.Close() // drain the ingestion worker: pending epochs apply before the snapshot
 	if *statePath != "" {
 		if err := persist.WriteFileAtomic(*statePath, func(w io.Writer) error {

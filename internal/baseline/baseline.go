@@ -17,7 +17,18 @@ import (
 	"repro/internal/kvstore"
 	"repro/internal/noise"
 	"repro/internal/query"
+	"repro/internal/store"
 )
+
+// backendOrPrivate returns be, or a private unbounded store when nil —
+// the documented fallback for baselines, which never share caching state
+// across systems.
+func backendOrPrivate(be store.Backend) store.Backend {
+	if be == nil {
+		return kvstore.New()
+	}
+	return be
+}
 
 // System answers linear queries end-to-end under a global DP guarantee.
 type System interface {
@@ -78,12 +89,16 @@ type ExactCache struct {
 	cache       *cache.Exact
 }
 
-// NewExactCache builds the exact-match cache baseline over store (nil for a
+// NewExactCache builds the exact-match cache baseline over be (nil for a
 // private store).
-func NewExactCache(alpha, beta float64, exec *dataset.Executor, block *accountant.Block, store *kvstore.Store) *ExactCache {
+func NewExactCache(alpha, beta float64, exec *dataset.Executor, block *accountant.Block, be store.Backend) *ExactCache {
+	c, err := cache.NewExact(backendOrPrivate(be), "exact")
+	if err != nil {
+		panic(err) // unreachable: the backend is never nil here
+	}
 	return &ExactCache{
 		Alpha: alpha, Beta: beta, Exec: exec, Block: block,
-		cache: cache.NewExact(store, "exact"),
+		cache: c,
 	}
 }
 
@@ -135,11 +150,16 @@ type TreeExactCache struct {
 	cache       *cache.Exact
 }
 
-// NewTreeExactCache builds the per-node exact-match cache baseline.
-func NewTreeExactCache(alpha, beta float64, exec *dataset.Executor, block *accountant.Block, store *kvstore.Store) *TreeExactCache {
+// NewTreeExactCache builds the per-node exact-match cache baseline over
+// be (nil for a private store).
+func NewTreeExactCache(alpha, beta float64, exec *dataset.Executor, block *accountant.Block, be store.Backend) *TreeExactCache {
+	c, err := cache.NewExact(backendOrPrivate(be), "tree-exact")
+	if err != nil {
+		panic(err) // unreachable: the backend is never nil here
+	}
 	return &TreeExactCache{
 		Alpha: alpha, Beta: beta, Exec: exec, Block: block,
-		cache: cache.NewExact(store, "tree-exact"),
+		cache: c,
 	}
 }
 

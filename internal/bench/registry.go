@@ -44,6 +44,7 @@ var Experiments = []Experiment{
 	{"scaling", "concurrency: sharded pipeline throughput vs global-mutex seed", Scaling},
 	{"streaming", "streaming ingestion: arrivals interleaved with queries (batched epochs + eager warm-start)", Streaming},
 	{"checkpoint", "durability: snapshot/restore latency and post-restore cache hit-rate vs cold start (internal/persist)", Checkpoint},
+	{"cache-pressure", "storage: bounded (privacy-cost-aware SLRU) vs unbounded backend hit-rate and resident bytes at 2x-cap working set", CachePressure},
 }
 
 // Lookup finds an experiment by name.

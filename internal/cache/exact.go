@@ -7,16 +7,29 @@
 // predicate, its partition window, and the data version of that window:
 // re-serving a stored DP result is free (post-processing) as long as the
 // underlying data is unchanged.
+//
+// Caches program against the pluggable store.Backend interface rather
+// than a concrete store, so the same cache runs over the unbounded
+// striped map or the memory-bounded segmented-LRU backend. Entries are
+// written with their privacy cost as eviction weight (Put's eps): under
+// memory pressure a bounded backend evicts the releases that are cheapest
+// to re-pay. A backend eviction is indistinguishable from a miss here —
+// the query re-executes, and re-pays, through the session's single-flight
+// path, so eviction can never corrupt the accountant.
 package cache
 
 import (
+	"errors"
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/kvstore"
 	"repro/internal/persist"
 	"repro/internal/query"
+	"repro/internal/store"
 )
 
 // Entry is one cached DP result.
@@ -33,135 +46,303 @@ type Entry struct {
 // entries grow with the full key population.
 const DefaultFastEntries = 4096
 
-// Exact is an exact-match cache backed by the KV store (the prototype's
-// Redis role), with a bounded decoded-entry fast map in front of it — the
-// client-side caching pattern Redis deployments use — so repeat hits skip
-// deserialization. Exact is safe for concurrent use: lookups take a read
-// lock on the fast map and the striped store serializes its own access, so
-// pipeline shards can probe the cache without holding their shard lock.
+// ErrNilBackend reports an exact cache constructed without a backing
+// store. Callers must pass the store explicitly: silently allocating a
+// private one here used to let a mis-wired session lose shared-cache
+// semantics without any symptom.
+var ErrNilBackend = errors.New("cache: nil store backend")
+
+// exactStripe is one namespace stripe: its own decoded fast map (and
+// lock), probing its own sub-namespace of the backend.
+type exactStripe struct {
+	ns   string
+	mu   sync.RWMutex
+	fast map[string]Entry
+}
+
+// Exact is an exact-match cache backed by a store.Backend (the
+// prototype's Redis role), with a bounded decoded-entry fast map in front
+// of it — the client-side caching pattern Redis deployments use — so
+// repeat hits skip deserialization. Exact is safe for concurrent use:
+// lookups take a read lock on their stripe's fast map and the backend
+// serializes its own access, so pipeline shards can probe the cache
+// without holding their shard lock.
+//
+// A sharded cache (NewExactSharded) stripes both the fast map and the
+// backend namespace by the query window's executor shard, so per-shard
+// executors touch disjoint namespaces — and disjoint fast-map locks —
+// instead of contending on one.
 type Exact struct {
-	store *kvstore.Store
+	store store.Backend
 	ns    string
 
-	mu      sync.RWMutex
-	fast    map[string]Entry
-	maxFast int
+	// shardWidth/stripeCount stripe keys by window start; shardWidth <= 0
+	// keeps a single stripe (the unsharded behaviour).
+	shardWidth  int
+	stripeCount int
+	stripes     []*exactStripe
+	maxFast     int // per stripe
 
 	hits, misses atomic.Int64
 }
 
-// NewExact creates an exact cache using namespace ns of store, with the
-// default fast-map bound. Multiple caches (e.g. one per tree node) share
-// one store under different namespaces.
-func NewExact(store *kvstore.Store, ns string) *Exact {
-	return NewExactBounded(store, ns, DefaultFastEntries)
+// NewExact creates an exact cache using namespace ns of backend b, with
+// the default fast-map bound. Multiple caches (e.g. one per tree node)
+// share one backend under different namespaces. A nil backend is
+// ErrNilBackend.
+func NewExact(b store.Backend, ns string) (*Exact, error) {
+	return NewExactBounded(b, ns, DefaultFastEntries)
 }
 
 // NewExactBounded creates an exact cache whose decoded fast map holds at
-// most maxFast entries (0 or negative falls back to the default).
-func NewExactBounded(store *kvstore.Store, ns string, maxFast int) *Exact {
-	if store == nil {
-		store = kvstore.New()
+// most maxFast entries (0 or negative falls back to the default). A nil
+// backend is ErrNilBackend.
+func NewExactBounded(b store.Backend, ns string, maxFast int) (*Exact, error) {
+	return NewExactSharded(b, ns, maxFast, 0, 1)
+}
+
+// NewExactSharded creates an exact cache whose namespace is striped by
+// window shard: a query whose window starts in partition p maps to stripe
+// (p/shardWidth) mod stripeCount, probing sub-namespace "ns/i" with its
+// own fast map. Aligning shardWidth with the executor shards keeps
+// per-shard cache traffic on disjoint stripes. shardWidth <= 0 or
+// stripeCount <= 1 keeps one stripe over the plain namespace ns.
+func NewExactSharded(b store.Backend, ns string, maxFast, shardWidth, stripeCount int) (*Exact, error) {
+	if b == nil {
+		return nil, fmt.Errorf("%w (namespace %q)", ErrNilBackend, ns)
 	}
 	if maxFast <= 0 {
 		maxFast = DefaultFastEntries
 	}
-	return &Exact{store: store, ns: ns, fast: make(map[string]Entry), maxFast: maxFast}
+	if shardWidth <= 0 || stripeCount <= 1 {
+		shardWidth, stripeCount = 0, 1
+	}
+	c := &Exact{
+		store:       b,
+		ns:          ns,
+		shardWidth:  shardWidth,
+		stripeCount: stripeCount,
+		maxFast:     (maxFast + stripeCount - 1) / stripeCount,
+	}
+	for i := 0; i < stripeCount; i++ {
+		c.stripes = append(c.stripes, &exactStripe{
+			ns:   c.stripeNS(i),
+			fast: make(map[string]Entry),
+		})
+	}
+	return c, nil
+}
+
+// stripeNS names stripe i's backend namespace.
+func (c *Exact) stripeNS(i int) string {
+	if c.stripeCount <= 1 {
+		return c.ns
+	}
+	return c.ns + "/" + strconv.Itoa(i)
+}
+
+// stripeFor maps a query to its namespace stripe by window start.
+func (c *Exact) stripeFor(q *query.Query) *exactStripe {
+	if c.stripeCount <= 1 {
+		return c.stripes[0]
+	}
+	if s, _, ok := q.Window(); ok {
+		return c.stripes[(s/c.shardWidth)%c.stripeCount]
+	}
+	return c.stripes[0]
+}
+
+// stripeForKey re-derives a stored key's stripe from the window embedded
+// in the key itself (query.KeyWithWindow appends "@[start,end]";
+// predicate keys never contain '@'). Restores route every entry through
+// it rather than trusting recorded stripe indices, so snapshots stay
+// portable across sessions with different shard counts — including the
+// pre-sharding flat payloads, whose entries had no stripe at all.
+func (c *Exact) stripeForKey(key string) *exactStripe {
+	if c.stripeCount <= 1 {
+		return c.stripes[0]
+	}
+	at := strings.LastIndex(key, "@[")
+	if at < 0 {
+		return c.stripes[0]
+	}
+	rest := key[at+2:]
+	comma := strings.IndexByte(rest, ',')
+	if comma < 0 {
+		return c.stripes[0]
+	}
+	start, err := strconv.Atoi(rest[:comma])
+	if err != nil || start < 0 {
+		return c.stripes[0]
+	}
+	return c.stripes[(start/c.shardWidth)%c.stripeCount]
 }
 
 // Get returns the cached result for q at the given data version. A fast-map
 // entry whose version no longer matches is stale forever (window versions
 // are monotone), so it is evicted from both layers on the way out.
 func (c *Exact) Get(q *query.Query, version int) (Entry, bool) {
+	st := c.stripeFor(q)
 	key := q.KeyWithWindow()
-	c.mu.RLock()
-	e, ok := c.fast[key]
-	c.mu.RUnlock()
+	st.mu.RLock()
+	e, ok := st.fast[key]
+	st.mu.RUnlock()
 	if ok {
 		if e.Version == version {
 			c.hits.Add(1)
 			return e, true
 		}
-		c.invalidate(key, e)
+		c.invalidate(st, key, e)
 	}
 	var stored Entry
-	found, err := c.store.Get(c.ns, key, &stored)
+	found, err := c.store.Get(st.ns, key, &stored)
 	if err != nil || !found {
 		c.misses.Add(1)
 		return Entry{}, false
 	}
 	if stored.Version != version {
 		// Stale under a monotone version: it can never hit again.
-		c.invalidate(key, stored)
+		c.invalidate(st, key, stored)
 		c.misses.Add(1)
 		return Entry{}, false
 	}
-	c.cacheFast(key, stored)
+	c.cacheFast(st, key, stored)
 	c.hits.Add(1)
 	return stored, true
 }
 
-// Put stores a freshly-computed DP result.
+// Put stores a freshly-computed DP result; eps — the budget paid to
+// produce it — doubles as the entry's eviction weight, so a bounded
+// backend under pressure keeps the releases that are expensive to re-pay.
 func (c *Exact) Put(q *query.Query, version int, value, eps float64) error {
+	st := c.stripeFor(q)
 	key := q.KeyWithWindow()
 	e := Entry{Value: value, Eps: eps, Version: version}
-	if err := c.store.Set(c.ns, key, e); err != nil {
+	if err := c.store.SetWeighted(st.ns, key, e, eps); err != nil {
 		return err
 	}
-	c.cacheFast(key, e)
+	c.cacheFast(st, key, e)
 	return nil
 }
 
-// cacheFast inserts into the decoded map, evicting an arbitrary entry when
-// the bound is reached. Random-ish eviction (map iteration order) is
-// enough: the fast map is a decode-skipping layer, not the cache itself.
-func (c *Exact) cacheFast(key string, e Entry) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, exists := c.fast[key]; !exists && len(c.fast) >= c.maxFast {
-		for victim := range c.fast {
-			delete(c.fast, victim)
+// cacheFast inserts into the stripe's decoded map, evicting an arbitrary
+// entry when the bound is reached. Random-ish eviction (map iteration
+// order) is enough: the fast map is a decode-skipping layer, not the
+// cache itself.
+func (c *Exact) cacheFast(st *exactStripe, key string, e Entry) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, exists := st.fast[key]; !exists && len(st.fast) >= c.maxFast {
+		for victim := range st.fast {
+			delete(st.fast, victim)
 			break
 		}
 	}
-	c.fast[key] = e
+	st.fast[key] = e
 }
 
 // invalidate drops a stale entry from the fast map and the backing store.
 // Both deletes are guarded against a concurrent Put of a fresh entry: the
 // fast map by the version check, the store by a compare-and-delete on the
 // observed stale bytes, so a freshly-paid result is never erased.
-func (c *Exact) invalidate(key string, stale Entry) {
-	c.mu.Lock()
-	if e, ok := c.fast[key]; ok && e.Version == stale.Version {
-		delete(c.fast, key)
+func (c *Exact) invalidate(st *exactStripe, key string, stale Entry) {
+	st.mu.Lock()
+	if e, ok := st.fast[key]; ok && e.Version == stale.Version {
+		delete(st.fast, key)
 	}
-	c.mu.Unlock()
-	c.store.CompareDelete(c.ns, key, stale)
+	st.mu.Unlock()
+	c.store.CompareDelete(st.ns, key, stale)
 }
 
 // SnapshotSection implements persist.Snapshotter: each cache persists the
 // namespace slice of the KV store it owns, tagged by that namespace.
 func (c *Exact) SnapshotSection() string { return "cache/" + c.ns }
 
-// SnapshotPayload exports the cache's stored entries (raw KV bytes; the
-// decoded fast map is a rebuildable acceleration layer and is skipped).
+// exactStripeState is one namespace stripe's snapshot: keys sorted, so
+// the payload encodes byte-identically for identical contents (the KV
+// checkpoint's hash-skipping depends on it — gob maps encode in random
+// iteration order).
+type exactStripeState struct {
+	Index int
+	Keys  []string
+	Vals  [][]byte
+}
+
+// exactState is the snapshot payload of a (possibly sharded) cache: raw
+// KV bytes per namespace stripe.
+type exactState struct {
+	Stripes []exactStripeState
+}
+
+// SnapshotPayload exports the cache's stored entries per namespace stripe
+// (raw KV bytes; the decoded fast map is a rebuildable acceleration layer
+// and is skipped).
 func (c *Exact) SnapshotPayload() ([]byte, error) {
-	return persist.Encode(c.store.ExportNamespace(c.ns))
+	var st exactState
+	for i, s := range c.stripes {
+		data := c.store.ExportNamespace(s.ns)
+		ss := exactStripeState{Index: i, Keys: make([]string, 0, len(data))}
+		for k := range data {
+			ss.Keys = append(ss.Keys, k)
+		}
+		sort.Strings(ss.Keys)
+		ss.Vals = make([][]byte, len(ss.Keys))
+		for j, k := range ss.Keys {
+			ss.Vals[j] = data[k]
+		}
+		st.Stripes = append(st.Stripes, ss)
+	}
+	return persist.Encode(st)
 }
 
 // RestorePayload replaces the cache's namespace contents with a
-// snapshot's and resets the fast map, so every restored entry is decoded
-// from the store on first touch.
+// snapshot's and resets the fast maps, so every restored entry is decoded
+// from the store on first touch. Every entry's stripe is re-derived from
+// the window embedded in its key (not the snapshot's recorded stripe
+// indices), so snapshots restore correctly into sessions with any shard
+// count — a checkpoint from a 16-core box restores on an 8-core one —
+// and pre-sharding flat payloads redistribute the same way. Entries
+// restore through SetWeighted with their recorded privacy cost, so a
+// bounded backend's eviction priority survives the round-trip.
 func (c *Exact) RestorePayload(payload []byte) error {
-	var data map[string][]byte
-	if err := persist.Decode(payload, &data); err != nil {
-		return err
+	var st exactState
+	if err := persist.Decode(payload, &st); err != nil {
+		// Pre-sharding payloads were one flat namespace map.
+		var flat map[string][]byte
+		if errFlat := persist.Decode(payload, &flat); errFlat != nil {
+			return err
+		}
+		ss := exactStripeState{Index: 0}
+		for k, v := range flat {
+			ss.Keys = append(ss.Keys, k)
+			ss.Vals = append(ss.Vals, v)
+		}
+		st = exactState{Stripes: []exactStripeState{ss}}
 	}
-	c.store.ImportNamespace(c.ns, data)
-	c.mu.Lock()
-	c.fast = make(map[string]Entry)
-	c.mu.Unlock()
+	// Validate before any stripe mutates: a malformed payload must be a
+	// pure refusal, not a half-cleared cache.
+	for _, ss := range st.Stripes {
+		if len(ss.Keys) != len(ss.Vals) {
+			return fmt.Errorf("cache: snapshot stripe %d has %d keys but %d values", ss.Index, len(ss.Keys), len(ss.Vals))
+		}
+	}
+	for _, s := range c.stripes {
+		c.store.ImportNamespace(s.ns, nil) // clear the stripe
+		s.mu.Lock()
+		s.fast = make(map[string]Entry)
+		s.mu.Unlock()
+	}
+	for _, ss := range st.Stripes {
+		for j, k := range ss.Keys {
+			var e Entry
+			if err := persist.Decode(ss.Vals[j], &e); err != nil {
+				return fmt.Errorf("cache: restore %q: %w", k, err)
+			}
+			if err := c.store.SetWeighted(c.stripeForKey(k).ns, k, e, e.Eps); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
@@ -180,15 +361,29 @@ func (c *Exact) HitRate() float64 {
 	return float64(hits) / float64(total)
 }
 
-// FastLen returns the number of decoded entries resident in the fast map.
+// FastLen returns the number of decoded entries resident across all
+// fast-map stripes.
 func (c *Exact) FastLen() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.fast)
+	total := 0
+	for _, st := range c.stripes {
+		st.mu.RLock()
+		total += len(st.fast)
+		st.mu.RUnlock()
+	}
+	return total
 }
 
-// Len returns the number of cached entries in this cache's namespace.
-func (c *Exact) Len() int { return len(c.store.Keys(c.ns)) }
+// Stripes returns the number of namespace stripes (1 unless sharded).
+func (c *Exact) Stripes() int { return c.stripeCount }
+
+// Len returns the number of cached entries across the cache's namespaces.
+func (c *Exact) Len() int {
+	total := 0
+	for _, st := range c.stripes {
+		total += len(c.store.Keys(st.ns))
+	}
+	return total
+}
 
 // String identifies the cache.
 func (c *Exact) String() string { return fmt.Sprintf("exact-cache(%s)", c.ns) }

@@ -1,12 +1,15 @@
 package cache
 
 import (
+	"errors"
+	"strconv"
 	"sync"
 	"testing"
 
 	"repro/internal/domain"
 	"repro/internal/kvstore"
 	"repro/internal/query"
+	"repro/internal/store"
 )
 
 func dom() *domain.Domain {
@@ -16,8 +19,31 @@ func dom() *domain.Domain {
 	)
 }
 
+// newCache builds an exact cache over a private striped map, failing the
+// test on constructor errors.
+func newCache(t *testing.T, ns string) *Exact {
+	t.Helper()
+	c, err := NewExact(kvstore.New(), ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNilBackendRefused(t *testing.T) {
+	if _, err := NewExact(nil, "t"); !errors.Is(err, ErrNilBackend) {
+		t.Fatalf("NewExact(nil) err = %v, want ErrNilBackend", err)
+	}
+	if _, err := NewExactBounded(nil, "t", 4); !errors.Is(err, ErrNilBackend) {
+		t.Fatalf("NewExactBounded(nil) err = %v, want ErrNilBackend", err)
+	}
+	if _, err := NewExactSharded(nil, "t", 4, 2, 4); !errors.Is(err, ErrNilBackend) {
+		t.Fatalf("NewExactSharded(nil) err = %v, want ErrNilBackend", err)
+	}
+}
+
 func TestPutGet(t *testing.T) {
-	c := NewExact(nil, "t")
+	c := newCache(t, "t")
 	q := query.MustNew(dom(), map[int][]int{0: {1}})
 	if _, ok := c.Get(q, 1); ok {
 		t.Fatal("hit on empty cache")
@@ -42,7 +68,7 @@ func TestPutGet(t *testing.T) {
 }
 
 func TestVersionInvalidation(t *testing.T) {
-	c := NewExact(nil, "t")
+	c := newCache(t, "t")
 	q := query.MustNew(dom(), map[int][]int{0: {1}})
 	_ = c.Put(q, 1, 0.42, 0.01)
 	if _, ok := c.Get(q, 2); ok {
@@ -51,7 +77,7 @@ func TestVersionInvalidation(t *testing.T) {
 }
 
 func TestWindowDistinguishesEntries(t *testing.T) {
-	c := NewExact(nil, "t")
+	c := newCache(t, "t")
 	q := query.MustNew(dom(), map[int][]int{0: {1}})
 	w1 := q.WithWindow(0, 1)
 	w2 := q.WithWindow(0, 2)
@@ -65,9 +91,15 @@ func TestWindowDistinguishesEntries(t *testing.T) {
 }
 
 func TestSharedStoreNamespaces(t *testing.T) {
-	store := kvstore.New()
-	a := NewExact(store, "a")
-	b := NewExact(store, "b")
+	st := kvstore.New()
+	a, err := NewExact(st, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewExact(st, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
 	q := query.MustNew(dom(), nil)
 	_ = a.Put(q, 1, 1.0, 0.1)
 	if _, ok := b.Get(q, 1); ok {
@@ -76,7 +108,7 @@ func TestSharedStoreNamespaces(t *testing.T) {
 }
 
 func TestOverwrite(t *testing.T) {
-	c := NewExact(nil, "t")
+	c := newCache(t, "t")
 	q := query.MustNew(dom(), nil)
 	_ = c.Put(q, 1, 0.1, 0.01)
 	_ = c.Put(q, 2, 0.2, 0.02)
@@ -90,7 +122,10 @@ func TestOverwrite(t *testing.T) {
 }
 
 func TestFastMapBounded(t *testing.T) {
-	c := NewExactBounded(nil, "t", 4)
+	c, err := NewExactBounded(kvstore.New(), "t", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	base := query.MustNew(dom(), map[int][]int{0: {1}})
 	for i := 0; i < 32; i++ {
 		_ = c.Put(base.WithWindow(i, i), 1, float64(i), 0.01)
@@ -111,7 +146,7 @@ func TestFastMapBounded(t *testing.T) {
 }
 
 func TestStaleEntriesInvalidatedOnMiss(t *testing.T) {
-	c := NewExact(nil, "t")
+	c := newCache(t, "t")
 	q := query.MustNew(dom(), map[int][]int{0: {1}})
 	_ = c.Put(q, 1, 0.42, 0.01)
 	if _, ok := c.Get(q, 2); ok {
@@ -126,7 +161,10 @@ func TestStaleEntriesInvalidatedOnMiss(t *testing.T) {
 }
 
 func TestConcurrentAccess(t *testing.T) {
-	c := NewExactBounded(nil, "t", 64)
+	c, err := NewExactBounded(kvstore.New(), "t", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
 	base := query.MustNew(dom(), map[int][]int{0: {1}})
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
@@ -150,11 +188,145 @@ func TestConcurrentAccess(t *testing.T) {
 }
 
 func TestHitRateEmpty(t *testing.T) {
-	c := NewExact(nil, "t")
+	c := newCache(t, "t")
 	if c.HitRate() != 0 {
 		t.Fatal("empty cache hit rate nonzero")
 	}
 	if c.String() == "" {
 		t.Fatal("empty String()")
+	}
+}
+
+func TestShardedStripesDisjoint(t *testing.T) {
+	st := kvstore.New()
+	c, err := NewExactSharded(st, "se", 0, 4, 4) // windows 0-3 → stripe 0, 4-7 → stripe 1, ...
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stripes() != 4 {
+		t.Fatalf("Stripes = %d", c.Stripes())
+	}
+	base := query.MustNew(dom(), map[int][]int{0: {1}})
+	for w := 0; w < 16; w++ {
+		if err := c.Put(base.WithWindow(w, w), 1, float64(w), 0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every entry is served back through its stripe.
+	for w := 0; w < 16; w++ {
+		e, ok := c.Get(base.WithWindow(w, w), 1)
+		if !ok || e.Value != float64(w) {
+			t.Fatalf("window %d: %+v %v", w, e, ok)
+		}
+	}
+	if c.Len() != 16 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	// The backend namespaces are genuinely striped: each sub-namespace
+	// holds its window-shard's share, and the plain namespace is empty.
+	for i := 0; i < 4; i++ {
+		if got := len(st.Keys("se/" + strconv.Itoa(i))); got != 4 {
+			t.Fatalf("stripe %d holds %d keys, want 4", i, got)
+		}
+	}
+	if got := len(st.Keys("se")); got != 0 {
+		t.Fatalf("plain namespace holds %d keys, want 0", got)
+	}
+}
+
+func TestShardedSnapshotRoundTrip(t *testing.T) {
+	st := kvstore.New()
+	c, err := NewExactSharded(st, "se", 0, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := query.MustNew(dom(), map[int][]int{0: {1}})
+	for w := 0; w < 8; w++ {
+		_ = c.Put(base.WithWindow(w, w), 1, float64(w), 0.5)
+	}
+	payload, err := c.SnapshotPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewExactSharded(kvstore.New(), "se", 0, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.RestorePayload(payload); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 8; w++ {
+		e, ok := c2.Get(base.WithWindow(w, w), 1)
+		if !ok || e.Value != float64(w) || e.Eps != 0.5 {
+			t.Fatalf("restored window %d: %+v %v", w, e, ok)
+		}
+	}
+	// Stripe counts are not part of the snapshot contract: the same
+	// payload restores into caches with fewer (or no) stripes, each entry
+	// re-routed by the window in its key — a checkpoint from a many-core
+	// server restores on a smaller one.
+	narrow, err := NewExact(kvstore.New(), "se")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := narrow.RestorePayload(payload); err != nil {
+		t.Fatalf("restore into 1-stripe cache: %v", err)
+	}
+	wide, err := NewExactSharded(kvstore.New(), "se", 0, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wide.RestorePayload(payload); err != nil {
+		t.Fatalf("restore into 8-stripe cache: %v", err)
+	}
+	for _, c3 := range []*Exact{narrow, wide} {
+		for w := 0; w < 8; w++ {
+			e, ok := c3.Get(base.WithWindow(w, w), 1)
+			if !ok || e.Value != float64(w) {
+				t.Fatalf("%d-stripe restore lost window %d: %+v %v", c3.Stripes(), w, e, ok)
+			}
+		}
+	}
+}
+
+// TestBoundedBackendEviction drives an exact cache over the bounded
+// segmented-LRU backend: entries evict under the cap, an evicted entry is
+// a plain miss (the caller re-executes and re-pays), and high-ε entries
+// outlive cheap cold ones.
+func TestBoundedBackendEviction(t *testing.T) {
+	be := store.NewBounded(store.BoundedConfig{MaxEntries: 8, Stripes: 1, Sample: 8})
+	c, err := NewExactBounded(be, "t", 1) // trivial fast map: expose backend misses
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := query.MustNew(dom(), map[int][]int{0: {1}})
+	// One expensive release among cheap ones.
+	_ = c.Put(base.WithWindow(0, 0), 1, 0.9, 10.0)
+	for w := 1; w < 32; w++ {
+		_ = c.Put(base.WithWindow(w, w), 1, float64(w), 0.001)
+	}
+	if got := be.Stats().Entries; got > 8 {
+		t.Fatalf("bounded backend holds %d entries, cap 8", got)
+	}
+	if be.Stats().Evictions == 0 {
+		t.Fatal("no evictions under a full cap")
+	}
+	// The expensive entry survived the cheap churn.
+	if e, ok := c.Get(base.WithWindow(0, 0), 1); !ok || e.Value != 0.9 {
+		t.Fatalf("high-cost entry evicted before cheap ones: %+v %v", e, ok)
+	}
+	// An evicted window is a miss, not an error.
+	hitsBefore, _ := c.Stats()
+	evicted := 0
+	for w := 1; w < 32; w++ {
+		if _, ok := c.Get(base.WithWindow(w, w), 1); !ok {
+			evicted++
+		}
+	}
+	if evicted == 0 {
+		t.Fatal("expected some evicted windows to miss")
+	}
+	if hitsAfter, _ := c.Stats(); hitsAfter-hitsBefore != 31-evicted {
+		t.Fatalf("hit accounting off: %d hits for %d resident", hitsAfter-hitsBefore, 31-evicted)
 	}
 }

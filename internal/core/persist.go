@@ -56,6 +56,28 @@ var ErrRestoring = errors.New("core: state restore in progress")
 // poisoned by a failed restore refuses to snapshot: its undefined state
 // must never overwrite a good checkpoint.
 func (s *Session) SaveState(w io.Writer) error {
+	return s.saveWith(func() error { return s.registry.Capture(w) })
+}
+
+// SaveStateKV checkpoints the session into namespace ns of a storage
+// backend — one key per section, unchanged sections skipped via the
+// manifest's content hashes (persist.SaveKV) — under exactly the same
+// quiesce/append barriers as SaveState. It returns how many sections
+// were written and how many were skipped as unchanged; a steady-state
+// server whose caches saw no traffic since the last checkpoint writes
+// almost nothing.
+func (s *Session) SaveStateKV(kv persist.KV, ns string) (written, skipped int, err error) {
+	err = s.saveWith(func() error {
+		var kvErr error
+		written, skipped, kvErr = s.registry.CaptureKV(kv, ns)
+		return kvErr
+	})
+	return written, skipped, err
+}
+
+// saveWith runs one capture under the snapshot discipline shared by the
+// envelope and KV paths.
+func (s *Session) saveWith(capture func() error) error {
 	s.persistMu.Lock()
 	defer s.persistMu.Unlock()
 	if s.corrupt.Load() {
@@ -71,7 +93,7 @@ func (s *Session) SaveState(w io.Writer) error {
 	defer resume()
 	s.appendMu.Lock()
 	defer s.appendMu.Unlock()
-	if err := s.registry.Capture(w); err != nil {
+	if err := capture(); err != nil {
 		return fmt.Errorf("core: save state: %w", err)
 	}
 	return nil
@@ -85,6 +107,18 @@ func (s *Session) SaveState(w io.Writer) error {
 // naming the offending section, ...); on any error the session state is
 // undefined and the session must be discarded.
 func (s *Session) LoadState(r io.Reader) error {
+	return s.loadWith(func() error { return s.registry.Load(r) })
+}
+
+// LoadStateKV restores the session from a KV-backed checkpoint
+// (SaveStateKV) in namespace ns, under exactly the same freshness and
+// gating discipline as LoadState.
+func (s *Session) LoadStateKV(kv persist.KV, ns string) error {
+	return s.loadWith(func() error { return s.registry.LoadKV(kv, ns) })
+}
+
+// loadWith runs one restore under the shared gating discipline.
+func (s *Session) loadWith(load func() error) error {
 	s.persistMu.Lock()
 	defer s.persistMu.Unlock()
 	if s.corrupt.Load() {
@@ -124,7 +158,7 @@ func (s *Session) LoadState(r io.Reader) error {
 		return ErrAlreadyServing
 	}
 	s.restoreMutated = false
-	if err := s.registry.Load(r); err != nil {
+	if err := load(); err != nil {
 		// A failure after some section began mutating leaves the session
 		// partially restored; poison it so further traffic is refused
 		// (ErrStateCorrupt) instead of served from undefined state. The
@@ -388,6 +422,14 @@ func (m identitySection) RestorePayload(payload []byte) error {
 	return nil
 }
 
+// sourceCount is one per-source counter in the meta section, kept as a
+// sorted slice (not a map) so the payload encodes deterministically —
+// the KV checkpoint's hash-skipping depends on byte-stable payloads.
+type sourceCount struct {
+	Source Source
+	Count  int
+}
+
 // sessionMeta is the "core/meta" section payload: the dataset shape the
 // snapshot was taken at plus the session-level counters.
 type sessionMeta struct {
@@ -395,7 +437,7 @@ type sessionMeta struct {
 	Partitions     int
 	Queries        int
 	Deduped        int
-	BySource       map[Source]int
+	BySource       []sourceCount
 }
 
 // metaSection adapts the session's dataset-shape validation and
@@ -408,12 +450,20 @@ func (m metaSection) SnapshotSection() string { return "core/meta" }
 // SnapshotPayload captures the dataset shape and counters.
 func (m metaSection) SnapshotPayload() ([]byte, error) {
 	s := m.s
+	counts := s.SourceCounts()
+	bySource := make([]sourceCount, 0, len(counts))
+	// Sources is in fixed order, so the payload is byte-stable.
+	for _, src := range Sources {
+		if v, ok := counts[src]; ok {
+			bySource = append(bySource, sourceCount{Source: src, Count: v})
+		}
+	}
 	return persist.Encode(sessionMeta{
 		DatasetVersion: s.ds.Version(),
 		Partitions:     s.ds.Partitions(),
 		Queries:        s.Queries(),
 		Deduped:        s.Deduped(),
-		BySource:       s.SourceCounts(),
+		BySource:       bySource,
 	})
 }
 
@@ -438,9 +488,9 @@ func (m metaSection) RestorePayload(payload []byte) error {
 	s.restoreMutated = true
 	s.queries.Store(int64(st.Queries))
 	s.deduped.Store(int64(st.Deduped))
-	for k, v := range st.BySource {
-		if i, ok := sourceIndex[k]; ok {
-			s.bySrc[i].Store(int64(v))
+	for _, sc := range st.BySource {
+		if i, ok := sourceIndex[sc.Source]; ok {
+			s.bySrc[i].Store(int64(sc.Count))
 		}
 	}
 	return nil

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/domain"
+	"repro/internal/kvstore"
 	"repro/internal/persist"
 	"repro/internal/query"
 )
@@ -743,5 +744,102 @@ func TestSaveLoadGaussianTreeProperty(t *testing.T) {
 	}
 	if s1.AverageSpent() != spent1 || s2.AverageSpent() != spent2 {
 		t.Fatal("replay consumed budget")
+	}
+}
+
+// TestSaveLoadKV round-trips a warmed partitioned session through a
+// KV-backed incremental checkpoint (one backend key per section) and
+// pins the incremental property: an idle re-checkpoint writes nothing
+// but the manifest, and a restored session serves the warm window for
+// free with identical books.
+func TestSaveLoadKV(t *testing.T) {
+	dom, ds := buildDS(t, 8)
+	cfg := defaultCfg(Partitioned)
+	s1, err := NewSession(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.MustNew(dom, map[int][]int{0: {1}}).WithWindow(0, 5)
+	for i := 0; i < 10; i++ {
+		if _, err := s1.Answer(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kv := kvstore.New()
+	written, skipped, err := s1.SaveStateKV(kv, "snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written == 0 || skipped != 0 {
+		t.Fatalf("first checkpoint wrote %d, skipped %d", written, skipped)
+	}
+	// Idle re-checkpoint: every section's hash is unchanged.
+	written, skipped, err = s1.SaveStateKV(kv, "snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written != 0 || skipped == 0 {
+		t.Fatalf("idle checkpoint wrote %d, skipped %d", written, skipped)
+	}
+	// More traffic dirties some sections but not all of them.
+	q2 := query.MustNew(dom, map[int][]int{0: {0}}).WithWindow(6, 7)
+	if _, err := s1.Answer(q2); err != nil {
+		t.Fatal(err)
+	}
+	written, skipped, err = s1.SaveStateKV(kv, "snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written == 0 || skipped == 0 {
+		t.Fatalf("post-traffic checkpoint wrote %d, skipped %d; want both nonzero", written, skipped)
+	}
+
+	s2, err := NewSession(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.LoadStateKV(kv, "snap"); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Tree().Nodes() != s1.Tree().Nodes() {
+		t.Fatalf("restored %d nodes, want %d", s2.Tree().Nodes(), s1.Tree().Nodes())
+	}
+	if s2.AverageSpent() != s1.AverageSpent() {
+		t.Fatalf("restored spend %g, want %g", s2.AverageSpent(), s1.AverageSpent())
+	}
+	spent := s2.AverageSpent()
+	a, err := s2.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Source != SourceExactHit || s2.AverageSpent() != spent {
+		t.Fatalf("repeat after KV restore = %+v", a)
+	}
+}
+
+// TestLoadStateKVValidation pins the KV restore's refusal discipline:
+// an empty namespace and a foreign-config snapshot both refuse cleanly,
+// leaving the session usable.
+func TestLoadStateKVValidation(t *testing.T) {
+	dom, ds := buildDS(t, 4)
+	cfg := defaultCfg(Partitioned)
+	s1, _ := NewSession(cfg, ds)
+	kv := kvstore.New()
+	if err := s1.LoadStateKV(kv, "nothing"); !errors.Is(err, persist.ErrMissingSection) {
+		t.Fatalf("empty namespace: err = %v, want ErrMissingSection", err)
+	}
+	if _, _, err := s1.SaveStateKV(kv, "snap"); err != nil {
+		t.Fatal(err)
+	}
+	other := defaultCfg(Partitioned)
+	other.EpsilonGlobal = cfg.EpsilonGlobal * 2
+	s2, _ := NewSession(other, ds)
+	if err := s2.LoadStateKV(kv, "snap"); err == nil {
+		t.Fatal("foreign-config KV snapshot restored")
+	}
+	// The refusal was validation-only: the session still serves.
+	q := query.MustNew(dom, map[int][]int{0: {1}}).WithWindow(0, 1)
+	if _, err := s2.Answer(q); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -51,6 +51,7 @@ import (
 	"repro/internal/persist"
 	"repro/internal/pmw"
 	"repro/internal/query"
+	"repro/internal/store"
 	"repro/internal/tree"
 )
 
@@ -145,6 +146,17 @@ type Config struct {
 	// Ignored in non-partitioned mode, whose single PMW is one shard by
 	// construction.
 	Shards int
+	// Backend selects the storage backend every caching layer programs
+	// against (the paper's replaceable Redis tier): nil defaults to the
+	// unbounded striped map (kvstore.New); store.NewBounded gives the
+	// memory-bounded segmented-LRU whose eviction weight is the privacy
+	// cost of each entry. Eviction is always safe — an evicted release
+	// re-executes and re-pays through the single-flight path.
+	Backend store.Backend
+	// CacheFastEntries bounds the exact cache's decoded fast map (0 uses
+	// cache.DefaultFastEntries). Tests shrink it to expose backend
+	// evictions that the fast map would otherwise mask.
+	CacheFastEntries int
 }
 
 func (c *Config) fill() error {
@@ -190,7 +202,7 @@ type Session struct {
 	ds      *dataset.Dataset
 	exec    *dataset.Executor
 	block   *accountant.Block
-	store   *kvstore.Store
+	store   store.Backend
 	exact   *cache.Exact
 	rng     *noise.Rng
 	planner *Planner
@@ -268,14 +280,29 @@ func NewSession(cfg Config, ds *dataset.Dataset) (*Session, error) {
 		return nil, errors.New("core: dataset must have at least one partition")
 	}
 	rng := noise.NewRng(cfg.Seed)
-	store := kvstore.New()
+	be := cfg.Backend
+	if be == nil {
+		be = kvstore.New()
+	}
+	// Stripe the session-exact namespace by executor shard in partitioned
+	// modes, so per-shard executors probe disjoint namespaces (and
+	// disjoint fast-map locks) instead of contending on one.
+	exactStripes, exactWidth := 1, 0
+	if cfg.Mode != NonPartitioned && cfg.Shards > 1 {
+		exactStripes = cfg.Shards
+		exactWidth = (ds.Partitions() + cfg.Shards - 1) / cfg.Shards
+	}
+	exact, err := cache.NewExactSharded(be, "session-exact", cfg.CacheFastEntries, exactWidth, exactStripes)
+	if err != nil {
+		return nil, err
+	}
 	s := &Session{
 		cfg:     cfg,
 		ds:      ds,
 		exec:    dataset.NewExecutor(ds, rng.Fork()),
 		block:   accountant.NewBlock(cfg.EpsilonGlobal, ds.Partitions()),
-		store:   store,
-		exact:   cache.NewExact(store, "session-exact"),
+		store:   be,
+		exact:   exact,
 		rng:     rng,
 		planner: NewPlanner(ds),
 	}
@@ -337,7 +364,7 @@ func NewSession(cfg Config, ds *dataset.Dataset) (*Session, error) {
 			Shards:         cfg.Shards,
 			Gaussian:       cfg.Gaussian,
 			DeltaGlobal:    cfg.DeltaGlobal,
-		}, s.exec, s.block, store, rng.Fork())
+		}, s.exec, s.block, be, rng.Fork())
 		if err != nil {
 			return nil, err
 		}
@@ -595,6 +622,15 @@ func (s *Session) Tree() *tree.Tree { return s.tree }
 
 // ExactCache exposes the window-level exact cache.
 func (s *Session) ExactCache() *cache.Exact { return s.exact }
+
+// Store exposes the session's storage backend (the replaceable Redis
+// tier every caching layer programs against).
+func (s *Session) Store() store.Backend { return s.store }
+
+// StoreStats returns the storage backend's hit/miss/eviction/bytes
+// counters, for /schema's cache section and the cache-pressure
+// experiment.
+func (s *Session) StoreStats() store.Stats { return s.store.Stats() }
 
 // MemoryBytes reports resident caching-state size: histograms plus the KV
 // store (§6.5).

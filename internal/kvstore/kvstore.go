@@ -9,6 +9,10 @@
 // internal/persist snapshot envelope plays that role, each exact cache
 // persisting its namespace as one section.
 //
+// Store is the default, unbounded implementation of store.Backend (the
+// pluggable storage contract every caching layer programs against); the
+// memory-bounded segmented-LRU alternative lives in internal/store.
+//
 // The store is internally striped by key hash (the way a Redis Cluster
 // spreads its hash slots), so concurrent shards of the query pipeline that
 // read and write different namespaces do not contend on a single lock.
@@ -23,6 +27,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/store"
 )
 
 // numStripes is the number of independent lock+map stripes. A power of two
@@ -41,7 +47,12 @@ type Store struct {
 	stripes [numStripes]stripe
 	seed    maphash.Seed
 	version atomic.Uint64
+
+	hits, misses, sets, deletes atomic.Int64
 }
+
+// compile-time check: Store is a store.Backend.
+var _ store.Backend = (*Store)(nil)
 
 // New returns an empty store.
 func New() *Store {
@@ -72,8 +83,36 @@ func (s *Store) Set(ns, k string, value any) error {
 	st.mu.Lock()
 	st.data[full] = buf.Bytes()
 	st.mu.Unlock()
+	s.sets.Add(1)
 	s.version.Add(1)
 	return nil
+}
+
+// SetWeighted stores value under ns:k. The unbounded store never evicts,
+// so the eviction weight is ignored.
+func (s *Store) SetWeighted(ns, k string, value any, _ float64) error {
+	return s.Set(ns, k, value)
+}
+
+// SetNX stores value under ns:k only if the key is absent, reporting
+// whether it stored.
+func (s *Store) SetNX(ns, k string, value any) (bool, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(value); err != nil {
+		return false, fmt.Errorf("kvstore: encode %s:%s: %w", ns, k, err)
+	}
+	full := key(ns, k)
+	st := s.stripeFor(full)
+	st.mu.Lock()
+	if _, ok := st.data[full]; ok {
+		st.mu.Unlock()
+		return false, nil
+	}
+	st.data[full] = buf.Bytes()
+	st.mu.Unlock()
+	s.sets.Add(1)
+	s.version.Add(1)
+	return true, nil
 }
 
 // Get loads ns:k into out (a pointer), reporting whether the key existed.
@@ -84,8 +123,10 @@ func (s *Store) Get(ns, k string, out any) (bool, error) {
 	raw, ok := st.data[full]
 	st.mu.RUnlock()
 	if !ok {
+		s.misses.Add(1)
 		return false, nil
 	}
+	s.hits.Add(1)
 	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(out); err != nil {
 		return true, fmt.Errorf("kvstore: decode %s:%s: %w", ns, k, err)
 	}
@@ -103,6 +144,7 @@ func (s *Store) Delete(ns, k string) bool {
 	}
 	st.mu.Unlock()
 	if ok {
+		s.deletes.Add(1)
 		s.version.Add(1)
 	}
 	return ok
@@ -128,6 +170,7 @@ func (s *Store) CompareDelete(ns, k string, expect any) bool {
 	}
 	st.mu.Unlock()
 	if ok {
+		s.deletes.Add(1)
 		s.version.Add(1)
 	}
 	return ok
@@ -222,4 +265,18 @@ func (s *Store) ImportNamespace(ns string, data map[string][]byte) {
 		st.mu.Unlock()
 	}
 	s.version.Add(1)
+}
+
+// Stats returns the store's operation counters and memory accounting.
+// The striped map never evicts and has no caps, so those fields are zero.
+func (s *Store) Stats() store.Stats {
+	return store.Stats{
+		Backend: "striped-map",
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Sets:    s.sets.Load(),
+		Deletes: s.deletes.Load(),
+		Entries: s.Len(),
+		Bytes:   s.MemoryBytes(),
+	}
 }

@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -167,5 +168,54 @@ func TestCompareDelete(t *testing.T) {
 	}
 	if s.CompareDelete("ns", "missing", 1) {
 		t.Fatal("deleted a missing key")
+	}
+}
+
+func TestSetNX(t *testing.T) {
+	s := New()
+	stored, err := s.SetNX("ns", "k", 1)
+	if err != nil || !stored {
+		t.Fatalf("first SetNX = %v, %v", stored, err)
+	}
+	stored, err = s.SetNX("ns", "k", 2)
+	if err != nil || stored {
+		t.Fatalf("second SetNX = %v, %v", stored, err)
+	}
+	var out int
+	if ok, _ := s.Get("ns", "k", &out); !ok || out != 1 {
+		t.Fatalf("SetNX overwrote: %d", out)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := New()
+	_ = s.Set("ns", "k", 1)
+	var out int
+	_, _ = s.Get("ns", "k", &out)      // hit
+	_, _ = s.Get("ns", "absent", &out) // miss
+	s.Delete("ns", "k")
+	st := s.Stats()
+	if st.Backend != "striped-map" {
+		t.Fatalf("backend name %q", st.Backend)
+	}
+	if st.Hits != 1 || st.Misses != 1 || st.Sets != 1 || st.Deletes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Evictions != 0 || st.CapBytes != 0 || st.CapEntries != 0 {
+		t.Fatalf("unbounded store reports caps/evictions: %+v", st)
+	}
+}
+
+// TestSetWeightedIgnoresWeight pins that the unbounded store treats
+// SetWeighted as Set: nothing ever evicts.
+func TestSetWeightedIgnoresWeight(t *testing.T) {
+	s := New()
+	for i := 0; i < 1000; i++ {
+		if err := s.SetWeighted("ns", fmt.Sprintf("k%d", i), i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 1000 {
+		t.Fatalf("Len = %d", s.Len())
 	}
 }

@@ -17,7 +17,8 @@
 //	offset 0: magic "TURBOSNP" (8 bytes, raw)
 //	offset 8: format version (uint32, big-endian)
 //	then:     a gob stream of {Name string; Payload []byte} sections,
-//	          terminated by an explicit end marker (Name == "")
+//	          terminated by an explicit end marker (Name == "");
+//	          gzip-compressed in v2 (raw gob in v1)
 //
 // The raw magic lets a reader reject non-snapshot input with a typed
 // error instead of a confusing gob failure; the explicit end marker lets
@@ -25,10 +26,22 @@
 // Section payloads are opaque to the envelope: each layer encodes and
 // decodes its own bytes, so a payload failure can be attributed to the
 // offending section by name (SectionError).
+//
+// Version history: v1 wrote the section stream as raw gob; v2 (current)
+// wraps it in gzip — histograms and Rényi curves are float-heavy and
+// compress several-fold. Readers accept both; writers emit v2 unless a
+// version is forced (NewWriterVersion, for compatibility tests).
+//
+// Besides the streamed envelope, a Registry can snapshot INTO a storage
+// backend (SaveKV/LoadKV): each section becomes its own key in a
+// namespace, with a manifest recording section hashes, so an unchanged
+// section is skipped on the next checkpoint — the kvstore-backed
+// incremental-snapshot seam.
 package persist
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
@@ -41,9 +54,14 @@ import (
 // magic identifies a Turbo snapshot stream. Exactly 8 bytes.
 const magic = "TURBOSNP"
 
-// FormatVersion is the envelope format written by this build. Readers
-// refuse other versions with ErrBadVersion.
-const FormatVersion uint32 = 1
+// FormatVersion is the envelope format written by this build: v2, whose
+// section stream is gzip-compressed. Readers also accept v1 (raw gob)
+// envelopes from earlier builds and refuse anything else with
+// ErrBadVersion.
+const FormatVersion uint32 = 2
+
+// formatV1 is the uncompressed envelope of earlier builds, still readable.
+const formatV1 uint32 = 1
 
 // Typed envelope errors: LoadState callers (and the HTTP /restore
 // endpoint) branch on these instead of string-matching gob failures.
@@ -122,18 +140,35 @@ type section struct {
 // Writer writes a snapshot envelope section by section.
 type Writer struct {
 	enc *gob.Encoder
+	// gz is the compression layer of a v2 envelope (nil for v1); Close
+	// must flush it after the end marker.
+	gz *gzip.Writer
 }
 
-// NewWriter writes the magic header and format version to w and returns
-// a section writer over it.
+// NewWriter writes the magic header and current format version to w and
+// returns a section writer over it.
 func NewWriter(w io.Writer) (*Writer, error) {
+	return NewWriterVersion(w, FormatVersion)
+}
+
+// NewWriterVersion writes an envelope at an explicit format version —
+// the current one, or v1 for producing uncompressed envelopes that
+// compatibility tests (and downgrade paths) feed to old readers.
+func NewWriterVersion(w io.Writer, version uint32) (*Writer, error) {
+	if version != FormatVersion && version != formatV1 {
+		return nil, fmt.Errorf("%w: cannot write v%d", ErrBadVersion, version)
+	}
 	if _, err := io.WriteString(w, magic); err != nil {
 		return nil, fmt.Errorf("persist: write magic: %w", err)
 	}
-	if err := binary.Write(w, binary.BigEndian, FormatVersion); err != nil {
+	if err := binary.Write(w, binary.BigEndian, version); err != nil {
 		return nil, fmt.Errorf("persist: write version: %w", err)
 	}
-	return &Writer{enc: gob.NewEncoder(w)}, nil
+	if version == formatV1 {
+		return &Writer{enc: gob.NewEncoder(w)}, nil
+	}
+	gz := gzip.NewWriter(w)
+	return &Writer{enc: gob.NewEncoder(gz), gz: gz}, nil
 }
 
 // WriteSection appends one named section. Names must be non-empty and
@@ -148,10 +183,16 @@ func (w *Writer) WriteSection(name string, payload []byte) error {
 	return nil
 }
 
-// Close writes the end marker. The underlying writer is not closed.
+// Close writes the end marker and flushes the compression layer. The
+// underlying writer is not closed.
 func (w *Writer) Close() error {
 	if err := w.enc.Encode(section{}); err != nil {
 		return fmt.Errorf("persist: write end marker: %w", err)
+	}
+	if w.gz != nil {
+		if err := w.gz.Close(); err != nil {
+			return fmt.Errorf("persist: flush compressed envelope: %w", err)
+		}
 	}
 	return nil
 }
@@ -176,9 +217,19 @@ func ReadSections(r io.Reader) (map[string][]byte, []string, error) {
 	if err := binary.Read(r, binary.BigEndian, &version); err != nil {
 		return nil, nil, fmt.Errorf("%w: header ends before format version", ErrTruncated)
 	}
-	if version != FormatVersion {
-		return nil, nil, fmt.Errorf("%w: snapshot is v%d, this build reads v%d",
-			ErrBadVersion, version, FormatVersion)
+	var gz *gzip.Reader
+	switch version {
+	case formatV1:
+		// Raw gob stream from an earlier build: still accepted.
+	case FormatVersion:
+		var err error
+		if gz, err = gzip.NewReader(r); err != nil {
+			return nil, nil, fmt.Errorf("%w: compressed stream ends before its header (%v)", ErrTruncated, err)
+		}
+		r = gz
+	default:
+		return nil, nil, fmt.Errorf("%w: snapshot is v%d, this build reads v%d and v%d",
+			ErrBadVersion, version, formatV1, FormatVersion)
 	}
 	dec := gob.NewDecoder(r)
 	payloads := make(map[string][]byte)
@@ -191,6 +242,14 @@ func ReadSections(r io.Reader) (map[string][]byte, []string, error) {
 			return nil, nil, fmt.Errorf("%w: stream ends before the end marker (%v)", ErrTruncated, err)
 		}
 		if s.Name == "" {
+			if gz != nil {
+				// Drain the compression layer: the end marker can decode
+				// from a stream cut before the gzip trailer, and only the
+				// trailer's checksum proves the snapshot arrived whole.
+				if _, err := io.ReadFull(gz, make([]byte, 1)); !errors.Is(err, io.EOF) {
+					return nil, nil, fmt.Errorf("%w: compressed stream ends before its trailer (%v)", ErrTruncated, err)
+				}
+			}
 			return payloads, order, nil
 		}
 		if _, dup := payloads[s.Name]; dup {
@@ -295,7 +354,14 @@ func (r *Registry) QuiesceAll() (resume func()) {
 // Capture writes every section without quiescing anything; see Save
 // for the capture-order contract.
 func (r *Registry) Capture(w io.Writer) error {
-	sw, err := NewWriter(w)
+	return r.CaptureVersion(w, FormatVersion)
+}
+
+// CaptureVersion is Capture at an explicit envelope version (v1 writes
+// the uncompressed legacy format, for compatibility tests and downgrade
+// paths).
+func (r *Registry) CaptureVersion(w io.Writer, version uint32) error {
+	sw, err := NewWriterVersion(w, version)
 	if err != nil {
 		return err
 	}

@@ -516,6 +516,35 @@ type IngestionStats struct {
 	FlightDeduped int64 `json:"flight_deduped"`
 }
 
+// CacheStats is the /schema cache section: the storage backend's
+// operation counters and memory accounting (hit/miss/eviction/bytes,
+// caps for bounded backends) plus the exact caches' hit rates. All
+// data-independent operational state.
+type CacheStats struct {
+	// Backend names the storage backend ("striped-map", "bounded-slru").
+	Backend string `json:"backend"`
+	// Entries/Bytes are resident backend state; CapEntries/CapBytes the
+	// configured bounds (0 = unbounded).
+	Entries    int `json:"entries"`
+	Bytes      int `json:"bytes"`
+	CapEntries int `json:"cap_entries,omitempty"`
+	CapBytes   int `json:"cap_bytes,omitempty"`
+	// Hits/Misses/Evictions are backend-level Get/eviction counters;
+	// EvictedCost sums the privacy weight of evicted entries — the ε that
+	// would be re-paid if every evicted release were requested again.
+	Hits        int64   `json:"hits"`
+	Misses      int64   `json:"misses"`
+	Evictions   int64   `json:"evictions"`
+	EvictedCost float64 `json:"evicted_cost"`
+	// ExactHits/ExactMisses/ExactHitRate are the session's window-level
+	// exact cache counters (fast map included); ExactStripes is its
+	// namespace stripe count (>1 when striped by executor shard).
+	ExactHits    int     `json:"exact_hits"`
+	ExactMisses  int     `json:"exact_misses"`
+	ExactHitRate float64 `json:"exact_hit_rate"`
+	ExactStripes int     `json:"exact_stripes"`
+}
+
 // SchemaResponse is the /schema result: only public metadata (ingestion
 // counters are data-independent operational state).
 type SchemaResponse struct {
@@ -524,6 +553,7 @@ type SchemaResponse struct {
 	Attributes []string        `json:"attributes"`
 	Rows       int             `json:"rows"`
 	Partitions int             `json:"partitions"`
+	Cache      *CacheStats     `json:"cache"`
 	Ingestion  *IngestionStats `json:"ingestion,omitempty"`
 }
 
@@ -540,12 +570,30 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 		a := dom.Attr(i)
 		attrs[i] = fmt.Sprintf("%s(%d)", a.Name, a.Card)
 	}
+	st := s.sess.StoreStats()
+	exact := s.sess.ExactCache()
+	exactHits, exactMisses := exact.Stats()
 	resp := SchemaResponse{
 		Table:      s.table,
 		Domain:     dom.String(),
 		Attributes: attrs,
 		Rows:       s.sess.Dataset().NRowsAll(),
 		Partitions: s.sess.Dataset().Partitions(),
+		Cache: &CacheStats{
+			Backend:      st.Backend,
+			Entries:      st.Entries,
+			Bytes:        st.Bytes,
+			CapEntries:   st.CapEntries,
+			CapBytes:     st.CapBytes,
+			Hits:         st.Hits,
+			Misses:       st.Misses,
+			Evictions:    st.Evictions,
+			EvictedCost:  st.EvictedCost,
+			ExactHits:    exactHits,
+			ExactMisses:  exactMisses,
+			ExactHitRate: exact.HitRate(),
+			ExactStripes: exact.Stripes(),
+		},
 	}
 	if s.ing != nil {
 		st := s.ing.Stats()

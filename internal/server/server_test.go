@@ -13,6 +13,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/domain"
 	"repro/internal/query"
+	"repro/internal/store"
 )
 
 func newTestServer(t *testing.T, epsG float64) (*Server, *dataset.Dataset) {
@@ -189,6 +190,65 @@ func TestSchemaEndpoint(t *testing.T) {
 	}
 	if len(sr.Attributes) != 2 {
 		t.Fatalf("attributes = %v", sr.Attributes)
+	}
+	if sr.Cache == nil || sr.Cache.Backend != "striped-map" {
+		t.Fatalf("cache section = %+v", sr.Cache)
+	}
+}
+
+// TestSchemaCacheSectionBounded pins the /schema cache section over the
+// bounded backend: backend name, caps, and live hit/miss/eviction/bytes
+// counters thread up from the store through the session.
+func TestSchemaCacheSectionBounded(t *testing.T) {
+	srv, _ := newTestServerWith(t, 100, func(c *core.Config) {
+		c.Backend = store.NewBounded(store.BoundedConfig{MaxEntries: 4, Stripes: 1})
+		c.CacheFastEntries = 1 // expose backend traffic, not fast-map hits
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	sqls := []string{
+		"SELECT COUNT(*) FROM covid WHERE positive = 1 AND time BETWEEN 0 AND 0",
+		"SELECT COUNT(*) FROM covid WHERE positive = 1 AND time BETWEEN 1 AND 1",
+		"SELECT COUNT(*) FROM covid WHERE positive = 1 AND time BETWEEN 2 AND 2",
+		"SELECT COUNT(*) FROM covid WHERE age = 1 AND time BETWEEN 0 AND 0",
+		"SELECT COUNT(*) FROM covid WHERE age = 2 AND time BETWEEN 1 AND 1",
+		"SELECT COUNT(*) FROM covid WHERE age = 3 AND time BETWEEN 2 AND 2",
+	}
+	for round := 0; round < 3; round++ {
+		for _, sql := range sqls {
+			resp, _ := postQuery(t, ts, sql)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("query %q: status %d", sql, resp.StatusCode)
+			}
+		}
+	}
+	resp, err := http.Get(ts.URL + "/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr SchemaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	c := sr.Cache
+	if c == nil || c.Backend != "bounded-slru" {
+		t.Fatalf("cache section = %+v", c)
+	}
+	if c.CapEntries != 4 {
+		t.Fatalf("cap_entries = %d", c.CapEntries)
+	}
+	if c.Entries > c.CapEntries {
+		t.Fatalf("entries %d over cap %d", c.Entries, c.CapEntries)
+	}
+	if c.Evictions == 0 {
+		t.Fatal("no evictions surfaced after cache churn over a 4-entry cap")
+	}
+	if c.Hits+c.Misses == 0 || c.Bytes == 0 {
+		t.Fatalf("counters missing: %+v", c)
+	}
+	if c.ExactHits+c.ExactMisses == 0 {
+		t.Fatalf("exact-cache counters missing: %+v", c)
 	}
 }
 

@@ -1,0 +1,490 @@
+// The memory-bounded backend: a hash-striped segmented LRU whose victim
+// selection is privacy-cost-aware. A long-lived server under heavy
+// analyst traffic cannot let its caching state grow without limit (the
+// unbounded striped map does); this backend caps resident bytes and
+// entries and evicts under pressure.
+//
+// Eviction policy. Each stripe keeps the classic two-segment LRU: new
+// entries land in a probation segment, a Get hit promotes to a protected
+// segment (bounded to a fraction of the stripe, demoting its own LRU tail
+// back to probation), so one-touch scans wash through probation without
+// displacing the proven-hot set. The victim is chosen by sampling the
+// cold tail of probation (falling back to protected only when probation
+// is empty) and evicting the sampled entry with the LOWEST eviction
+// weight — the weight being the privacy budget paid to materialize the
+// entry (SetWeighted). In a DP cache an eviction is not just a future
+// memory miss: the release must be re-paid in ε on recompute, so among
+// equally-cold entries the cheap ones go first and expensive Gaussian
+// releases or warm aggregates survive longest (a GreedyDual-style cost
+// bias on top of recency).
+//
+// Eviction is safe by construction: only cache entries live here, the
+// accountant never does, and every evicted release re-executes — and
+// re-pays exactly once — through the session's single-flight path, which
+// the core property tests pin down.
+
+package store
+
+import (
+	"bytes"
+	"container/list"
+	"encoding/gob"
+	"fmt"
+	"hash/maphash"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// BoundedConfig parameterizes a memory-bounded backend.
+type BoundedConfig struct {
+	// MaxBytes caps resident memory (keys + encoded values) across the
+	// whole backend; 0 leaves bytes unbounded.
+	MaxBytes int
+	// MaxEntries caps the total entry count; 0 leaves it unbounded.
+	MaxEntries int
+	// Stripes is the number of independent lock+LRU stripes the keyspace
+	// is hashed onto (each owning an equal share of the caps); <= 0
+	// defaults to 8. Use 1 for deterministic single-list eviction order.
+	Stripes int
+	// Sample is how many cold-tail entries victim selection examines per
+	// eviction (the lowest-weight one goes); <= 0 defaults to 5.
+	Sample int
+	// ProtectedFrac is the fraction of a stripe's byte budget reserved
+	// for the protected segment; out of (0,1) defaults to 0.8.
+	ProtectedFrac float64
+}
+
+// fill applies defaults.
+func (c *BoundedConfig) fill() {
+	if c.Stripes <= 0 {
+		c.Stripes = 8
+	}
+	if c.Sample <= 0 {
+		c.Sample = 5
+	}
+	if c.ProtectedFrac <= 0 || c.ProtectedFrac >= 1 {
+		c.ProtectedFrac = 0.8
+	}
+}
+
+// boundedEntry is one resident cache entry.
+type boundedEntry struct {
+	key    string // full ns:k key
+	val    []byte
+	weight float64
+	elem   *list.Element
+	hot    bool // true when resident in the protected segment
+}
+
+// size is the entry's contribution to the byte accounting.
+func (e *boundedEntry) size() int { return len(e.key) + len(e.val) }
+
+// boundedStripe is one lock-protected slice of the keyspace with its own
+// segmented LRU and its share of the global caps.
+type boundedStripe struct {
+	mu        sync.Mutex
+	entries   map[string]*boundedEntry
+	probation *list.List // front = most recent
+	protected *list.List
+	bytes     int
+	hotBytes  int
+	maxBytes  int // 0 = unbounded
+	maxEnts   int
+}
+
+// Bounded is the memory-bounded segmented-LRU backend. Safe for
+// concurrent use: stripes lock independently, counters are atomics.
+type Bounded struct {
+	cfg     BoundedConfig
+	seed    maphash.Seed
+	stripes []*boundedStripe
+	version atomic.Uint64
+
+	hits, misses, sets, deletes, evictions atomic.Int64
+	evictedCost                            atomicFloat
+}
+
+// atomicFloat is an atomic float64 accumulator (bits in a uint64).
+type atomicFloat struct{ bits atomic.Uint64 }
+
+// Add accumulates delta.
+func (a *atomicFloat) Add(delta float64) {
+	for {
+		old := a.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if a.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (a *atomicFloat) Load() float64 { return math.Float64frombits(a.bits.Load()) }
+
+// NewBounded returns an empty memory-bounded backend. The caps are
+// split across stripes so the per-stripe shares sum EXACTLY to the
+// configured bound — the backend as a whole can never hold more than
+// MaxBytes/MaxEntries, which Stats reports as the caps. A cap smaller
+// than the stripe count shrinks the stripe count to match (every stripe
+// must be allowed at least one entry/byte).
+func NewBounded(cfg BoundedConfig) *Bounded {
+	cfg.fill()
+	if cfg.MaxEntries > 0 && cfg.Stripes > cfg.MaxEntries {
+		cfg.Stripes = cfg.MaxEntries
+	}
+	if cfg.MaxBytes > 0 && cfg.Stripes > cfg.MaxBytes {
+		cfg.Stripes = cfg.MaxBytes
+	}
+	b := &Bounded{cfg: cfg, seed: maphash.MakeSeed()}
+	for i := 0; i < cfg.Stripes; i++ {
+		share := func(total int) int {
+			if total <= 0 {
+				return 0
+			}
+			s := total / cfg.Stripes
+			if i < total%cfg.Stripes {
+				s++
+			}
+			return s
+		}
+		b.stripes = append(b.stripes, &boundedStripe{
+			entries:   make(map[string]*boundedEntry),
+			probation: list.New(),
+			protected: list.New(),
+			maxBytes:  share(cfg.MaxBytes),
+			maxEnts:   share(cfg.MaxEntries),
+		})
+	}
+	return b
+}
+
+// fullKey joins a namespace and key the way the striped map does.
+func fullKey(ns, k string) string { return ns + ":" + k }
+
+// stripeFor hashes a full key onto its stripe.
+func (b *Bounded) stripeFor(full string) *boundedStripe {
+	h := maphash.String(b.seed, full)
+	return b.stripes[h%uint64(len(b.stripes))]
+}
+
+// encode gob-encodes a value the same way the striped map does.
+func encode(ns, k string, value any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(value); err != nil {
+		return nil, fmt.Errorf("store: encode %s:%s: %w", ns, k, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// insertLocked places (or replaces) an entry and restores the caps. The
+// caller holds st.mu.
+func (b *Bounded) insertLocked(st *boundedStripe, full string, val []byte, weight float64) {
+	if e, ok := st.entries[full]; ok {
+		st.bytes += len(val) - len(e.val)
+		if e.hot {
+			st.hotBytes += len(val) - len(e.val)
+		}
+		e.val = val
+		e.weight = weight
+		b.touchLocked(st, e)
+	} else {
+		e := &boundedEntry{key: full, val: val, weight: weight}
+		e.elem = st.probation.PushFront(e)
+		st.entries[full] = e
+		st.bytes += e.size()
+	}
+	b.evictLocked(st)
+}
+
+// touchLocked records a use: probation entries promote to protected,
+// protected entries refresh to MRU; the protected segment demotes its own
+// tail when it outgrows its byte share. The caller holds st.mu.
+func (b *Bounded) touchLocked(st *boundedStripe, e *boundedEntry) {
+	if e.hot {
+		st.protected.MoveToFront(e.elem)
+		return
+	}
+	st.probation.Remove(e.elem)
+	e.elem = st.protected.PushFront(e)
+	e.hot = true
+	st.hotBytes += e.size()
+	if st.maxBytes <= 0 {
+		return
+	}
+	limit := int(float64(st.maxBytes) * b.cfg.ProtectedFrac)
+	for st.hotBytes > limit && st.protected.Len() > 1 {
+		tail := st.protected.Back()
+		d := tail.Value.(*boundedEntry)
+		st.protected.Remove(tail)
+		d.elem = st.probation.PushFront(d)
+		d.hot = false
+		st.hotBytes -= d.size()
+	}
+}
+
+// removeLocked drops an entry from its segment and the accounting. The
+// caller holds st.mu.
+func (st *boundedStripe) removeLocked(e *boundedEntry) {
+	if e.hot {
+		st.protected.Remove(e.elem)
+		st.hotBytes -= e.size()
+	} else {
+		st.probation.Remove(e.elem)
+	}
+	st.bytes -= e.size()
+	delete(st.entries, e.key)
+}
+
+// evictLocked restores the stripe's caps by evicting sampled cold-tail
+// victims, lowest eviction weight first. The caller holds st.mu.
+func (b *Bounded) evictLocked(st *boundedStripe) {
+	over := func() bool {
+		if len(st.entries) == 0 {
+			return false
+		}
+		return (st.maxBytes > 0 && st.bytes > st.maxBytes) ||
+			(st.maxEnts > 0 && len(st.entries) > st.maxEnts)
+	}
+	for over() {
+		victim := st.sampleVictim(st.probation, b.cfg.Sample)
+		if victim == nil {
+			victim = st.sampleVictim(st.protected, b.cfg.Sample)
+		}
+		if victim == nil {
+			return
+		}
+		st.removeLocked(victim)
+		b.evictions.Add(1)
+		b.evictedCost.Add(victim.weight)
+	}
+}
+
+// sampleVictim examines up to sample entries from the cold tail of a
+// segment and returns the lowest-weight one (ties favor the colder
+// entry), or nil for an empty segment.
+func (st *boundedStripe) sampleVictim(seg *list.List, sample int) *boundedEntry {
+	var victim *boundedEntry
+	elem := seg.Back()
+	for i := 0; i < sample && elem != nil; i++ {
+		e := elem.Value.(*boundedEntry)
+		if victim == nil || e.weight < victim.weight {
+			victim = e
+		}
+		elem = elem.Prev()
+	}
+	return victim
+}
+
+// Set stores value under ns:k with zero eviction weight.
+func (b *Bounded) Set(ns, k string, value any) error {
+	return b.SetWeighted(ns, k, value, 0)
+}
+
+// SetWeighted stores value under ns:k; weight is the privacy cost paid to
+// materialize the entry, which victim selection preserves longest.
+func (b *Bounded) SetWeighted(ns, k string, value any, weight float64) error {
+	val, err := encode(ns, k, value)
+	if err != nil {
+		return err
+	}
+	full := fullKey(ns, k)
+	st := b.stripeFor(full)
+	st.mu.Lock()
+	b.insertLocked(st, full, val, weight)
+	st.mu.Unlock()
+	b.sets.Add(1)
+	b.version.Add(1)
+	return nil
+}
+
+// SetNX stores value under ns:k only if absent, reporting whether it
+// stored.
+func (b *Bounded) SetNX(ns, k string, value any) (bool, error) {
+	val, err := encode(ns, k, value)
+	if err != nil {
+		return false, err
+	}
+	full := fullKey(ns, k)
+	st := b.stripeFor(full)
+	st.mu.Lock()
+	if _, ok := st.entries[full]; ok {
+		st.mu.Unlock()
+		return false, nil
+	}
+	b.insertLocked(st, full, val, 0)
+	st.mu.Unlock()
+	b.sets.Add(1)
+	b.version.Add(1)
+	return true, nil
+}
+
+// Get loads ns:k into out, recording the touch for the LRU segments.
+func (b *Bounded) Get(ns, k string, out any) (bool, error) {
+	full := fullKey(ns, k)
+	st := b.stripeFor(full)
+	st.mu.Lock()
+	e, ok := st.entries[full]
+	var raw []byte
+	if ok {
+		b.touchLocked(st, e)
+		raw = e.val
+	}
+	st.mu.Unlock()
+	if !ok {
+		b.misses.Add(1)
+		return false, nil
+	}
+	b.hits.Add(1)
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(out); err != nil {
+		return true, fmt.Errorf("store: decode %s:%s: %w", ns, k, err)
+	}
+	return true, nil
+}
+
+// Delete removes ns:k, reporting whether it existed.
+func (b *Bounded) Delete(ns, k string) bool {
+	full := fullKey(ns, k)
+	st := b.stripeFor(full)
+	st.mu.Lock()
+	e, ok := st.entries[full]
+	if ok {
+		st.removeLocked(e)
+	}
+	st.mu.Unlock()
+	if ok {
+		b.deletes.Add(1)
+		b.version.Add(1)
+	}
+	return ok
+}
+
+// CompareDelete removes ns:k only if its stored bytes equal the encoding
+// of expect (the guarded stale-entry invalidation primitive).
+func (b *Bounded) CompareDelete(ns, k string, expect any) bool {
+	want, err := encode(ns, k, expect)
+	if err != nil {
+		return false
+	}
+	full := fullKey(ns, k)
+	st := b.stripeFor(full)
+	st.mu.Lock()
+	e, ok := st.entries[full]
+	if ok && bytes.Equal(e.val, want) {
+		st.removeLocked(e)
+	} else {
+		ok = false
+	}
+	st.mu.Unlock()
+	if ok {
+		b.deletes.Add(1)
+		b.version.Add(1)
+	}
+	return ok
+}
+
+// Keys returns the sorted keys of a namespace (without the prefix).
+func (b *Bounded) Keys(ns string) []string {
+	prefix := ns + ":"
+	var out []string
+	for _, st := range b.stripes {
+		st.mu.Lock()
+		for k := range st.entries {
+			if strings.HasPrefix(k, prefix) {
+				out = append(out, strings.TrimPrefix(k, prefix))
+			}
+		}
+		st.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the total number of resident entries.
+func (b *Bounded) Len() int {
+	total := 0
+	for _, st := range b.stripes {
+		st.mu.Lock()
+		total += len(st.entries)
+		st.mu.Unlock()
+	}
+	return total
+}
+
+// Version increments on every mutation.
+func (b *Bounded) Version() uint64 { return b.version.Load() }
+
+// MemoryBytes returns resident key+value bytes, maintained incrementally
+// (no scan).
+func (b *Bounded) MemoryBytes() int {
+	total := 0
+	for _, st := range b.stripes {
+		st.mu.Lock()
+		total += st.bytes
+		st.mu.Unlock()
+	}
+	return total
+}
+
+// ExportNamespace returns the raw stored bytes of every key in ns.
+func (b *Bounded) ExportNamespace(ns string) map[string][]byte {
+	prefix := ns + ":"
+	out := make(map[string][]byte)
+	for _, st := range b.stripes {
+		st.mu.Lock()
+		for k, e := range st.entries {
+			if strings.HasPrefix(k, prefix) {
+				out[strings.TrimPrefix(k, prefix)] = e.val
+			}
+		}
+		st.mu.Unlock()
+	}
+	return out
+}
+
+// ImportNamespace replaces the contents of ns with previously-exported
+// raw entries (zero eviction weight — callers that know their entries'
+// privacy cost re-insert through SetWeighted), evicting if the import
+// overflows the caps.
+func (b *Bounded) ImportNamespace(ns string, data map[string][]byte) {
+	prefix := ns + ":"
+	for _, st := range b.stripes {
+		st.mu.Lock()
+		for k, e := range st.entries {
+			if strings.HasPrefix(k, prefix) {
+				st.removeLocked(e)
+			}
+		}
+		st.mu.Unlock()
+	}
+	for k, v := range data {
+		full := prefix + k
+		st := b.stripeFor(full)
+		st.mu.Lock()
+		b.insertLocked(st, full, append([]byte(nil), v...), 0)
+		st.mu.Unlock()
+	}
+	b.version.Add(1)
+}
+
+// Stats returns the backend's counters and memory accounting.
+func (b *Bounded) Stats() Stats {
+	return Stats{
+		Backend:     "bounded-slru",
+		Hits:        b.hits.Load(),
+		Misses:      b.misses.Load(),
+		Sets:        b.sets.Load(),
+		Deletes:     b.deletes.Load(),
+		Evictions:   b.evictions.Load(),
+		EvictedCost: b.evictedCost.Load(),
+		Entries:     b.Len(),
+		Bytes:       b.MemoryBytes(),
+		CapEntries:  b.cfg.MaxEntries,
+		CapBytes:    b.cfg.MaxBytes,
+	}
+}
+
+// compile-time interface check.
+var _ Backend = (*Bounded)(nil)

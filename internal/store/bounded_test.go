@@ -1,0 +1,285 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestBoundedBasicOps(t *testing.T) {
+	b := NewBounded(BoundedConfig{MaxEntries: 100, Stripes: 1})
+	if err := b.Set("ns", "k", 42); err != nil {
+		t.Fatal(err)
+	}
+	var out int
+	ok, err := b.Get("ns", "k", &out)
+	if err != nil || !ok || out != 42 {
+		t.Fatalf("Get = %d, %v, %v", out, ok, err)
+	}
+	if ok, _ := b.Get("ns", "absent", &out); ok {
+		t.Fatal("hit on absent key")
+	}
+	if !b.Delete("ns", "k") {
+		t.Fatal("Delete missed")
+	}
+	if b.Delete("ns", "k") {
+		t.Fatal("double delete reported true")
+	}
+	st := b.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Sets != 1 || st.Deletes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Backend != "bounded-slru" {
+		t.Fatalf("backend name %q", st.Backend)
+	}
+}
+
+func TestBoundedSetNX(t *testing.T) {
+	b := NewBounded(BoundedConfig{Stripes: 1})
+	stored, err := b.SetNX("ns", "k", 1)
+	if err != nil || !stored {
+		t.Fatalf("first SetNX = %v, %v", stored, err)
+	}
+	stored, err = b.SetNX("ns", "k", 2)
+	if err != nil || stored {
+		t.Fatalf("second SetNX = %v, %v", stored, err)
+	}
+	var out int
+	if ok, _ := b.Get("ns", "k", &out); !ok || out != 1 {
+		t.Fatalf("SetNX overwrote: %d", out)
+	}
+}
+
+func TestBoundedCompareDelete(t *testing.T) {
+	b := NewBounded(BoundedConfig{Stripes: 1})
+	_ = b.Set("ns", "k", "old")
+	if b.CompareDelete("ns", "k", "different") {
+		t.Fatal("CompareDelete erased a non-matching value")
+	}
+	if !b.CompareDelete("ns", "k", "old") {
+		t.Fatal("CompareDelete missed the matching value")
+	}
+	var s string
+	if ok, _ := b.Get("ns", "k", &s); ok {
+		t.Fatal("entry survived CompareDelete")
+	}
+}
+
+func TestBoundedEntryCapHolds(t *testing.T) {
+	b := NewBounded(BoundedConfig{MaxEntries: 16, Stripes: 4})
+	for i := 0; i < 500; i++ {
+		_ = b.Set("ns", fmt.Sprintf("k%03d", i), i)
+	}
+	if got := b.Len(); got > 16 {
+		t.Fatalf("Len = %d exceeds cap 16", got)
+	}
+	st := b.Stats()
+	if st.Evictions < 500-16 {
+		t.Fatalf("evictions = %d, want >= %d", st.Evictions, 500-16)
+	}
+	if st.CapEntries != 16 {
+		t.Fatalf("CapEntries = %d", st.CapEntries)
+	}
+}
+
+func TestBoundedByteCapHolds(t *testing.T) {
+	b := NewBounded(BoundedConfig{MaxBytes: 4096, Stripes: 2})
+	payload := make([]byte, 100)
+	for i := 0; i < 400; i++ {
+		_ = b.Set("ns", fmt.Sprintf("k%03d", i), payload)
+	}
+	if got := b.MemoryBytes(); got > 4096 {
+		t.Fatalf("MemoryBytes = %d exceeds cap 4096", got)
+	}
+	if b.Stats().Evictions == 0 {
+		t.Fatal("no evictions under byte pressure")
+	}
+}
+
+// TestBoundedCostAwareEviction pins the privacy-cost bias: under pure
+// cold churn, expensive entries outlive cheap ones of equal recency.
+func TestBoundedCostAwareEviction(t *testing.T) {
+	b := NewBounded(BoundedConfig{MaxEntries: 10, Stripes: 1, Sample: 10})
+	// Ten expensive entries, then a flood of cheap one-touch entries.
+	for i := 0; i < 5; i++ {
+		_ = b.SetWeighted("ns", fmt.Sprintf("gold%d", i), i, 100)
+	}
+	for i := 0; i < 200; i++ {
+		_ = b.SetWeighted("ns", fmt.Sprintf("churn%d", i), i, 0.01)
+	}
+	var out int
+	for i := 0; i < 5; i++ {
+		if ok, _ := b.Get("ns", fmt.Sprintf("gold%d", i), &out); !ok {
+			t.Fatalf("expensive entry gold%d evicted before cheap churn", i)
+		}
+	}
+	st := b.Stats()
+	// Evicted cost should reflect (almost) only cheap churn: 195 evictions
+	// at 0.01 each, none of the 100-weight entries.
+	if st.EvictedCost > 195*0.01+1e-9 {
+		t.Fatalf("EvictedCost = %g includes expensive entries", st.EvictedCost)
+	}
+}
+
+// TestBoundedProtectedSegment pins the scan resistance: a repeatedly-hit
+// working set survives a one-touch scan of equal-weight entries.
+func TestBoundedProtectedSegment(t *testing.T) {
+	b := NewBounded(BoundedConfig{MaxBytes: 8192, Stripes: 1, Sample: 1})
+	payload := make([]byte, 64)
+	var out []byte
+	// Build and repeatedly touch a small hot set → promoted to protected.
+	for i := 0; i < 10; i++ {
+		_ = b.Set("ns", fmt.Sprintf("hot%d", i), payload)
+	}
+	for touch := 0; touch < 3; touch++ {
+		for i := 0; i < 10; i++ {
+			_, _ = b.Get("ns", fmt.Sprintf("hot%d", i), &out)
+		}
+	}
+	// One-touch scan pressure.
+	for i := 0; i < 500; i++ {
+		_ = b.Set("ns", fmt.Sprintf("scan%d", i), payload)
+	}
+	survived := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := b.Get("ns", fmt.Sprintf("hot%d", i), &out); ok {
+			survived++
+		}
+	}
+	if survived < 8 {
+		t.Fatalf("only %d/10 hot entries survived a cold scan", survived)
+	}
+}
+
+func TestBoundedExportImport(t *testing.T) {
+	b := NewBounded(BoundedConfig{Stripes: 2})
+	for i := 0; i < 20; i++ {
+		_ = b.Set("a", fmt.Sprintf("k%d", i), i)
+		_ = b.Set("b", fmt.Sprintf("k%d", i), -i)
+	}
+	exported := b.ExportNamespace("a")
+	if len(exported) != 20 {
+		t.Fatalf("exported %d entries", len(exported))
+	}
+	b2 := NewBounded(BoundedConfig{Stripes: 4})
+	b2.ImportNamespace("a", exported)
+	var out int
+	for i := 0; i < 20; i++ {
+		if ok, _ := b2.Get("a", fmt.Sprintf("k%d", i), &out); !ok || out != i {
+			t.Fatalf("imported a:k%d = %d, %v", i, out, ok)
+		}
+	}
+	// Import replaces the namespace and leaves others untouched.
+	_ = b2.Set("b", "keep", 7)
+	b2.ImportNamespace("a", map[string][]byte{"solo": exported["k0"]})
+	if got := len(b2.Keys("a")); got != 1 {
+		t.Fatalf("namespace a has %d keys after replacing import", got)
+	}
+	if ok, _ := b2.Get("b", "keep", &out); !ok || out != 7 {
+		t.Fatal("import touched a foreign namespace")
+	}
+}
+
+func TestBoundedKeysSorted(t *testing.T) {
+	b := NewBounded(BoundedConfig{Stripes: 4})
+	for _, k := range []string{"c", "a", "b"} {
+		_ = b.Set("ns", k, 1)
+	}
+	keys := b.Keys("ns")
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestBoundedOversizeEntry(t *testing.T) {
+	b := NewBounded(BoundedConfig{MaxBytes: 128, Stripes: 1})
+	// An entry bigger than the whole cap cannot wedge the store: it is
+	// admitted then immediately evicted, leaving the store consistent.
+	_ = b.Set("ns", "huge", make([]byte, 4096))
+	if got := b.MemoryBytes(); got > 128 {
+		t.Fatalf("MemoryBytes = %d after oversize insert", got)
+	}
+	_ = b.Set("ns", "small", 1)
+	var out int
+	if ok, _ := b.Get("ns", "small", &out); !ok {
+		t.Fatal("store wedged after oversize insert")
+	}
+}
+
+func TestBoundedConcurrent(t *testing.T) {
+	b := NewBounded(BoundedConfig{MaxEntries: 64, Stripes: 4, Sample: 4})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			var out int
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", rng.Intn(200))
+				switch rng.Intn(4) {
+				case 0:
+					_ = b.SetWeighted("ns", k, i, float64(rng.Intn(10)))
+				case 1:
+					_, _ = b.Get("ns", k, &out)
+				case 2:
+					_, _ = b.SetNX("ns", k, i)
+				default:
+					b.Delete("ns", k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := b.Len(); got > 64 {
+		t.Fatalf("cap breached under concurrency: %d", got)
+	}
+	// Internal byte accounting still agrees with a from-scratch count.
+	total := 0
+	for _, st := range b.stripes {
+		st.mu.Lock()
+		for _, e := range st.entries {
+			total += e.size()
+		}
+		st.mu.Unlock()
+	}
+	if total != b.MemoryBytes() {
+		t.Fatalf("byte accounting drifted: incremental %d vs scan %d", b.MemoryBytes(), total)
+	}
+}
+
+func TestBoundedVersionAdvances(t *testing.T) {
+	b := NewBounded(BoundedConfig{Stripes: 1})
+	v0 := b.Version()
+	_ = b.Set("ns", "k", 1)
+	if b.Version() == v0 {
+		t.Fatal("Set did not advance the version")
+	}
+}
+
+// TestBoundedGlobalCapExact pins that stripe shares sum exactly to the
+// configured cap: a cap that does not divide the stripe count must never
+// be exceeded globally, even when it is smaller than the stripe count.
+func TestBoundedGlobalCapExact(t *testing.T) {
+	for _, cap := range []int{3, 5, 7, 13} {
+		b := NewBounded(BoundedConfig{MaxEntries: cap}) // default 8 stripes
+		for i := 0; i < 300; i++ {
+			_ = b.Set("ns", fmt.Sprintf("k%03d", i), i)
+		}
+		if got := b.Len(); got > cap {
+			t.Fatalf("cap %d: %d resident entries", cap, got)
+		}
+		if st := b.Stats(); st.CapEntries != cap {
+			t.Fatalf("cap %d: Stats reports %d", cap, st.CapEntries)
+		}
+	}
+	b := NewBounded(BoundedConfig{MaxBytes: 1000, Stripes: 8})
+	payload := make([]byte, 40)
+	for i := 0; i < 300; i++ {
+		_ = b.Set("ns", fmt.Sprintf("k%03d", i), payload)
+	}
+	if got := b.MemoryBytes(); got > 1000 {
+		t.Fatalf("byte cap 1000: %d resident bytes", got)
+	}
+}

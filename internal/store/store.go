@@ -1,0 +1,91 @@
+// Package store defines the pluggable storage contract behind every
+// caching layer: the Backend interface extracted from the concrete
+// internal/kvstore striped map, playing the role of the paper's Redis
+// tier (§5 — "can be replaced with a persistent, consistent and durable
+// storage service"). Exact caches, the tree's node cache, and the
+// durable-state subsystem all program against Backend, so the concrete
+// store — the unbounded striped map (internal/kvstore), the
+// memory-bounded segmented-LRU in this package, or a future persistent
+// service — is a deployment choice, not an architectural one.
+//
+// Semantics every Backend must provide (the Redis subset Turbo relies
+// on): namespaced string keys with gob-encoded values, set-if-absent,
+// guarded delete (CompareDelete — the stale-entry invalidation
+// primitive), namespace scans, and per-namespace export/import for
+// snapshot sections. Backends are free to evict under memory pressure:
+// the caching layers treat every entry as a re-derivable DP release, so
+// a missing key is a cache miss that re-executes — and re-pays — through
+// the session's single-flight path. Eviction may cost budget on
+// recompute; it can never corrupt the accountant, which is charged at
+// execution time and never lives in a Backend entry.
+package store
+
+// Stats is a point-in-time view of a backend's operation counters and
+// memory accounting — the figures the HTTP server surfaces under
+// /schema's cache section and the cache-pressure experiment plots.
+type Stats struct {
+	// Backend names the implementation ("striped-map", "bounded-slru").
+	Backend string
+	// Hits and Misses count Get outcomes (key present / absent).
+	Hits, Misses int64
+	// Sets and Deletes count successful mutations (SetNX that declined
+	// and CompareDelete that mismatched do not count).
+	Sets, Deletes int64
+	// Evictions counts entries removed by memory pressure (never by
+	// Delete/CompareDelete); EvictedCost sums their eviction weights —
+	// the privacy budget that will be re-paid if every evicted release
+	// is requested again.
+	Evictions   int64
+	EvictedCost float64
+	// Entries and Bytes are the resident entry count and memory estimate
+	// (keys + encoded values).
+	Entries int
+	Bytes   int
+	// CapEntries and CapBytes are the configured bounds (0 = unbounded).
+	CapEntries, CapBytes int
+}
+
+// Backend is the storage interface the caching layers program against.
+// Implementations must be safe for concurrent use. Values are gob-encoded
+// by the backend; Get decodes into out (a pointer).
+type Backend interface {
+	// Get loads ns:k into out, reporting whether the key existed.
+	Get(ns, k string, out any) (bool, error)
+	// Set stores value under ns:k with zero eviction weight.
+	Set(ns, k string, value any) error
+	// SetWeighted stores value under ns:k with an eviction weight: the
+	// privacy cost (ε, or a δ_G-converted equivalent) that was paid to
+	// materialize the entry. Memory-bounded backends evict high-weight
+	// entries last, since evicting a DP release means re-paying its
+	// budget on recompute; unbounded backends ignore the weight.
+	SetWeighted(ns, k string, value any, weight float64) error
+	// SetNX stores value under ns:k only if the key is absent, reporting
+	// whether it stored.
+	SetNX(ns, k string, value any) (bool, error)
+	// Delete removes ns:k, reporting whether it existed.
+	Delete(ns, k string) bool
+	// CompareDelete removes ns:k only if its stored bytes equal the
+	// encoding of expect, reporting whether a delete happened — the
+	// guarded invalidation primitive: a concurrent Set of a fresh value
+	// changes the bytes, so a stale-entry eviction can never erase it.
+	CompareDelete(ns, k string, expect any) bool
+	// Keys returns the sorted keys of a namespace (without the prefix).
+	Keys(ns string) []string
+	// Len returns the total number of stored keys across namespaces.
+	Len() int
+	// Version increments on every mutation.
+	Version() uint64
+	// MemoryBytes returns the resident size of stored keys plus values —
+	// the §6.5 memory metric.
+	MemoryBytes() int
+	// ExportNamespace returns the raw stored bytes of every key in ns,
+	// for per-namespace persistence sections.
+	ExportNamespace(ns string) map[string][]byte
+	// ImportNamespace replaces the contents of ns with previously
+	// exported raw entries, leaving every other namespace untouched.
+	// Imported entries carry zero eviction weight; layers that know
+	// their entries' privacy cost re-insert through SetWeighted instead.
+	ImportNamespace(ns string, data map[string][]byte)
+	// Stats returns the backend's counters and memory accounting.
+	Stats() Stats
+}

@@ -8,6 +8,7 @@ package tree
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/heuristic"
 	"repro/internal/histogram"
@@ -49,7 +50,10 @@ type NodeState struct {
 	Thresholds []float64 // adaptive per-bin thresholds, nil if untouched
 }
 
-// ExportNodes snapshots every materialized node across all state shards.
+// ExportNodes snapshots every materialized node across all state shards,
+// sorted by interval so identical tree states export byte-identically
+// (the KV checkpoint's hash-skipping depends on deterministic payloads;
+// shard maps iterate in random order).
 func (t *Tree) ExportNodes() []NodeState {
 	var out []NodeState
 	t.forEachShard(func(sh *stateShard) {
@@ -60,6 +64,12 @@ func (t *Tree) ExportNodes() []NodeState {
 			}
 			out = append(out, st)
 		}
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].IV.Start != out[j].IV.Start {
+			return out[i].IV.Start < out[j].IV.Start
+		}
+		return out[i].IV.End < out[j].IV.End
 	})
 	return out
 }

@@ -54,11 +54,11 @@ import (
 	"repro/internal/heuristic"
 	"repro/internal/histogram"
 	"repro/internal/interval"
-	"repro/internal/kvstore"
 	"repro/internal/noise"
 	"repro/internal/pmw"
 	"repro/internal/query"
 	"repro/internal/sparse"
+	"repro/internal/store"
 )
 
 // Structure selects how windows decompose onto histograms (§6.3 Q6).
@@ -211,8 +211,10 @@ type Tree struct {
 	stats   Stats
 }
 
-// New creates a tree over exec's dataset, paying against block.
-func New(cfg Config, exec *dataset.Executor, block *accountant.Block, store *kvstore.Store, rng *noise.Rng) (*Tree, error) {
+// New creates a tree over exec's dataset, paying against block. be is the
+// storage backend the per-node exact cache lives in (any store.Backend;
+// ignored unless cfg.NodeExactCache).
+func New(cfg Config, exec *dataset.Executor, block *accountant.Block, be store.Backend, rng *noise.Rng) (*Tree, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
@@ -238,7 +240,11 @@ func New(cfg Config, exec *dataset.Executor, block *accountant.Block, store *kvs
 		t.shardWidth = (parts + cfg.Shards - 1) / cfg.Shards
 	}
 	if cfg.NodeExactCache {
-		t.cache = cache.NewExact(store, "tree-node")
+		c, err := cache.NewExact(be, "tree-node")
+		if err != nil {
+			return nil, fmt.Errorf("tree: node exact cache: %w", err)
+		}
+		t.cache = c
 	}
 	return t, nil
 }

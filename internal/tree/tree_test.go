@@ -10,6 +10,7 @@ import (
 	"repro/internal/domain"
 	"repro/internal/heuristic"
 	"repro/internal/interval"
+	"repro/internal/kvstore"
 	"repro/internal/noise"
 	"repro/internal/pmw"
 	"repro/internal/query"
@@ -51,7 +52,7 @@ func newFix(t *testing.T, mut func(*Config), global float64, partitions int) *fi
 	if mut != nil {
 		mut(&cfg)
 	}
-	tr, err := New(cfg, exec, block, nil, rng.Fork())
+	tr, err := New(cfg, exec, block, kvstore.New(), rng.Fork())
 	if err != nil {
 		t.Fatal(err)
 	}
