@@ -11,16 +11,70 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
 )
+
+// jsonPoint mirrors bench.Point with explicit field names.
+type jsonPoint struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// jsonSeries is one named curve of a result.
+type jsonSeries struct {
+	Name   string      `json:"name"`
+	Points []jsonPoint `json:"points"`
+}
+
+// jsonResult is the machine-readable record of one experiment run — the
+// schema the checked-in BENCH_*.json perf-trajectory files use. The
+// GOMAXPROCS and CPU fields pin the execution environment so trajectory
+// points from different machines are not compared blind.
+type jsonResult struct {
+	Experiment string       `json:"experiment"`
+	Paper      string       `json:"paper"`
+	Scale      string       `json:"scale"`
+	WallMS     float64      `json:"wall_ms"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
+	XLabel     string       `json:"x_label"`
+	YLabel     string       `json:"y_label"`
+	Series     []jsonSeries `json:"series"`
+	Notes      []string     `json:"notes,omitempty"`
+}
+
+// toJSONResult flattens a bench.Result plus its run context.
+func toJSONResult(e bench.Experiment, sc bench.Scale, res bench.Result, wall time.Duration) jsonResult {
+	jr := jsonResult{
+		Experiment: e.Name,
+		Paper:      e.Paper,
+		Scale:      sc.Name,
+		WallMS:     float64(wall.Microseconds()) / 1000,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		XLabel:     res.XLabel,
+		YLabel:     res.YLabel,
+		Notes:      res.Notes,
+	}
+	for _, s := range res.Series {
+		js := jsonSeries{Name: s.Name, Points: make([]jsonPoint, 0, len(s.Points))}
+		for _, p := range s.Points {
+			js.Points = append(js.Points, jsonPoint{X: p.X, Y: p.Y})
+		}
+		jr.Series = append(jr.Series, js)
+	}
+	return jr
+}
 
 func main() {
 	var (
@@ -33,6 +87,7 @@ func main() {
 		rows     = flag.Int("rows", 0, "override synthetic dataset rows (both datasets)")
 		parallel = flag.String("parallel", "", "goroutine counts for -exp=scaling, e.g. 1,2,4,8,16")
 		arrivals = flag.String("arrivals", "", "queries-per-arrival ratios for -exp=streaming, e.g. 400,100,25")
+		jsonOut  = flag.String("json", "", "also write machine-readable results (a JSON array) to FILE")
 	)
 	flag.Parse()
 
@@ -96,6 +151,7 @@ func main() {
 		todo = []bench.Experiment{e}
 	}
 
+	var jsonResults []jsonResult
 	for _, e := range todo {
 		start := time.Now()
 		res, err := e.Run(sc)
@@ -104,6 +160,9 @@ func main() {
 			os.Exit(1)
 		}
 		elapsed := time.Since(start).Round(time.Millisecond)
+		if *jsonOut != "" {
+			jsonResults = append(jsonResults, toJSONResult(e, sc, res, elapsed))
+		}
 		out := os.Stdout
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -130,5 +189,17 @@ func main() {
 			_ = out.Close()
 			fmt.Printf("%s: wrote %s (%v)\n", e.Name, filepath.Join(*outDir, res.Name+".txt"), elapsed)
 		}
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(jsonResults, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 	}
 }

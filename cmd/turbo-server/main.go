@@ -26,6 +26,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -61,6 +62,7 @@ func main() {
 		storeMaxMB  = flag.Int("store-max-mb", 64, "resident cache-store bound in MiB for -store=bounded (0 = bytes unbounded)")
 		storeMaxEnt = flag.Int("store-max-entries", 0, "resident cache-store entry bound for -store=bounded (0 = entries unbounded)")
 		ckptEvery   = flag.Duration("checkpoint-interval", 0, "background checkpoint period for -state (0 disables; failures log and retry next tick)")
+		pprofAddr   = flag.String("pprof", "", "expose net/http/pprof on this separate address (e.g. 127.0.0.1:6060); empty disables")
 	)
 	flag.Parse()
 
@@ -174,6 +176,24 @@ func main() {
 		}()
 	} else {
 		close(ckptDone)
+	}
+
+	// Profiling rides a separate listener (usually loopback-only) with an
+	// explicit mux, so the analyst-facing address never exposes pprof and
+	// the aggregate-only interface stays exactly the documented endpoints.
+	if *pprofAddr != "" {
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("turbo-server: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("turbo-server: pprof listener: %v", err)
+			}
+		}()
 	}
 
 	guarantee := fmt.Sprintf("ε_G=%g", *epsG)

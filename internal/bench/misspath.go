@@ -1,0 +1,297 @@
+// The miss-path microbenchmark (-exp=misspath): throughput and allocation
+// cost of the three execution paths a query can take — exact-cache hit,
+// exact-cache miss into the DP executor, and a full tree-session miss —
+// at the covid domain size and a ladder of synthetically larger domains.
+//
+// The executor miss is measured twice, with the vectorized engine on
+// (bitset masks + window aggregates, the default) and off (the pre-engine
+// per-partition support walk, kept as trueFractionWalk), so the speedup
+// series is a self-contained before/after of the execution engine — the
+// checked-in BENCH_misspath.json files are the perf trajectory.
+//
+// The experiment doubles as the allocation regression gate CI runs: it
+// FAILS (returns an error) if the exact-hit path allocates, so a
+// regression that re-introduces per-hit garbage breaks the build, not
+// just a dashboard.
+
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"repro/internal/accountant"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/domain"
+	"repro/internal/noise"
+	"repro/internal/query"
+)
+
+// opsPerSec times iters sequential calls of f.
+func opsPerSec(iters int, f func() error) (float64, error) {
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := f(); err != nil {
+			return 0, err
+		}
+	}
+	elapsed := time.Since(t0).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	return float64(iters) / elapsed, nil
+}
+
+// allocsPerOp reports the average heap allocations one call of f costs.
+// The harness cannot use testing.AllocsPerRun outside a test binary, so it
+// reproduces the same recipe: pin to one P, settle the heap, and diff
+// runtime.MemStats mallocs around the loop.
+func allocsPerOp(iters int, f func() error) (float64, error) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < iters; i++ {
+		if err := f(); err != nil {
+			return 0, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(iters), nil
+}
+
+// synthDomain builds a domain of roughly the requested size from
+// cardinality-8 attributes (plus one card-2 tail), covid-like in shape but
+// scalable: 1024 = 8³·2, 8192 = 8⁴·2, 65536 = 8⁵·2.
+func synthDomain(bins int) *domain.Domain {
+	var attrs []domain.Attribute
+	size := 1
+	for size*8*2 <= bins {
+		attrs = append(attrs, domain.Attribute{Name: fmt.Sprintf("a%d", len(attrs)), Card: 8})
+		size *= 8
+	}
+	attrs = append(attrs, domain.Attribute{Name: "tail", Card: 2})
+	return domain.MustNew(attrs...)
+}
+
+// synthPool draws n random conjunctive predicates over dom: each attribute
+// is restricted (to a random proper value subset) with probability 1/2,
+// and at least one always is.
+func synthPool(dom *domain.Domain, n int, rng *noise.Rng) []*query.Query {
+	pool := make([]*query.Query, n)
+	for i := range pool {
+		allowed := map[int][]int{}
+		for a := 0; a < dom.NumAttrs(); a++ {
+			if rng.IntN(2) == 1 {
+				continue
+			}
+			card := dom.Card(a)
+			k := 1 + rng.IntN(card)
+			if k == card && card > 1 {
+				k--
+			}
+			allowed[a] = rng.Perm(card)[:k]
+		}
+		if len(allowed) == 0 {
+			a := rng.IntN(dom.NumAttrs())
+			allowed[a] = []int{rng.IntN(dom.Card(a))}
+		}
+		pool[i] = query.MustNew(dom, allowed)
+	}
+	return pool
+}
+
+// missPathEnv is one ladder point: a loaded multi-partition dataset and a
+// predicate pool over it.
+type missPathEnv struct {
+	ds   *dataset.Dataset
+	pool []*query.Query
+}
+
+// newMissPathEnv loads every partition of a synthetic dataset with random
+// counts.
+func newMissPathEnv(dom *domain.Domain, parts int, rng *noise.Rng) (*missPathEnv, error) {
+	ds := dataset.New(dom, parts)
+	counts := make([]int, dom.Size())
+	for p := 0; p < parts; p++ {
+		for b := range counts {
+			counts[b] = rng.IntN(10)
+		}
+		counts[rng.IntN(len(counts))]++ // never an empty partition
+		if err := ds.BulkLoad(p, counts); err != nil {
+			return nil, err
+		}
+	}
+	return &missPathEnv{ds: ds, pool: synthPool(dom, 64, rng)}, nil
+}
+
+// MissPath is the execution-path microbenchmark. X is the domain size in
+// bins; the series are per-path throughput (q/s), the vectorized-vs-walk
+// speedup, and allocs/op on the hit and executor-miss paths.
+func MissPath(sc Scale) (Result, error) {
+	rng := noise.NewRng(0x715e)
+	covid, err := NewCovidEnv(sc, 121)
+	if err != nil {
+		return Result{}, err
+	}
+	// Each ladder point cycles a fixed 64-predicate pool, small enough to
+	// stay inside the engine's mask memo: the steady state being measured
+	// is a worked-in miss path (warm masks, warm window aggregate), not
+	// first-touch mask construction.
+	covidPool := covid.Pool
+	if len(covidPool) > 64 {
+		covidPool = covidPool[:64]
+	}
+	ladder := []*missPathEnv{
+		{ds: covid.DS, pool: covidPool}, // the paper's covid domain (128 bins)
+	}
+	for _, bins := range []int{1024, 8192, 65536} {
+		env, err := newMissPathEnv(synthDomain(bins), sc.Weeks, rng.Fork())
+		if err != nil {
+			return Result{}, err
+		}
+		ladder = append(ladder, env)
+	}
+
+	series := map[string]*Series{}
+	for _, name := range []string{
+		"hit-qps", "hit-allocs",
+		"miss-walk-qps", "miss-vec-qps", "miss-speedup", "miss-vec-allocs",
+		"treemiss-qps",
+	} {
+		series[name] = &Series{Name: name}
+	}
+	record := func(name string, x, y float64) {
+		s := series[name]
+		s.Points = append(s.Points, Point{X: x, Y: y})
+	}
+
+	for _, env := range ladder {
+		size := float64(env.ds.Domain().Size())
+		parts := env.ds.Partitions()
+
+		// Executor-level exact miss: ExecuteDP with no prior true result,
+		// over the full window, cycling the predicate pool. Vectorized vs
+		// the support-walk baseline on the same dataset and queries.
+		exec := dataset.NewExecutor(env.ds, rng.Fork())
+		iters := 2_000_000 / env.ds.Domain().Size()
+		if iters < 50 {
+			iters = 50
+		}
+		i := 0
+		missOp := func() error {
+			q := env.pool[i%len(env.pool)]
+			i++
+			_, err := exec.ExecuteDP(q, 0, parts-1, 0.1, math.NaN())
+			return err
+		}
+		for w := 0; w < len(env.pool); w++ { // warm masks + window aggregate
+			if err := missOp(); err != nil {
+				return Result{}, err
+			}
+		}
+		vecQPS, err := opsPerSec(iters, missOp)
+		if err != nil {
+			return Result{}, err
+		}
+		vecAllocs, err := allocsPerOp(iters, missOp)
+		if err != nil {
+			return Result{}, err
+		}
+		env.ds.SetVectorized(false)
+		walkQPS, err := opsPerSec(iters, missOp)
+		env.ds.SetVectorized(true)
+		if err != nil {
+			return Result{}, err
+		}
+		record("miss-vec-qps", size, vecQPS)
+		record("miss-walk-qps", size, walkQPS)
+		record("miss-speedup", size, vecQPS/walkQPS)
+		record("miss-vec-allocs", size, vecAllocs)
+
+		// Session-level paths. A generous global budget keeps the tree-miss
+		// measurement from exhausting mid-loop.
+		sess, err := core.NewSession(core.Config{
+			Mode:  core.Partitioned,
+			Alpha: 0.05, Beta: 0.001, EpsilonGlobal: 1000,
+			Tau:       0.05,
+			Seed:      122,
+			MCSamples: sc.MCSamples,
+		}, env.ds)
+		if err != nil {
+			return Result{}, err
+		}
+
+		// Exact hit: one paid fill, then the steady-state probe. This is
+		// the allocation gate: any per-hit garbage fails the experiment.
+		hitQ := env.pool[0].WithWindow(0, parts-1)
+		if _, err := sess.Answer(hitQ); err != nil {
+			return Result{}, err
+		}
+		hitOp := func() error {
+			_, err := sess.Answer(hitQ)
+			return err
+		}
+		hitQPS, err := opsPerSec(50_000, hitOp)
+		if err != nil {
+			return Result{}, err
+		}
+		hitAllocs, err := allocsPerOp(10_000, hitOp)
+		if err != nil {
+			return Result{}, err
+		}
+		if hitAllocs > 0 {
+			return Result{}, fmt.Errorf(
+				"bench: exact-hit path allocates %.2f/op at %d bins (regression: must be 0)",
+				hitAllocs, int(size))
+		}
+		record("hit-qps", size, hitQPS)
+		record("hit-allocs", size, hitAllocs)
+
+		// Tree miss: distinct (predicate, window) pairs so every answer
+		// runs the full tree machinery. Throughput over completed misses;
+		// budget exhaustion just ends the loop early.
+		done, t0 := 0, time.Now()
+		for w := 0; w < 6 && done < 300; w++ {
+			for _, q := range env.pool {
+				wq := q.WithWindow(w%parts, parts-1)
+				if _, err := sess.Answer(wq); err != nil {
+					if errors.Is(err, accountant.ErrBudgetExhausted) {
+						break
+					}
+					return Result{}, err
+				}
+				done++
+			}
+		}
+		if done == 0 {
+			return Result{}, errors.New("bench: no tree misses completed")
+		}
+		record("treemiss-qps", size, float64(done)/time.Since(t0).Seconds())
+	}
+
+	ordered := []string{
+		"hit-qps", "hit-allocs",
+		"miss-walk-qps", "miss-vec-qps", "miss-speedup", "miss-vec-allocs",
+		"treemiss-qps",
+	}
+	out := make([]Series, 0, len(ordered))
+	for _, n := range ordered {
+		out = append(out, *series[n])
+	}
+	return Result{
+		Name:   "misspath-execution-paths",
+		XLabel: "domain size (bins)",
+		YLabel: "q/s (qps series), allocs/op (allocs series), x (speedup)",
+		Series: out,
+		Notes: []string{
+			fmt.Sprintf("window: all %d partitions; miss = ExecuteDP with no cached true result", sc.Weeks),
+			"miss-speedup = vectorized engine vs pre-engine support walk on identical queries",
+			"gate: the experiment errors if the exact-hit path allocates",
+		},
+	}, nil
+}

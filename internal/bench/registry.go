@@ -45,6 +45,7 @@ var Experiments = []Experiment{
 	{"streaming", "streaming ingestion: arrivals interleaved with queries (batched epochs + eager warm-start)", Streaming},
 	{"checkpoint", "durability: snapshot/restore latency and post-restore cache hit-rate vs cold start (internal/persist)", Checkpoint},
 	{"cache-pressure", "storage: bounded (privacy-cost-aware SLRU) vs unbounded backend hit-rate and resident bytes at 2x-cap working set", CachePressure},
+	{"misspath", "perf: hit / exact-miss / tree-miss throughput and allocs/op, vectorized engine vs support-walk baseline", MissPath},
 }
 
 // Lookup finds an experiment by name.

@@ -334,9 +334,13 @@ func (c *Exact) RestorePayload(payload []byte) error {
 	}
 	for _, ss := range st.Stripes {
 		for j, k := range ss.Keys {
+			// Stored bytes are the fixed-layout codec for entries written
+			// since it existed, raw gob for pre-codec snapshots.
 			var e Entry
-			if err := persist.Decode(ss.Vals[j], &e); err != nil {
-				return fmt.Errorf("cache: restore %q: %w", k, err)
+			if !e.DecodeFast(ss.Vals[j]) {
+				if err := persist.Decode(ss.Vals[j], &e); err != nil {
+					return fmt.Errorf("cache: restore %q: %w", k, err)
+				}
 			}
 			if err := c.store.SetWeighted(c.stripeForKey(k).ns, k, e, e.Eps); err != nil {
 				return err

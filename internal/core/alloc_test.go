@@ -1,0 +1,73 @@
+// Allocation regression tests for the hot paths the vectorized engine and
+// the entry codec are meant to keep clean. Guarded out of race builds:
+// race instrumentation adds its own allocations, which would make the
+// budgets meaningless there.
+
+//go:build !race
+
+package core
+
+import (
+	"testing"
+
+	"repro/internal/query"
+)
+
+// TestAnswerExactHitZeroAllocs pins the exact-hit path — plan, fast-map
+// probe with the precomputed window key, counter bumps — at zero
+// allocations per query, in both the single-PMW and tree sessions.
+// -exp=misspath enforces the same budget at benchmark scale; this is the
+// unit-sized tripwire.
+func TestAnswerExactHitZeroAllocs(t *testing.T) {
+	for _, mode := range []Mode{NonPartitioned, Partitioned} {
+		t.Run(mode.String(), func(t *testing.T) {
+			dom, ds := buildDS(t, 4)
+			if mode == NonPartitioned {
+				_, ds = buildDS(t, 1)
+			}
+			s, err := NewSession(defaultCfg(mode), ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := query.MustNew(dom, map[int][]int{1: {0, 2}})
+			if mode == Partitioned {
+				q = q.WithWindow(0, ds.Partitions()-1)
+			}
+			if _, err := s.Answer(q); err != nil {
+				t.Fatal(err) // the one paid execution that fills the cache
+			}
+			if allocs := testing.AllocsPerRun(200, func() {
+				ans, err := s.Answer(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ans.Source != SourceExactHit {
+					t.Fatalf("expected an exact hit, got %v", ans.Source)
+				}
+			}); allocs != 0 {
+				t.Fatalf("exact-hit path allocates %.1f/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestFlightKeyAllocBudget pins the single-flight key build at its one
+// unavoidable allocation (the key string the flight map stores) — the
+// Sprintf it replaced took four.
+func TestFlightKeyAllocBudget(t *testing.T) {
+	dom, ds := buildDS(t, 4)
+	s, err := NewSession(defaultCfg(Partitioned), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.MustNew(dom, map[int][]int{1: {0}}).WithWindow(0, 3)
+	pl, err := s.planner.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		_ = flightKey(pl)
+	}); allocs > 1 {
+		t.Fatalf("flightKey allocates %.1f/op, want <= 1", allocs)
+	}
+}

@@ -39,6 +39,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -471,6 +472,25 @@ func (s *Session) Answer(q *query.Query) (Answer, error) {
 	return ans, nil
 }
 
+// flightKeyPool recycles the scratch buffers flight keys are assembled
+// in, so a miss costs one allocation (the key string the flight map needs)
+// instead of Sprintf's boxing and formatting state.
+var flightKeyPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 96); return &b },
+}
+
+// flightKey builds the single-flight identity "key@vN" for a plan.
+func flightKey(pl Plan) string {
+	bp := flightKeyPool.Get().(*[]byte)
+	b := append((*bp)[:0], pl.Query.KeyWithWindow()...)
+	b = append(b, "@v"...)
+	b = strconv.AppendInt(b, int64(pl.Version), 10)
+	key := string(b)
+	*bp = b
+	flightKeyPool.Put(bp)
+	return key
+}
+
 // execute runs a cache-missed plan through the single-flight group and, as
 // the flight leader, on its executor shard. shared reports that the answer
 // came from a concurrent identical flight (no execution, no payment).
@@ -478,7 +498,7 @@ func (s *Session) execute(pl Plan) (Answer, bool, error) {
 	// The flight key is the exact-cache identity: predicate + window +
 	// data version. Keying on the version means a query planned against
 	// newer data never shares a stale in-flight execution.
-	key := fmt.Sprintf("%s@v%d", pl.Query.KeyWithWindow(), pl.Version)
+	key := flightKey(pl)
 	return s.flights.do(key, func() (Answer, error) {
 		// Double-check the exact cache as the leader: an identical query
 		// may have completed (and cached) between this goroutine's cache

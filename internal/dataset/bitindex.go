@@ -1,0 +1,323 @@
+// The vectorized predicate-evaluation engine: bitset indexes over the
+// encoded domain plus a version-invalidated window-aggregate cache, so the
+// miss path — the paper's runtime frontier once the exact cache cannot
+// answer (Fig. 11d) — evaluates a conjunctive predicate as word-wide AND +
+// masked sum instead of query.Eval's per-bin membership walk.
+//
+// Three observations make this fast:
+//
+//  1. The bins selected by "attribute i = v" depend only on the domain's
+//     encoding, never on the data: they form arithmetic runs of length
+//     Stride(i). One []uint64 word-mask per attribute value, built lazily
+//     on first use, turns any conjunction into OR-of-values per attribute
+//     then AND across attributes. Combined predicate masks are memoized by
+//     the query's canonical key.
+//  2. A query over partitions [s,e] needs only the window's summed count
+//     vector (linearity: q·Σh = Σq·h). The window-aggregate cache keeps
+//     that vector per window, stamped with the window's data version, so a
+//     k-partition window costs one masked sum instead of k predicate
+//     walks. Ingestion bumps the version and the next query rebuilds —
+//     this is the piece of the index that data changes invalidate.
+//  3. For tiny predicates a sparse walk of the support beats touching
+//     every mask word; the crossover picks per query by support size. The
+//     walk here is an iterative odometer (no recursion, no closure), so
+//     neither branch allocates on the steady state.
+//
+// The engine is behind Dataset.SetVectorized so benchmarks can measure the
+// pre-engine support-walk baseline; correctness is pinned by property
+// tests asserting bin-for-bin equality with query.Eval on randomized
+// domains, predicates, and ingestion histories.
+
+package dataset
+
+import (
+	"math/bits"
+	"sync"
+
+	"repro/internal/domain"
+	"repro/internal/query"
+)
+
+const (
+	// maxPredMasks bounds the memoized combined predicate masks (random
+	// eviction, like the exact cache's fast map: a decode-skipping layer,
+	// not the source of truth).
+	maxPredMasks = 4096
+	// sparseCrossoverWords is the support-size crossover: predicates with
+	// support < sparseCrossoverWords × (domain words) take the sparse
+	// odometer walk, everything else the masked sum. Below the threshold
+	// the walk touches fewer cache lines than the mask scan would.
+	sparseCrossoverWords = 2
+	// maxOdoAttrs bounds the odometer's stack arrays; domains with more
+	// attributes fall back to query.Eval (none of the paper's do).
+	maxOdoAttrs = 12
+	// maxAggBins caps the total bins resident across cached window
+	// aggregates (~16 MiB of float64 at the cap); insertion evicts
+	// arbitrary windows until under budget.
+	maxAggBins = 1 << 21
+)
+
+// bitIndex holds the lazily-built per-attribute-value bitset masks of one
+// domain and the memoized combined predicate masks. Masks depend only on
+// the domain encoding (immutable for the life of a Dataset), so they are
+// never invalidated; data-version invalidation lives in the
+// window-aggregate cache.
+type bitIndex struct {
+	dom   *domain.Domain
+	words int
+
+	mu    sync.RWMutex
+	attr  [][][]uint64 // attr[i][v] = mask over bins with Value(bin,i)==v
+	preds map[string][]uint64
+}
+
+func newBitIndex(dom *domain.Domain) *bitIndex {
+	return &bitIndex{
+		dom:   dom,
+		words: (dom.Size() + 63) / 64,
+		attr:  make([][][]uint64, dom.NumAttrs()),
+		preds: make(map[string][]uint64),
+	}
+}
+
+// setRange sets mask bits [lo, hi).
+func setRange(mask []uint64, lo, hi int) {
+	for lo < hi {
+		w := lo >> 6
+		b := lo & 63
+		run := 64 - b
+		if run > hi-lo {
+			run = hi - lo
+		}
+		mask[w] |= (^uint64(0) >> (64 - run)) << b
+		lo += run
+	}
+}
+
+// attrMask returns (building lazily) the mask of bins whose attribute i
+// equals v. Bins with value v form runs of length Stride(i) repeating every
+// Stride(i)×Card(i).
+func (ix *bitIndex) attrMask(i, v int) []uint64 {
+	ix.mu.RLock()
+	vals := ix.attr[i]
+	var m []uint64
+	if vals != nil {
+		m = vals[v]
+	}
+	ix.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.attr[i] == nil {
+		ix.attr[i] = make([][]uint64, ix.dom.Card(i))
+	}
+	if m = ix.attr[i][v]; m != nil {
+		return m
+	}
+	m = make([]uint64, ix.words)
+	stride := ix.dom.Stride(i)
+	period := stride * ix.dom.Card(i)
+	for base := v * stride; base < ix.dom.Size(); base += period {
+		setRange(m, base, base+stride)
+	}
+	ix.attr[i][v] = m
+	return m
+}
+
+// predicateMask returns (memoized by canonical key) the combined mask of
+// bins satisfying q's conjunction.
+func (ix *bitIndex) predicateMask(q *query.Query) []uint64 {
+	key := q.Key()
+	ix.mu.RLock()
+	m, ok := ix.preds[key]
+	ix.mu.RUnlock()
+	if ok {
+		return m
+	}
+	mask := make([]uint64, ix.words)
+	first := true
+	for i := 0; i < ix.dom.NumAttrs(); i++ {
+		vals := q.Allowed(i)
+		if vals == nil {
+			continue
+		}
+		if first {
+			for _, v := range vals {
+				am := ix.attrMask(i, v)
+				for w := range mask {
+					mask[w] |= am[w]
+				}
+			}
+			first = false
+			continue
+		}
+		// AND with the OR of this attribute's value masks, built in a
+		// scratch vector (predicate builds are amortized by memoization).
+		or := make([]uint64, ix.words)
+		for _, v := range vals {
+			am := ix.attrMask(i, v)
+			for w := range or {
+				or[w] |= am[w]
+			}
+		}
+		for w := range mask {
+			mask[w] &= or[w]
+		}
+	}
+	if first { // unconstrained predicate: every bin
+		setRange(mask, 0, ix.dom.Size())
+	}
+	ix.mu.Lock()
+	if len(ix.preds) >= maxPredMasks {
+		for victim := range ix.preds {
+			delete(ix.preds, victim)
+			break
+		}
+	}
+	ix.preds[key] = mask
+	ix.mu.Unlock()
+	return mask
+}
+
+// maskedSum computes Σ counts[bin] over the mask's set bits: the
+// vectorized inner product replacing the per-bin membership walk.
+func maskedSum(mask []uint64, counts []float64) float64 {
+	sum := 0.0
+	for w, word := range mask {
+		if word == 0 {
+			continue
+		}
+		base := w << 6
+		for word != 0 {
+			sum += counts[base+bits.TrailingZeros64(word)]
+			word &= word - 1
+		}
+	}
+	return sum
+}
+
+// sparseSum walks q's support over vec with an iterative odometer — the
+// allocation-free replacement for query.Eval's recursive closure walk,
+// used below the crossover where the support is smaller than the mask.
+func sparseSum(q *query.Query, vec []float64) float64 {
+	d := q.Domain()
+	n := d.NumAttrs()
+	if n > maxOdoAttrs {
+		return q.Eval(vec)
+	}
+	var (
+		cnt     [maxOdoAttrs]int   // option count per attribute
+		cur     [maxOdoAttrs]int   // current option index per attribute
+		strides [maxOdoAttrs]int   // attribute stride
+		allowed [maxOdoAttrs][]int // nil = unconstrained
+	)
+	base := 0
+	for i := 0; i < n; i++ {
+		strides[i] = d.Stride(i)
+		allowed[i] = q.Allowed(i)
+		if allowed[i] != nil {
+			cnt[i] = len(allowed[i])
+			base += allowed[i][0] * strides[i]
+		} else {
+			cnt[i] = d.Card(i)
+		}
+	}
+	offset := func(i, j int) int {
+		if allowed[i] != nil {
+			return allowed[i][j] * strides[i]
+		}
+		return j * strides[i]
+	}
+	sum := 0.0
+	for {
+		sum += vec[base]
+		i := n - 1
+		for ; i >= 0; i-- {
+			cur[i]++
+			if cur[i] < cnt[i] {
+				base += offset(i, cur[i]) - offset(i, cur[i]-1)
+				break
+			}
+			base -= offset(i, cur[i]-1) - offset(i, 0)
+			cur[i] = 0
+		}
+		if i < 0 {
+			return sum
+		}
+	}
+}
+
+// evalVec evaluates q's matched count over one count vector, picking the
+// sparse walk or the masked sum by the support-size crossover.
+func (ix *bitIndex) evalVec(q *query.Query, vec []float64) float64 {
+	if q.SupportSize() < sparseCrossoverWords*ix.words {
+		return sparseSum(q, vec)
+	}
+	return maskedSum(ix.predicateMask(q), vec)
+}
+
+// winAgg is one cached window aggregate: the summed count vector of
+// partitions [start, end] stamped with the window's data version.
+type winAgg struct {
+	version int
+	rows    int
+	counts  []float64
+}
+
+// aggKey packs a window into the aggregate cache's map key.
+func aggKey(start, end int) int64 { return int64(start)<<32 | int64(end) }
+
+// windowAgg returns the aggregate for [start, end] at the current data
+// version, rebuilding (and caching) it when the version moved. The caller
+// has validated the range.
+func (ds *Dataset) windowAgg(start, end, version int) *winAgg {
+	key := aggKey(start, end)
+	ds.aggMu.RLock()
+	a := ds.aggs[key]
+	ds.aggMu.RUnlock()
+	if a != nil && a.version == version {
+		return a
+	}
+	// Rebuild under the dataset read lock so the vector, row count, and
+	// version stamp are one consistent snapshot.
+	ds.mu.RLock()
+	counts := make([]float64, ds.dom.Size())
+	rows, ver := 0, 0
+	for i := start; i <= end; i++ {
+		p := ds.parts[i]
+		for b, c := range p.counts {
+			counts[b] += c
+		}
+		rows += p.n
+		ver += p.version
+	}
+	ds.mu.RUnlock()
+	a = &winAgg{version: ver, rows: rows, counts: counts}
+	ds.aggMu.Lock()
+	if ds.aggBins+len(counts) > maxAggBins {
+		for k, old := range ds.aggs {
+			delete(ds.aggs, k)
+			ds.aggBins -= len(old.counts)
+			if ds.aggBins+len(counts) <= maxAggBins {
+				break
+			}
+		}
+	}
+	if old := ds.aggs[key]; old != nil {
+		ds.aggBins -= len(old.counts)
+	}
+	ds.aggs[key] = a
+	ds.aggBins += len(counts)
+	ds.aggMu.Unlock()
+	return a
+}
+
+// SetVectorized toggles the bitset execution engine (on by default).
+// Benchmarks and property tests switch it off to measure and cross-check
+// the pre-engine per-partition support walk.
+func (ds *Dataset) SetVectorized(on bool) { ds.vectorized.Store(on) }
+
+// Vectorized reports whether the bitset engine is active.
+func (ds *Dataset) Vectorized() bool { return ds.vectorized.Load() }

@@ -1,0 +1,207 @@
+package dataset
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/domain"
+	"repro/internal/query"
+)
+
+// randomDomain builds a random small domain: 2-5 attributes of
+// cardinality 1-7.
+func randomDomain(rng *rand.Rand) *domain.Domain {
+	nattrs := 2 + rng.IntN(4)
+	attrs := make([]domain.Attribute, nattrs)
+	for i := range attrs {
+		attrs[i] = domain.Attribute{
+			Name: string(rune('a' + i)),
+			Card: 1 + rng.IntN(7),
+		}
+	}
+	return domain.MustNew(attrs...)
+}
+
+// randomQuery restricts a random subset of attributes to random value
+// subsets.
+func randomQuery(dom *domain.Domain, rng *rand.Rand) *query.Query {
+	allowed := map[int][]int{}
+	for i := 0; i < dom.NumAttrs(); i++ {
+		if rng.IntN(2) == 0 {
+			continue
+		}
+		card := dom.Card(i)
+		k := 1 + rng.IntN(card)
+		perm := rng.Perm(card)
+		allowed[i] = perm[:k]
+	}
+	return query.MustNew(dom, allowed)
+}
+
+// loadRandom fills partition p with random per-bin counts.
+func loadRandom(t *testing.T, ds *Dataset, p int, rng *rand.Rand) {
+	t.Helper()
+	for bin := 0; bin < ds.Domain().Size(); bin++ {
+		if c := rng.IntN(5); c > 0 {
+			if err := ds.AddCount(p, bin, c); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestVectorizedMatchesWalkRandomized is the engine's property test:
+// bitset/aggregate evaluation must equal the pre-engine per-partition
+// support walk bin-for-bin on randomized domains, datasets, predicates,
+// and windows — including after streaming appends and further ingestion
+// (window-aggregate version invalidation).
+func TestVectorizedMatchesWalkRandomized(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 60; trial++ {
+		dom := randomDomain(rng)
+		parts := 1 + rng.IntN(4)
+		ds := New(dom, parts)
+		for p := 0; p < parts; p++ {
+			loadRandom(t, ds, p, rng)
+		}
+		check := func(stage string) {
+			for i := 0; i < 12; i++ {
+				q := randomQuery(dom, rng)
+				start := rng.IntN(ds.Partitions())
+				end := start + rng.IntN(ds.Partitions()-start)
+				got, gotN, err := ds.TrueFractionN(q, start, end)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, wantN, err := ds.trueFractionWalk(q, start, end)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotN != wantN {
+					t.Fatalf("trial %d %s: rows %d != %d for %v over [%d,%d]",
+						trial, stage, gotN, wantN, q, start, end)
+				}
+				if math.Abs(got-want) > 1e-12 {
+					t.Fatalf("trial %d %s: vectorized %.15g != walk %.15g for %v over [%d,%d] (dom %v)",
+						trial, stage, got, want, q, start, end, dom)
+				}
+			}
+		}
+		check("initial")
+		// Streaming append: new partitions with fresh data, then more
+		// ingestion into an old partition. Both must invalidate any cached
+		// window aggregate that covers them.
+		first := ds.AppendPartitions(1 + rng.IntN(2))
+		loadRandom(t, ds, first, rng)
+		check("post-append")
+		if err := ds.AddCount(0, rng.IntN(dom.Size()), 3); err != nil {
+			t.Fatal(err)
+		}
+		check("post-ingest")
+	}
+}
+
+// TestPredicateMaskMatchesQuery checks the combined bitset mask selects
+// exactly the bins the query's own Matches reports.
+func TestPredicateMaskMatchesQuery(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	for trial := 0; trial < 40; trial++ {
+		dom := randomDomain(rng)
+		ix := newBitIndex(dom)
+		q := randomQuery(dom, rng)
+		mask := ix.predicateMask(q)
+		for bin := 0; bin < dom.Size(); bin++ {
+			got := mask[bin>>6]&(1<<(bin&63)) != 0
+			if want := q.Matches(bin); got != want {
+				t.Fatalf("trial %d: mask bit %d = %v, Matches = %v for %v (dom %v)",
+					trial, bin, got, want, q, dom)
+			}
+		}
+		// Past the domain size the mask must be clean, or maskedSum would
+		// index out of range.
+		for bin := dom.Size(); bin < len(mask)*64; bin++ {
+			if mask[bin>>6]&(1<<(bin&63)) != 0 {
+				t.Fatalf("trial %d: mask bit %d set beyond domain size %d", trial, bin, dom.Size())
+			}
+		}
+	}
+}
+
+// TestSparseSumMatchesEval checks the iterative odometer walk against
+// query.Eval's recursive walk.
+func TestSparseSumMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 13))
+	for trial := 0; trial < 40; trial++ {
+		dom := randomDomain(rng)
+		vec := make([]float64, dom.Size())
+		for i := range vec {
+			vec[i] = float64(rng.IntN(10))
+		}
+		q := randomQuery(dom, rng)
+		if got, want := sparseSum(q, vec), q.Eval(vec); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d: sparseSum %.15g != Eval %.15g for %v (dom %v)", trial, got, want, q, dom)
+		}
+	}
+}
+
+// TestWindowAggInvalidation pins the version stamping: a cached window
+// aggregate must not serve stale counts after further ingestion.
+func TestWindowAggInvalidation(t *testing.T) {
+	dom := domain.MustNew(
+		domain.Attribute{Name: "p", Card: 2},
+		domain.Attribute{Name: "a", Card: 4},
+	)
+	ds := New(dom, 3)
+	for p := 0; p < 3; p++ {
+		if err := ds.AddCount(p, 0, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := query.MustNew(dom, map[int][]int{0: {0}}) // p=0 ⇒ bins 0..3
+	frac, n, err := ds.TrueFractionN(q, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac != 1 || n != 30 {
+		t.Fatalf("got (%g, %d), want (1, 30)", frac, n)
+	}
+	// Ingest rows the predicate does not match; the cached aggregate must
+	// rebuild, not serve the old 100% fraction.
+	if err := ds.AddCount(1, dom.Encode([]int{1, 0}), 30); err != nil {
+		t.Fatal(err)
+	}
+	frac, n, err = ds.TrueFractionN(q, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(frac-0.5) > 1e-12 || n != 60 {
+		t.Fatalf("after ingest got (%g, %d), want (0.5, 60)", frac, n)
+	}
+}
+
+// TestVectorizedToggle checks SetVectorized routes to the walk baseline.
+func TestVectorizedToggle(t *testing.T) {
+	dom := domain.MustNew(domain.Attribute{Name: "a", Card: 8})
+	ds := New(dom, 1)
+	if !ds.Vectorized() {
+		t.Fatal("engine should default on")
+	}
+	if err := ds.AddCount(0, 3, 7); err != nil {
+		t.Fatal(err)
+	}
+	q := query.MustNew(dom, map[int][]int{0: {3}})
+	on, _, err := ds.TrueFractionN(q, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.SetVectorized(false)
+	off, _, err := ds.TrueFractionN(q, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.SetVectorized(true)
+	if on != off || on != 1 {
+		t.Fatalf("engine on %g / off %g, want both 1", on, off)
+	}
+}

@@ -18,6 +18,7 @@ package dataset
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/domain"
 	"repro/internal/query"
@@ -45,6 +46,15 @@ type Dataset struct {
 	dom     *domain.Domain
 	parts   []*Partition
 	version int
+
+	// Vectorized execution engine (bitindex.go): domain bitset masks,
+	// window-aggregate cache, and the on/off switch benchmarks use to
+	// measure the support-walk baseline.
+	idx        *bitIndex
+	aggMu      sync.RWMutex
+	aggs       map[int64]*winAgg
+	aggBins    int
+	vectorized atomic.Bool
 }
 
 // New creates an empty dataset over dom with the given number of (empty)
@@ -53,7 +63,8 @@ func New(dom *domain.Domain, partitions int) *Dataset {
 	if partitions < 0 {
 		panic(fmt.Sprintf("dataset: bad partition count %d", partitions))
 	}
-	ds := &Dataset{dom: dom}
+	ds := &Dataset{dom: dom, idx: newBitIndex(dom), aggs: make(map[int64]*winAgg)}
+	ds.vectorized.Store(true)
 	for i := 0; i < partitions; i++ {
 		ds.appendPartitionLocked()
 	}
@@ -257,6 +268,13 @@ func (ds *Dataset) RestoreState(st State) error {
 	ds.parts = parts
 	ds.version = st.Version
 	ds.mu.Unlock()
+	// Restored partition versions are whatever the snapshot recorded, so a
+	// pre-restore aggregate's version stamp could collide with different
+	// data; drop the cache rather than trust the stamps.
+	ds.aggMu.Lock()
+	ds.aggs = make(map[int64]*winAgg)
+	ds.aggBins = 0
+	ds.aggMu.Unlock()
 	return nil
 }
 
@@ -297,10 +315,65 @@ func (ds *Dataset) PartitionN(i int) int {
 // executeNPQuery path of the Turbo API (Fig. 7b): its result is only ever
 // used inside SV checks or perturbed by the DP executor, never released.
 func (ds *Dataset) TrueFraction(q *query.Query, start, end int) (float64, error) {
+	frac, _, err := ds.TrueFractionN(q, start, end)
+	return frac, err
+}
+
+// TrueFractionN is TrueFraction that also returns the window's public row
+// count, so the DP executor scales its noise without a second locked
+// metadata pass. With the vectorized engine on (the default), evaluation
+// runs over the window's aggregated count vector through the bitset
+// predicate masks or the sparse odometer walk (bitindex.go); switched off
+// it reproduces the pre-engine per-partition support walk.
+func (ds *Dataset) TrueFractionN(q *query.Query, start, end int) (float64, int, error) {
+	if !ds.vectorized.Load() {
+		return ds.trueFractionWalk(q, start, end)
+	}
+	ds.mu.RLock()
+	if start < 0 || end >= len(ds.parts) || start > end {
+		n := len(ds.parts)
+		ds.mu.RUnlock()
+		return 0, 0, fmt.Errorf("dataset: bad range [%d,%d] of %d partitions", start, end, n)
+	}
+	if start == end {
+		// Single-partition windows evaluate in place: no aggregate to
+		// maintain, one vector scan under the read lock.
+		p := ds.parts[start]
+		if p.n == 0 {
+			ds.mu.RUnlock()
+			return 0, 0, nil
+		}
+		matched := float64(p.n)
+		if q.SupportSize() < ds.dom.Size() {
+			matched = ds.idx.evalVec(q, p.counts)
+		}
+		n := p.n
+		ds.mu.RUnlock()
+		return matched / float64(n), n, nil
+	}
+	version := 0
+	for i := start; i <= end; i++ {
+		version += ds.parts[i].version
+	}
+	ds.mu.RUnlock()
+	a := ds.windowAgg(start, end, version)
+	if a.rows == 0 {
+		return 0, 0, nil
+	}
+	if q.SupportSize() == ds.dom.Size() {
+		return 1, a.rows, nil
+	}
+	return ds.idx.evalVec(q, a.counts) / float64(a.rows), a.rows, nil
+}
+
+// trueFractionWalk is the pre-engine evaluation: query.Eval's per-bin
+// membership walk over every partition of the window. Kept as the
+// benchmark baseline (-exp=misspath) and the property-test oracle.
+func (ds *Dataset) trueFractionWalk(q *query.Query, start, end int) (float64, int, error) {
 	ds.mu.RLock()
 	defer ds.mu.RUnlock()
 	if start < 0 || end >= len(ds.parts) || start > end {
-		return 0, fmt.Errorf("dataset: bad range [%d,%d] of %d partitions", start, end, len(ds.parts))
+		return 0, 0, fmt.Errorf("dataset: bad range [%d,%d] of %d partitions", start, end, len(ds.parts))
 	}
 	matched, n := 0.0, 0
 	for i := start; i <= end; i++ {
@@ -312,9 +385,9 @@ func (ds *Dataset) TrueFraction(q *query.Query, start, end int) (float64, error)
 		n += p.n
 	}
 	if n == 0 {
-		return 0, nil
+		return 0, 0, nil
 	}
-	return matched / float64(n), nil
+	return matched / float64(n), n, nil
 }
 
 // TrueDistribution returns the normalized distribution over bins of

@@ -96,16 +96,22 @@ func (e *Executor) ExecuteDP(q *query.Query, start, end int, eps float64, trueRe
 	if eps <= 0 || math.IsNaN(eps) {
 		return 0, fmt.Errorf("dataset: bad epsilon %g", eps)
 	}
+	var n int
 	if math.IsNaN(trueResult) {
+		// One pass resolves the true result and the window size together
+		// (TrueFractionN), instead of a second locked metadata scan.
 		var err error
-		trueResult, err = e.ExecuteNP(q, start, end)
+		e.npQueries.Add(1)
+		trueResult, n, err = e.ds.TrueFractionN(q, start, end)
 		if err != nil {
 			return 0, err
 		}
-	}
-	n, err := e.ds.NRows(start, end)
-	if err != nil {
-		return 0, err
+	} else {
+		var err error
+		n, err = e.ds.NRows(start, end)
+		if err != nil {
+			return 0, err
+		}
 	}
 	if n == 0 {
 		return 0, fmt.Errorf("dataset: DP execution over empty range [%d,%d]", start, end)

@@ -20,8 +20,6 @@ package kvstore
 
 import (
 	"bytes"
-	"encoding/gob"
-	"fmt"
 	"hash/maphash"
 	"sort"
 	"strings"
@@ -72,16 +70,17 @@ func (s *Store) stripeFor(full string) *stripe {
 	return &s.stripes[h&(numStripes-1)]
 }
 
-// Set stores value (gob-encoded) under ns:k.
+// Set stores value under ns:k, encoded through the value's FastEncoder
+// when implemented (the hot-entry fixed-layout codec) and gob otherwise.
 func (s *Store) Set(ns, k string, value any) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(value); err != nil {
-		return fmt.Errorf("kvstore: encode %s:%s: %w", ns, k, err)
+	raw, err := store.EncodeValue(ns, k, value)
+	if err != nil {
+		return err
 	}
 	full := key(ns, k)
 	st := s.stripeFor(full)
 	st.mu.Lock()
-	st.data[full] = buf.Bytes()
+	st.data[full] = raw
 	st.mu.Unlock()
 	s.sets.Add(1)
 	s.version.Add(1)
@@ -97,9 +96,9 @@ func (s *Store) SetWeighted(ns, k string, value any, _ float64) error {
 // SetNX stores value under ns:k only if the key is absent, reporting
 // whether it stored.
 func (s *Store) SetNX(ns, k string, value any) (bool, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(value); err != nil {
-		return false, fmt.Errorf("kvstore: encode %s:%s: %w", ns, k, err)
+	raw, err := store.EncodeValue(ns, k, value)
+	if err != nil {
+		return false, err
 	}
 	full := key(ns, k)
 	st := s.stripeFor(full)
@@ -108,7 +107,7 @@ func (s *Store) SetNX(ns, k string, value any) (bool, error) {
 		st.mu.Unlock()
 		return false, nil
 	}
-	st.data[full] = buf.Bytes()
+	st.data[full] = raw
 	st.mu.Unlock()
 	s.sets.Add(1)
 	s.version.Add(1)
@@ -127,8 +126,8 @@ func (s *Store) Get(ns, k string, out any) (bool, error) {
 		return false, nil
 	}
 	s.hits.Add(1)
-	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(out); err != nil {
-		return true, fmt.Errorf("kvstore: decode %s:%s: %w", ns, k, err)
+	if err := store.DecodeValue(ns, k, raw, out); err != nil {
+		return true, err
 	}
 	return true, nil
 }
@@ -155,15 +154,15 @@ func (s *Store) Delete(ns, k string) bool {
 // invalidation primitive: a concurrent Set of a fresh value changes the
 // bytes, so a stale-entry eviction can never erase it.
 func (s *Store) CompareDelete(ns, k string, expect any) bool {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(expect); err != nil {
+	want, err := store.EncodeValue(ns, k, expect)
+	if err != nil {
 		return false
 	}
 	full := key(ns, k)
 	st := s.stripeFor(full)
 	st.mu.Lock()
 	raw, ok := st.data[full]
-	if ok && bytes.Equal(raw, buf.Bytes()) {
+	if ok && bytes.Equal(raw, want) {
 		delete(st.data, full)
 	} else {
 		ok = false

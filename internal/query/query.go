@@ -37,7 +37,12 @@ type Query struct {
 	start, end int
 	hasWindow  bool
 	key        string
-	support    int
+	// winKey is the precomputed KeyWithWindow value. Queries are immutable,
+	// so both keys are materialized at construction time: Key and
+	// KeyWithWindow sit on the exact-hit path of every cache probe, and a
+	// per-probe fmt.Sprintf would be the hit path's only allocation.
+	winKey  string
+	support int
 }
 
 // New builds a query over dom. allowed maps attribute index → permitted
@@ -107,6 +112,7 @@ func (q *Query) finish() {
 		b.WriteString("*")
 	}
 	q.key = b.String()
+	q.winKey = q.key
 }
 
 // WithWindow returns a copy of q requesting partitions [start, end]
@@ -118,6 +124,7 @@ func (q *Query) WithWindow(start, end int) *Query {
 	}
 	c := *q
 	c.start, c.end, c.hasWindow = start, end, true
+	c.winKey = fmt.Sprintf("%s@[%d,%d]", c.key, start, end)
 	return &c
 }
 
@@ -125,6 +132,7 @@ func (q *Query) WithWindow(start, end int) *Query {
 func (q *Query) WithoutWindow() *Query {
 	c := *q
 	c.start, c.end, c.hasWindow = 0, 0, false
+	c.winKey = c.key
 	return &c
 }
 
@@ -139,13 +147,9 @@ func (q *Query) Window() (start, end int, ok bool) { return q.start, q.end, q.ha
 func (q *Query) Key() string { return q.key }
 
 // KeyWithWindow returns a canonical identifier including the window, for
-// exact caches on partitioned stores.
-func (q *Query) KeyWithWindow() string {
-	if !q.hasWindow {
-		return q.key
-	}
-	return fmt.Sprintf("%s@[%d,%d]", q.key, q.start, q.end)
-}
+// exact caches on partitioned stores. The string is precomputed, so calling
+// it on the cache-probe hot path allocates nothing.
+func (q *Query) KeyWithWindow() string { return q.winKey }
 
 // SupportSize returns the number of domain points with q(v) = 1.
 func (q *Query) SupportSize() int { return q.support }

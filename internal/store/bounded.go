@@ -28,8 +28,6 @@ package store
 import (
 	"bytes"
 	"container/list"
-	"encoding/gob"
-	"fmt"
 	"hash/maphash"
 	"math"
 	"sort"
@@ -170,15 +168,6 @@ func (b *Bounded) stripeFor(full string) *boundedStripe {
 	return b.stripes[h%uint64(len(b.stripes))]
 }
 
-// encode gob-encodes a value the same way the striped map does.
-func encode(ns, k string, value any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(value); err != nil {
-		return nil, fmt.Errorf("store: encode %s:%s: %w", ns, k, err)
-	}
-	return buf.Bytes(), nil
-}
-
 // insertLocked places (or replaces) an entry and restores the caps. The
 // caller holds st.mu.
 func (b *Bounded) insertLocked(st *boundedStripe, full string, val []byte, weight float64) {
@@ -286,7 +275,7 @@ func (b *Bounded) Set(ns, k string, value any) error {
 // SetWeighted stores value under ns:k; weight is the privacy cost paid to
 // materialize the entry, which victim selection preserves longest.
 func (b *Bounded) SetWeighted(ns, k string, value any, weight float64) error {
-	val, err := encode(ns, k, value)
+	val, err := EncodeValue(ns, k, value)
 	if err != nil {
 		return err
 	}
@@ -303,7 +292,7 @@ func (b *Bounded) SetWeighted(ns, k string, value any, weight float64) error {
 // SetNX stores value under ns:k only if absent, reporting whether it
 // stored.
 func (b *Bounded) SetNX(ns, k string, value any) (bool, error) {
-	val, err := encode(ns, k, value)
+	val, err := EncodeValue(ns, k, value)
 	if err != nil {
 		return false, err
 	}
@@ -338,8 +327,8 @@ func (b *Bounded) Get(ns, k string, out any) (bool, error) {
 		return false, nil
 	}
 	b.hits.Add(1)
-	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(out); err != nil {
-		return true, fmt.Errorf("store: decode %s:%s: %w", ns, k, err)
+	if err := DecodeValue(ns, k, raw, out); err != nil {
+		return true, err
 	}
 	return true, nil
 }
@@ -364,7 +353,7 @@ func (b *Bounded) Delete(ns, k string) bool {
 // CompareDelete removes ns:k only if its stored bytes equal the encoding
 // of expect (the guarded stale-entry invalidation primitive).
 func (b *Bounded) CompareDelete(ns, k string, expect any) bool {
-	want, err := encode(ns, k, expect)
+	want, err := EncodeValue(ns, k, expect)
 	if err != nil {
 		return false
 	}

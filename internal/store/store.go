@@ -20,6 +20,68 @@
 // execution time and never lives in a Backend entry.
 package store
 
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// FastEncoder is implemented by values that provide their own fixed-layout
+// binary encoding. Backends recognize it and store AppendFast's bytes
+// verbatim instead of running the value through gob — the hot-entry codec
+// seam: cache entries are written on every miss fill and decoded on every
+// fast-map-missed hit, and gob's reflection plus type preamble dominates
+// both. Implementations must be deterministic (CompareDelete's guarded
+// invalidation compares stored bytes against a re-encoding) and
+// self-identifying (a tag/length FastDecoder can recognize), so old
+// gob-encoded bytes — imported from pre-codec snapshots — still fall back
+// to gob cleanly.
+//
+// The methods are deliberately NOT the standard encoding.BinaryMarshaler
+// names: gob itself consults that interface, and adopting it would
+// silently change how these values encode inside every existing gob
+// stream, breaking old snapshot payloads.
+type FastEncoder interface {
+	// AppendFast appends the value's encoding to dst and returns the
+	// extended slice.
+	AppendFast(dst []byte) []byte
+}
+
+// FastDecoder is the decode side of the hot-entry codec. DecodeFast
+// reports whether data was recognized as this codec's wire format (and
+// decoded); unrecognized bytes make the backend fall back to gob.
+type FastDecoder interface {
+	DecodeFast(data []byte) bool
+}
+
+// EncodeValue encodes a value the way every Backend stores it: through
+// the value's FastEncoder when implemented, gob otherwise. Backends share
+// it so stored bytes stay comparable across implementations (CompareDelete
+// and snapshot round-trips depend on that).
+func EncodeValue(ns, k string, value any) ([]byte, error) {
+	if fe, ok := value.(FastEncoder); ok {
+		return fe.AppendFast(nil), nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(value); err != nil {
+		return nil, fmt.Errorf("store: encode %s:%s: %w", ns, k, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeValue decodes stored bytes into out (a pointer): the out value's
+// FastDecoder first when implemented and the bytes carry its wire format,
+// gob otherwise.
+func DecodeValue(ns, k string, raw []byte, out any) error {
+	if fd, ok := out.(FastDecoder); ok && fd.DecodeFast(raw) {
+		return nil
+	}
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(out); err != nil {
+		return fmt.Errorf("store: decode %s:%s: %w", ns, k, err)
+	}
+	return nil
+}
+
 // Stats is a point-in-time view of a backend's operation counters and
 // memory accounting — the figures the HTTP server surfaces under
 // /schema's cache section and the cache-pressure experiment plots.
