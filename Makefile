@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet turbo-vet fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bin/turbo-vet: $(wildcard cmd/turbo-vet/*.go internal/analysis/*/*.go) go.mod
+	$(GO) build -o $@ ./cmd/turbo-vet
+
+turbo-vet: bin/turbo-vet
+
+# vet runs the standard vet suite plus the repo's own analyzers
+# (chargepath, snapshotdet, backendonly, lockorder, errtaxonomy).
+vet: bin/turbo-vet
+	$(GO) vet ./...
+	$(GO) vet -vettool=$(CURDIR)/bin/turbo-vet ./...
+
+fmt:
+	gofmt -l -w cmd internal

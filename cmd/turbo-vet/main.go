@@ -1,0 +1,20 @@
+// Command turbo-vet runs the repo's custom go/analysis suite under the
+// unitchecker protocol, so it plugs into the standard toolchain:
+//
+//	go build -o bin/turbo-vet ./cmd/turbo-vet
+//	go vet -vettool=bin/turbo-vet ./...
+//
+// (or `make vet`). See internal/analysis/* for the individual
+// analyzers and ARCHITECTURE.md "Invariants (machine-checked)" for the
+// invariants they enforce.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/analysis/turbovet"
+)
+
+func main() {
+	unitchecker.Main(turbovet.All...)
+}

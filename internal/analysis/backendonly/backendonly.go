@@ -1,0 +1,118 @@
+// Package backendonly protects the storage-backend seam (PR 5/6): all
+// cache bytes flow through the store.Backend interface and its
+// fixed-layout codec.
+//
+// Outside internal/store and internal/kvstore:
+//
+//  1. Raw kvstore construction (kvstore.New*) is flagged — consumers take
+//     a store.Backend (core.Config.Backend and friends), so the bounded
+//     backend can be swapped in without touching call sites. The
+//     documented private-store fallbacks carry a
+//     //turbo:allow(backendonly) annotation with justification.
+//
+//  2. Raw gob encode/decode of cache.Entry is flagged (also outside
+//     internal/cache, which owns the codec's gob fallback for pre-codec
+//     snapshots): entry bytes must go through store.EncodeValue /
+//     store.DecodeValue, or the two backends stop storing identical bytes
+//     and CompareDelete's byte-equality guard silently breaks.
+package backendonly
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"repro/internal/analysis/turboallow"
+)
+
+const name = "backendonly"
+
+// Analyzer is the backendonly analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "check that storage backends are constructed through the store seam and cache.Entry bytes use the fixed-layout codec",
+	Run:      run,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+}
+
+// gobCodec reports whether callee is (*gob.Encoder).Encode or
+// (*gob.Decoder).Decode.
+func gobCodec(callee *types.Func) bool {
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Name() != "gob" {
+		return false
+	}
+	switch callee.Name() {
+	case "Encode", "Decode":
+		return true
+	}
+	return false
+}
+
+// isCacheEntry reports whether t is cache.Entry, possibly behind
+// pointers or an address-of at the call site.
+func isCacheEntry(t types.Type) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Name() == "Entry" && n.Obj().Pkg() != nil && n.Obj().Pkg().Name() == "cache"
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	inStoreLayer := turboallow.PkgHasSegment(pass, "store") || turboallow.PkgHasSegment(pass, "kvstore")
+	inCodecLayer := inStoreLayer || turboallow.PkgHasSegment(pass, "cache")
+	if inCodecLayer && inStoreLayer {
+		return nil, nil // the storage packages own both seams
+	}
+	allow := turboallow.NewIndex(pass)
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if turboallow.InTestFile(pass, call.Pos()) {
+			return
+		}
+		callee, _ := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+		if callee == nil || callee.Pkg() == nil {
+			return
+		}
+		switch {
+		case !inStoreLayer && callee.Pkg().Name() == "kvstore" &&
+			len(callee.Name()) >= 3 && callee.Name()[:3] == "New":
+			if !allow.Allowed(call.Pos(), name) {
+				pass.Reportf(call.Pos(),
+					"raw kvstore construction (%s) outside the storage packages: take a store.Backend so bounded backends stay pluggable, or annotate a documented private store with //turbo:allow(backendonly)",
+					callee.Name())
+			}
+		case !inCodecLayer && gobCodec(callee) && len(call.Args) == 1:
+			if t := pass.TypesInfo.TypeOf(skipAddr(call.Args[0])); t != nil && isCacheEntry(t) {
+				if !allow.Allowed(call.Pos(), name) {
+					pass.Reportf(call.Pos(),
+						"raw gob %s of cache.Entry: entry bytes must round-trip through store.EncodeValue/DecodeValue (fixed-layout codec)",
+						callee.Name())
+				}
+			}
+		}
+	})
+	return nil, nil
+}
+
+// skipAddr unwraps a leading &x so the argument's element type is
+// inspected.
+func skipAddr(e ast.Expr) ast.Expr {
+	if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok {
+		return u.X
+	}
+	return e
+}

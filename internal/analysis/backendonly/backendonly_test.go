@@ -1,0 +1,12 @@
+package backendonly_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistestlite"
+	"repro/internal/analysis/backendonly"
+)
+
+func TestBackendonly(t *testing.T) {
+	analysistestlite.Run(t, backendonly.Analyzer, "app", "store")
+}

@@ -1,0 +1,40 @@
+// Package app sits outside the storage packages: both backendonly rules
+// apply.
+package app
+
+import (
+	"cache"
+	"gob"
+	"kvstore"
+)
+
+func construct() *kvstore.Store {
+	return kvstore.New() // want `raw kvstore construction \(New\) outside the storage packages`
+}
+
+func constructSharded() *kvstore.Store {
+	return kvstore.NewSharded(4) // want `raw kvstore construction \(NewSharded\) outside the storage packages`
+}
+
+func constructAllowed() *kvstore.Store {
+	//turbo:allow(backendonly) documented private store for a baseline
+	return kvstore.New()
+}
+
+func encodeEntry(enc *gob.Encoder, e cache.Entry) error {
+	return enc.Encode(&e) // want `raw gob Encode of cache\.Entry`
+}
+
+func decodeEntry(dec *gob.Decoder, e *cache.Entry) error {
+	return dec.Decode(e) // want `raw gob Decode of cache\.Entry`
+}
+
+func encodeEntryAllowed(enc *gob.Encoder, e cache.Entry) error {
+	//turbo:allow(backendonly) legacy pre-codec snapshot writer
+	return enc.Encode(&e)
+}
+
+// Other payloads may gob-encode freely.
+func encodeOther(enc *gob.Encoder, counts map[string]int) error {
+	return enc.Encode(counts)
+}

@@ -1,0 +1,8 @@
+// Package cache is a fixture stub carrying the Entry type backendonly
+// protects.
+package cache
+
+type Entry struct {
+	Key   string
+	Value float64
+}

@@ -1,0 +1,12 @@
+// Package gob is a fixture stub; backendonly keys on the package name
+// and the Encode/Decode method names.
+package gob
+
+type Encoder struct{}
+type Decoder struct{}
+
+func NewEncoder(w any) *Encoder { return &Encoder{} }
+func NewDecoder(r any) *Decoder { return &Decoder{} }
+
+func (e *Encoder) Encode(v any) error { return nil }
+func (d *Decoder) Decode(v any) error { return nil }

@@ -1,0 +1,7 @@
+// Package kvstore is a fixture stub for the raw key-value store.
+package kvstore
+
+type Store struct{}
+
+func New() *Store             { return &Store{} }
+func NewSharded(n int) *Store { return &Store{} }

@@ -1,0 +1,9 @@
+// Package store is a storage package: it owns the seam, so raw kvstore
+// construction is silent here.
+package store
+
+import "kvstore"
+
+type Backend struct{ kv *kvstore.Store }
+
+func NewBackend() *Backend { return &Backend{kv: kvstore.New()} }

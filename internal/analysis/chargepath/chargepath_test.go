@@ -1,0 +1,12 @@
+package chargepath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistestlite"
+	"repro/internal/analysis/chargepath"
+)
+
+func TestChargepath(t *testing.T) {
+	analysistestlite.Run(t, chargepath.Analyzer, "app", "engine")
+}

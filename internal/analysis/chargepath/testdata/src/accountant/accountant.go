@@ -1,0 +1,19 @@
+// Package accountant is a fixture stub mirroring the shape of the real
+// internal/accountant API that chargepath keys on.
+package accountant
+
+type Block struct{ spent float64 }
+
+func NewFilter(eps float64) *Block { return &Block{} }
+
+func (b *Block) Pay(eps float64) error                  { b.spent += eps; return nil }
+func (b *Block) PayRange(lo, hi int, eps float64) error { return nil }
+func (b *Block) RestoreSpent(v float64)                 { b.spent = v }
+func (b *Block) RestorePayload(p []byte) error          { return nil }
+
+type RDPBlock struct{ spent float64 }
+
+func (b *RDPBlock) Pay(cost []float64) error      { return nil }
+func (b *RDPBlock) RestorePayload(p []byte) error { return nil }
+
+func Register(id string) error { return nil }

@@ -1,0 +1,74 @@
+// Package app is a non-payer, non-store fixture: every rule of
+// chargepath can fire here.
+package app
+
+import (
+	"accountant"
+	"cache"
+)
+
+// Rule 1: spend-state mutation outside internal/accountant.
+
+func restoreSpent(b *accountant.Block) {
+	b.RestoreSpent(0) // want `accountant spend state mutates outside internal/accountant`
+}
+
+func restorePayload(b *accountant.RDPBlock) {
+	_ = b.RestorePayload(nil) // want `accountant spend state mutates outside internal/accountant`
+}
+
+// Rule 2: payment outside a designated payer package.
+
+func charge(b *accountant.Block) {
+	_ = b.Pay(0.1) // want `ε/RDP charge \(Pay\) outside a designated payer package`
+}
+
+func chargeRange(b *accountant.Block) {
+	_ = b.PayRange(0, 3, 0.1) // want `ε/RDP charge \(PayRange\) outside a designated payer package`
+}
+
+func chargeAllowed(b *accountant.Block) {
+	//turbo:allow(chargepath) private measurement accountant for a report
+	_ = b.Pay(0.1)
+}
+
+// Rule 3: cache fills need admission evidence on their path.
+
+func fillUnpaid(c *cache.Exact) {
+	c.Put("k", 1) // want `cache fill \(Put\) with no admission result`
+}
+
+type weightedBackend struct{}
+
+func (weightedBackend) SetWeighted(k string, v float64, w int) {}
+
+func fillBackendUnpaid(b weightedBackend) {
+	b.SetWeighted("k", 1, 8) // want `cache fill \(SetWeighted\) with no admission result`
+}
+
+// result carries the Paid field every mechanism result exposes; a call
+// returning it is admission evidence.
+type result struct {
+	Value float64
+	Paid  bool
+}
+
+func admit() result { return result{Paid: true} }
+
+func fillPaid(c *cache.Exact) {
+	r := admit()
+	c.Put("k", r.Value)
+}
+
+// Evidence through a same-package helper also counts.
+func admitViaHelper() result { return admit() }
+
+func fillPaidTransitively(c *cache.Exact) {
+	r := admitViaHelper()
+	c.Put("k", r.Value)
+}
+
+func fillAllowed(c *cache.Exact) {
+	//turbo:allow(chargepath) warm-up preload of deterministic entries
+	c.Put("k", 1)
+}

@@ -1,0 +1,14 @@
+// Package cache is a fixture stub with the Exact/Entry shapes that
+// chargepath keys on.
+package cache
+
+type Entry struct {
+	Key   string
+	Value float64
+}
+
+type Exact struct{ m map[string]float64 }
+
+func NewExact() *Exact { return &Exact{m: map[string]float64{}} }
+
+func (e *Exact) Put(k string, v float64) { e.m[k] = v }

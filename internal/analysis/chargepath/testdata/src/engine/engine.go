@@ -1,0 +1,12 @@
+// Package engine is a designated payer package: direct payments are the
+// mechanism at this layer and stay silent.
+package engine
+
+import "accountant"
+
+func runMechanism(b *accountant.Block) error {
+	if err := b.Pay(0.05); err != nil {
+		return err
+	}
+	return b.PayRange(0, 7, 0.05)
+}

@@ -1,0 +1,10 @@
+// Package errors is a fixture stub for errors.Is / errors.New.
+package errors
+
+func Is(err, target error) bool { return err == target }
+
+func New(text string) error { return &errorString{text} }
+
+type errorString struct{ s string }
+
+func (e *errorString) Error() string { return e.s }

@@ -1,0 +1,17 @@
+// Package http is a fixture stub; errtaxonomy keys on the package name,
+// the Error function, and the constant 500.
+package http
+
+const (
+	StatusOK                  = 200
+	StatusAccepted            = 202
+	StatusTooManyRequests     = 429
+	StatusInternalServerError = 500
+	StatusServiceUnavailable  = 503
+)
+
+type ResponseWriter interface {
+	Write([]byte) (int, error)
+}
+
+func Error(w ResponseWriter, error string, code int) {}

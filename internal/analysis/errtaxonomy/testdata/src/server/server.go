@@ -1,0 +1,105 @@
+// Package server exercises errtaxonomy's three rules.
+package server
+
+import (
+	"errors"
+	"http"
+)
+
+var (
+	ErrBudgetExhausted = errors.New("budget exhausted")
+	ErrRestoring       = errors.New("restoring")
+	ErrStateCorrupt    = errors.New("state corrupt")
+	ErrBacklogFull     = errors.New("backlog full")
+)
+
+type Session struct{}
+
+func (s *Session) Answer(q string) (string, error) { return "", nil }
+func (s *Session) Wait() error                     { return nil }
+func (s *Session) Submit(q string) error           { return nil }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {}
+
+// Rule 1: http.Error bypasses the taxonomy.
+
+func rawError(w http.ResponseWriter) {
+	http.Error(w, "boom", 500) // want `http\.Error bypasses the server's error taxonomy`
+}
+
+func rawErrorAllowed(w http.ResponseWriter) {
+	//turbo:allow(errtaxonomy) health probe keeps its plain-text contract
+	http.Error(w, "unhealthy", 500)
+}
+
+// Rule 2: a 500 must be the ErrStateCorrupt fall-through.
+
+func naked500(w http.ResponseWriter, err error) {
+	writeJSON(w, http.StatusInternalServerError, err) // want `naked 500`
+}
+
+func mapped500(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrStateCorrupt) {
+		writeJSON(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, nil)
+}
+
+// Rule 3: response writers consuming session errors map the documented
+// sentinels.
+
+func unmappedAnswer(w http.ResponseWriter, s *Session, q string) {
+	res, err := s.Answer(q) // want `never maps ErrBudgetExhausted` `never maps ErrRestoring` `never maps ErrStateCorrupt`
+	if err != nil {
+		writeJSON(w, http.StatusOK, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func mappedAnswer(w http.ResponseWriter, s *Session, q string) {
+	res, err := s.Answer(q)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrBudgetExhausted):
+			writeJSON(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrRestoring):
+			writeJSON(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrStateCorrupt):
+			writeJSON(w, http.StatusInternalServerError, err)
+		default:
+			writeJSON(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func unmappedWait(w http.ResponseWriter, s *Session) {
+	err := s.Wait() // want `never maps ErrRestoring` `never maps ErrStateCorrupt`
+	writeJSON(w, http.StatusOK, err)
+}
+
+func unmappedSubmit(w http.ResponseWriter, s *Session, q string) {
+	err := s.Submit(q) // want `never maps ErrBacklogFull`
+	writeJSON(w, http.StatusAccepted, err)
+}
+
+func mappedSubmit(w http.ResponseWriter, s *Session, q string) {
+	if err := s.Submit(q); errors.Is(err, ErrBacklogFull) {
+		writeJSON(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, nil)
+}
+
+// A non-response function may consume session errors freely: the
+// mapping happens in its caller.
+func pump(s *Session) error { return s.Wait() }
+
+func submitAllowed(w http.ResponseWriter, s *Session, q string) {
+	//turbo:allow(errtaxonomy) fire-and-forget path drops backlog signals
+	err := s.Submit(q)
+	writeJSON(w, http.StatusAccepted, err)
+}

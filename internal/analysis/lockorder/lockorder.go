@@ -1,0 +1,383 @@
+// Package lockorder checks the repo's documented mutex partial order.
+//
+// Every named mutex in the table below has a rank; within one function
+// (linear walk, loop bodies walked twice so a lock held across
+// iterations is seen by the second pass), acquiring a lock while holding
+// one of equal or higher rank is flagged. Window/shard locks — the one
+// same-rank family — may be acquired repeatedly only inside an ascending
+// loop (the PR 1 deadlock-freedom rule); a descending loop or a range
+// over a map (nondeterministic order) is flagged. Calls to same-package
+// functions are summarized: calling a function that acquires a
+// lower-ranked lock while a higher-ranked one is held is flagged too.
+//
+// The documented order (outermost first):
+//
+//	core.Session.persistMu < stream.Ingestor.mu < core.Session.appendMu
+//	  < { core.Session.singleMu , tree.stateShard.mu (ascending) }
+//	  < tree.Tree.shardMu < cache.exactStripe.mu < tree.Tree.statsMu
+//	  < { kvstore.stripe.mu , store.boundedStripe.mu }
+//
+// Locks not in the table are ignored. Escape hatch:
+// //turbo:allow(lockorder).
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+
+	"repro/internal/analysis/pkggraph"
+	"repro/internal/analysis/turboallow"
+)
+
+const name = "lockorder"
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "check acquisitions of the named mutexes against the documented partial order",
+	Run:      run,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+}
+
+// Ranks maps "pkg.Type.field" of each named mutex to its position in the
+// documented partial order (lower = acquired first / outermost). Tests
+// substitute a fixture table.
+var Ranks = map[string]int{
+	"core.Session.persistMu": 10,
+	"stream.Ingestor.mu":     15,
+	"core.Session.appendMu":  20,
+	"core.Session.singleMu":  30,
+	"tree.stateShard.mu":     30,
+	"tree.Tree.shardMu":      40,
+	"cache.exactStripe.mu":   45,
+	"tree.Tree.statsMu":      50,
+	"kvstore.stripe.mu":      60,
+	"store.boundedStripe.mu": 60,
+}
+
+// WindowClass marks the lock families whose members share a rank and may
+// be multiply acquired — but only in ascending order.
+var WindowClass = map[string]bool{
+	"tree.stateShard.mu": true,
+}
+
+// lockKey resolves recv.field (the X of X.Lock()) to its table key, or "".
+func lockKey(pass *analysis.Pass, x ast.Expr) string {
+	sel, ok := ast.Unparen(x).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !obj.IsField() || obj.Pkg() == nil {
+		return ""
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return ""
+	}
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return obj.Pkg().Name() + "." + n.Obj().Name() + "." + obj.Name()
+}
+
+// lockOp classifies a statement-level call as an acquire/release of a
+// table lock.
+type lockOp struct {
+	key     string
+	acquire bool
+}
+
+func classify(pass *analysis.Pass, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return lockOp{}, false
+	}
+	key := lockKey(pass, sel.X)
+	if key == "" {
+		return lockOp{}, false
+	}
+	if _, known := Ranks[key]; !known {
+		return lockOp{}, false
+	}
+	return lockOp{key: key, acquire: acquire}, true
+}
+
+// loopKind describes the enclosing loop at an acquisition site.
+type loopKind int
+
+const (
+	noLoop loopKind = iota
+	ascendingLoop
+	descendingLoop
+	mapRangeLoop
+	unknownLoop
+)
+
+type checker struct {
+	pass      *analysis.Pass
+	allow     *turboallow.Index
+	summaries map[*types.Func]map[string]bool
+	graph     *pkggraph.Graph
+}
+
+type held struct {
+	key  string
+	rank int
+}
+
+// walk processes stmts linearly with the current held set, returning the
+// held set at fall-through.
+func (c *checker) walk(stmts []ast.Stmt, h []held, loop loopKind) []held {
+	for _, st := range stmts {
+		h = c.walkStmt(st, h, loop)
+	}
+	return h
+}
+
+func (c *checker) walkStmt(st ast.Stmt, h []held, loop loopKind) []held {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			return c.walkCall(call, h, loop, false)
+		}
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held to function end: no
+		// removal. A deferred acquire is nonsense; ignore.
+		return c.walkCall(s.Call, h, loop, true)
+	case *ast.BlockStmt:
+		return c.walk(s.List, h, loop)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			h = c.walkStmt(s.Init, h, loop)
+		}
+		c.walk(s.Body.List, append([]held(nil), h...), loop)
+		if s.Else != nil {
+			c.walkStmt(s.Else, append([]held(nil), h...), loop)
+		}
+		// Branch-local acquisitions that return/leak are approximated
+		// away: fall-through keeps the entry set. Early-exit branches
+		// that release (RUnlock-then-return) are the common shape.
+		return h
+	case *ast.ForStmt:
+		kind := unknownLoop
+		if s.Post != nil {
+			if inc, ok := s.Post.(*ast.IncDecStmt); ok {
+				if inc.Tok == token.INC {
+					kind = ascendingLoop
+				} else {
+					kind = descendingLoop
+				}
+			}
+		}
+		if s.Init != nil {
+			h = c.walkStmt(s.Init, h, loop)
+		}
+		// Two passes: the second sees locks still held from the first
+		// iteration (the ascending-window idiom).
+		after := c.walk(s.Body.List, append([]held(nil), h...), kind)
+		c.walk(s.Body.List, after, kind)
+		return h
+	case *ast.RangeStmt:
+		kind := ascendingLoop // slices/arrays/ints iterate in index order
+		if t := c.pass.TypesInfo.TypeOf(s.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				kind = mapRangeLoop
+			}
+		}
+		after := c.walk(s.Body.List, append([]held(nil), h...), kind)
+		c.walk(s.Body.List, after, kind)
+		return h
+	case *ast.SwitchStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.walk(cl.Body, append([]held(nil), h...), loop)
+			}
+		}
+		return h
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.walk(cl.Body, append([]held(nil), h...), loop)
+			}
+		}
+		return h
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok {
+				c.walk(cl.Body, append([]held(nil), h...), loop)
+			}
+		}
+		return h
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if call, ok := rhs.(*ast.CallExpr); ok {
+				h = c.walkCall(call, h, loop, false)
+			}
+		}
+		return h
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if call, ok := r.(*ast.CallExpr); ok {
+				h = c.walkCall(call, h, loop, false)
+			}
+		}
+		return h
+	}
+	return h
+}
+
+// walkCall handles one call statement: a lock operation, or a
+// same-package call whose lock summary is checked against the held set.
+func (c *checker) walkCall(call *ast.CallExpr, h []held, loop loopKind, deferred bool) []held {
+	if op, ok := classify(c.pass, call); ok {
+		if !op.acquire {
+			if deferred {
+				return h // held to function end
+			}
+			for i := len(h) - 1; i >= 0; i-- {
+				if h[i].key == op.key {
+					return append(append([]held(nil), h[:i]...), h[i+1:]...)
+				}
+			}
+			return h
+		}
+		c.checkAcquire(call.Pos(), op.key, h, loop)
+		return append(h, held{key: op.key, rank: Ranks[op.key]})
+	}
+	// Same-package callee: check its lock summary against what we hold.
+	if fn := c.graph.Callee(call); fn != nil {
+		if sum := c.summaries[fn]; len(sum) > 0 && len(h) > 0 {
+			for key := range sum {
+				r := Ranks[key]
+				for _, held := range h {
+					if held.rank > r && !c.allow.Allowed(call.Pos(), name) {
+						c.pass.Reportf(call.Pos(),
+							"call to %s acquires %s (rank %d) while %s (rank %d) is held: documented lock order violated",
+							fn.Name(), key, r, held.key, held.rank)
+					}
+				}
+			}
+		}
+	}
+	return h
+}
+
+func (c *checker) checkAcquire(pos token.Pos, key string, h []held, loop loopKind) {
+	rank := Ranks[key]
+	for _, hl := range h {
+		switch {
+		case hl.key == key:
+			if WindowClass[key] && loop == ascendingLoop {
+				continue
+			}
+			if c.allow.Allowed(pos, name) {
+				continue
+			}
+			if WindowClass[key] {
+				pass := c.pass
+				if loop == mapRangeLoop {
+					pass.Reportf(pos,
+						"window/shard lock %s acquired while iterating a map: acquisition order is nondeterministic — iterate an ascending index", key)
+				} else {
+					pass.Reportf(pos,
+						"window/shard lock %s acquired out of ascending order while another %s is held (PR 1 deadlock-freedom rule)", key, key)
+				}
+			} else {
+				c.pass.Reportf(pos, "%s acquired while already held (self-deadlock)", key)
+			}
+		case hl.rank >= rank:
+			if !c.allow.Allowed(pos, name) {
+				c.pass.Reportf(pos,
+					"%s (rank %d) acquired while %s (rank %d) is held: documented lock order violated",
+					key, rank, hl.key, hl.rank)
+			}
+		}
+	}
+}
+
+// summarize computes, to a fixpoint, the set of table locks each function
+// may acquire (directly or through same-package calls).
+func summarize(pass *analysis.Pass, g *pkggraph.Graph) map[*types.Func]map[string]bool {
+	sums := make(map[*types.Func]map[string]bool, len(g.Decls))
+	for fn, fd := range g.Decls {
+		set := make(map[string]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if op, ok := classify(pass, call); ok && op.acquire {
+					set[op.key] = true
+				}
+			}
+			return true
+		})
+		sums[fn] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range g.Decls {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := g.Callee(call); callee != nil && callee != fn {
+					for key := range sums[callee] {
+						if !sums[fn][key] {
+							sums[fn][key] = true
+							changed = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return sums
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	g := pkggraph.New(pass)
+	c := &checker{
+		pass:      pass,
+		allow:     turboallow.NewIndex(pass),
+		graph:     g,
+		summaries: summarize(pass, g),
+	}
+	for _, fd := range g.Decls {
+		if turboallow.InTestFile(pass, fd.Pos()) {
+			continue
+		}
+		c.walk(fd.Body.List, nil, noLoop)
+		// Function literals run with an unknown caller context; check
+		// their bodies standalone.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				c.walk(fl.Body.List, nil, noLoop)
+				return false
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,22 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistestlite"
+	"repro/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	oldRanks, oldWindow := lockorder.Ranks, lockorder.WindowClass
+	defer func() { lockorder.Ranks, lockorder.WindowClass = oldRanks, oldWindow }()
+	lockorder.Ranks = map[string]int{
+		"locks.Session.persistMu": 10,
+		"locks.Session.appendMu":  20,
+		"locks.window.mu":         30,
+		"locks.Store.mu":          40,
+		"locks.Store2.mu":         40,
+	}
+	lockorder.WindowClass = map[string]bool{"locks.window.mu": true}
+	analysistestlite.Run(t, lockorder.Analyzer, "locks")
+}

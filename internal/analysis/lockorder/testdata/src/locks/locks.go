@@ -1,0 +1,131 @@
+// Package locks exercises lockorder against a fixture rank table (the
+// test substitutes it):
+//
+//	locks.Session.persistMu (10) < locks.Session.appendMu (20)
+//	  < locks.window.mu (30, window class) < locks.Store.mu (40)
+//	  = locks.Store2.mu (40)
+package locks
+
+import "sync"
+
+type Session struct {
+	persistMu sync.Mutex
+	appendMu  sync.Mutex
+}
+
+type window struct{ mu sync.Mutex }
+
+type Store struct{ mu sync.RWMutex }
+
+type Store2 struct{ mu sync.Mutex }
+
+// other is not in the rank table: ignored entirely.
+type other struct{ mu sync.Mutex }
+
+// Acquiring in documented order is silent, defer-unlock included.
+func inOrder(s *Session, st *Store) {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	s.appendMu.Lock()
+	st.mu.Lock()
+	st.mu.Unlock()
+	s.appendMu.Unlock()
+}
+
+func inverted(s *Session, st *Store) {
+	st.mu.Lock()
+	s.appendMu.Lock() // want `locks\.Session\.appendMu \(rank 20\) acquired while locks\.Store\.mu \(rank 40\) is held`
+	s.appendMu.Unlock()
+	st.mu.Unlock()
+}
+
+func rlockInverted(s *Session, st *Store) {
+	st.mu.RLock()
+	s.appendMu.Lock() // want `locks\.Session\.appendMu \(rank 20\) acquired while locks\.Store\.mu \(rank 40\) is held`
+	s.appendMu.Unlock()
+	st.mu.RUnlock()
+}
+
+func invertedAllowed(s *Session, st *Store) {
+	st.mu.Lock()
+	//turbo:allow(lockorder) shutdown path: store is quiesced here
+	s.appendMu.Lock()
+	s.appendMu.Unlock()
+	st.mu.Unlock()
+}
+
+func equalRank(a *Store, b *Store2) {
+	a.mu.Lock()
+	b.mu.Lock() // want `locks\.Store2\.mu \(rank 40\) acquired while locks\.Store\.mu \(rank 40\) is held`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func selfDeadlock(s *Session) {
+	s.appendMu.Lock()
+	s.appendMu.Lock() // want `locks\.Session\.appendMu acquired while already held \(self-deadlock\)`
+	s.appendMu.Unlock()
+	s.appendMu.Unlock()
+}
+
+// The window-class idiom: holding several shard locks is fine when they
+// are taken in ascending index order.
+func lockWindowAscending(ws []*window) {
+	for i := 0; i < len(ws); i++ {
+		ws[i].mu.Lock()
+	}
+	for i := 0; i < len(ws); i++ {
+		ws[i].mu.Unlock()
+	}
+}
+
+func lockWindowDescending(ws []*window) {
+	for i := len(ws) - 1; i >= 0; i-- {
+		ws[i].mu.Lock() // want `window/shard lock locks\.window\.mu acquired out of ascending order`
+	}
+	for i := 0; i < len(ws); i++ {
+		ws[i].mu.Unlock()
+	}
+}
+
+func lockWindowFromMap(ws map[int]*window) {
+	for _, w := range ws {
+		w.mu.Lock() // want `window/shard lock locks\.window\.mu acquired while iterating a map`
+	}
+	for _, w := range ws {
+		w.mu.Unlock()
+	}
+}
+
+// Summaries: calling a function that acquires a lower-ranked lock while
+// holding a higher-ranked one is the same inversion.
+func lockAppend(s *Session) {
+	s.appendMu.Lock()
+	s.appendMu.Unlock()
+}
+
+func callWhileHoldingStore(s *Session, st *Store) {
+	st.mu.Lock()
+	lockAppend(s) // want `call to lockAppend acquires locks\.Session\.appendMu \(rank 20\) while locks\.Store\.mu \(rank 40\) is held`
+	st.mu.Unlock()
+}
+
+// Calling into a higher-ranked acquisition is the documented direction.
+func lockStore(st *Store) {
+	st.mu.Lock()
+	st.mu.Unlock()
+}
+
+func callInOrder(s *Session, st *Store) {
+	s.appendMu.Lock()
+	lockStore(st)
+	s.appendMu.Unlock()
+}
+
+// Untabled locks never participate.
+func unknownLocks(o *other, st *Store) {
+	st.mu.Lock()
+	o.mu.Lock()
+	o.mu.Unlock()
+	st.mu.Unlock()
+}

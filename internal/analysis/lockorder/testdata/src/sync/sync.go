@@ -1,0 +1,15 @@
+// Package sync is a fixture stub; lockorder keys on method names and
+// the receiver field's declaring type.
+package sync
+
+type Mutex struct{ held bool }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+type RWMutex struct{ held bool }
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}

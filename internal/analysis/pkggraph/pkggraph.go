@@ -1,0 +1,114 @@
+// Package pkggraph builds the intra-package static call graph the
+// turbo-vet analyzers reason over. Cross-package edges are deliberately
+// out of scope: each analyzer encodes the behaviour of foreign callees it
+// cares about (payment APIs, Paid-carrying results, lock summaries) as
+// typed facts about the call site instead of following the call.
+package pkggraph
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// Graph is the static call graph of one package.
+type Graph struct {
+	pass *analysis.Pass
+	// Decls maps every declared function or method to its syntax.
+	Decls map[*types.Func]*ast.FuncDecl
+	// calls holds same-package static call edges.
+	calls map[*types.Func][]*types.Func
+}
+
+// New builds the package's call graph.
+func New(pass *analysis.Pass) *Graph {
+	g := &Graph{
+		pass:  pass,
+		Decls: make(map[*types.Func]*ast.FuncDecl),
+		calls: make(map[*types.Func][]*types.Func),
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.Decls[fn] = fd
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := typeutil.Callee(pass.TypesInfo, call)
+				if cf, ok := callee.(*types.Func); ok && cf.Pkg() == pass.Pkg {
+					g.calls[fn] = append(g.calls[fn], cf)
+				}
+				return true
+			})
+		}
+	}
+	return g
+}
+
+// Callee resolves a call to its static callee, or nil (builtins, dynamic
+// calls through function values).
+func (g *Graph) Callee(call *ast.CallExpr) *types.Func {
+	fn, _ := typeutil.Callee(g.pass.TypesInfo, call).(*types.Func)
+	return fn
+}
+
+// Satisfies propagates a per-function property backwards over calls: the
+// result holds f whenever direct[f] or some same-package function
+// transitively called from f is direct. Used for "an admission result is
+// reachable from this function".
+func (g *Graph) Satisfies(direct map[*types.Func]bool) map[*types.Func]bool {
+	out := make(map[*types.Func]bool, len(direct))
+	for fn, v := range direct {
+		if v {
+			out[fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn := range g.Decls {
+			if out[fn] {
+				continue
+			}
+			for _, callee := range g.calls[fn] {
+				if out[callee] {
+					out[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ReachableFrom returns every declared function transitively called from
+// the roots, including the roots themselves. Used for "code that runs
+// inside a snapshot capture".
+func (g *Graph) ReachableFrom(roots []*types.Func) map[*types.Func]bool {
+	out := make(map[*types.Func]bool)
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if fn == nil || out[fn] {
+			return
+		}
+		out[fn] = true
+		for _, callee := range g.calls[fn] {
+			visit(callee)
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return out
+}

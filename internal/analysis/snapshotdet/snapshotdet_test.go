@@ -1,0 +1,12 @@
+package snapshotdet_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistestlite"
+	"repro/internal/analysis/snapshotdet"
+)
+
+func TestSnapshotdet(t *testing.T) {
+	analysistestlite.Run(t, snapshotdet.Analyzer, "snap")
+}

@@ -1,0 +1,115 @@
+// Package snap exercises snapshotdet: Snapshotter-shaped types whose
+// payload construction ranges over maps.
+package snap
+
+import "sort"
+
+// raw encodes in map-iteration order: flagged.
+type raw struct{ m map[string]int }
+
+func (r *raw) SnapshotSection() string { return "raw" }
+
+func (r *raw) SnapshotPayload() []byte {
+	var out []byte
+	for k := range r.m { // want `map iteration feeds a snapshot payload without an intervening sort`
+		out = append(out, k...)
+	}
+	return out
+}
+
+func (r *raw) RestorePayload(b []byte) error { return nil }
+
+// ordered collects keys, sorts, then encodes: silent.
+type ordered struct{ m map[string]int }
+
+func (o *ordered) SnapshotSection() string { return "ordered" }
+
+func (o *ordered) SnapshotPayload() []byte {
+	var keys []string
+	for k := range o.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []byte
+	for _, k := range keys {
+		out = append(out, k...)
+	}
+	return out
+}
+
+func (o *ordered) RestorePayload(b []byte) error { return nil }
+
+// nested reaches the unsorted range through a plain helper function:
+// still in scope, still flagged.
+type nested struct{ m map[string]int }
+
+func (n *nested) SnapshotSection() string { return "nested" }
+
+func (n *nested) SnapshotPayload() []byte { return dumpRaw(n.m) }
+
+func (n *nested) RestorePayload(b []byte) error { return nil }
+
+func dumpRaw(m map[string]int) []byte {
+	var out []byte
+	for k := range m { // want `map iteration feeds a snapshot payload without an intervening sort`
+		out = append(out, k...)
+	}
+	return out
+}
+
+// copier only fills another map inside the range — order-independent,
+// silent; the encode happens over sorted keys in a helper.
+type copier struct{ m map[string]int }
+
+func (c *copier) SnapshotSection() string { return "copier" }
+
+func (c *copier) SnapshotPayload() []byte {
+	tmp := make(map[string]int, len(c.m))
+	for k, v := range c.m {
+		tmp[k] = v
+	}
+	return encodeSorted(tmp)
+}
+
+func (c *copier) RestorePayload(b []byte) error { return nil }
+
+func encodeSorted(m map[string]int) []byte {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []byte
+	for _, k := range keys {
+		out = append(out, k...)
+	}
+	return out
+}
+
+// annotated carries the escape hatch: silent.
+type annotated struct{ m map[string]int }
+
+func (a *annotated) SnapshotSection() string { return "annotated" }
+
+func (a *annotated) SnapshotPayload() []byte {
+	var out []byte
+	//turbo:allow(snapshotdet) single-key map by construction
+	for k := range a.m {
+		out = append(out, k...)
+	}
+	return out
+}
+
+func (a *annotated) RestorePayload(b []byte) error { return nil }
+
+// plain is not Snapshotter-shaped: out of scope, silent even though it
+// encodes in map order.
+type plain struct{ m map[string]int }
+
+func (p *plain) Dump() []byte {
+	var out []byte
+	for k := range p.m {
+		out = append(out, k...)
+	}
+	return out
+}

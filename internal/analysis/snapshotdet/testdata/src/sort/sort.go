@@ -1,0 +1,6 @@
+// Package sort is a fixture stub; snapshotdet only keys on the package
+// name of the callee.
+package sort
+
+func Strings(s []string)                    {}
+func Slice(x any, less func(i, j int) bool) {}

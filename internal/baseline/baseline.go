@@ -25,7 +25,9 @@ import (
 // across systems.
 func backendOrPrivate(be store.Backend) store.Backend {
 	if be == nil {
-		return kvstore.New()
+		// Baselines own a private, unshared store by design; no pluggable
+		// backend can be injected here without changing baseline semantics.
+		return kvstore.New() //turbo:allow(backendonly)
 	}
 	return be
 }

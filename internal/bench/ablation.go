@@ -171,14 +171,17 @@ func RDPvsPure(sc Scale) (Result, error) {
 
 	pure := accountant.NewFilter(env.EpsG)
 	purePayments := 0
-	for pure.Pay(eps) == nil {
+	// Private measurement accountant: counts how many payments fit, spends
+	// no shared budget.
+	for pure.Pay(eps) == nil { //turbo:allow(chargepath)
 		purePayments++
 	}
 
 	rdp := accountant.NewRDPFilterForDP(accountant.DefaultOrders, env.EpsG, 1e-6)
 	cost := accountant.LaplaceCurve(accountant.DefaultOrders, eps)
 	rdpPayments := 0
-	for rdp.Pay(cost) == nil {
+	// Same: capacity measurement against a private RDP filter.
+	for rdp.Pay(cost) == nil { //turbo:allow(chargepath)
 		rdpPayments++
 		if rdpPayments > 100_000_000 {
 			break

@@ -283,7 +283,9 @@ func NewSession(cfg Config, ds *dataset.Dataset) (*Session, error) {
 	rng := noise.NewRng(cfg.Seed)
 	be := cfg.Backend
 	if be == nil {
-		be = kvstore.New()
+		// Documented default when Config.Backend is unset; every other
+		// consumer must take the injected store.Backend.
+		be = kvstore.New() //turbo:allow(backendonly)
 	}
 	// Stripe the session-exact namespace by executor shard in partitioned
 	// modes, so per-shard executors probe disjoint namespaces (and
