@@ -58,10 +58,13 @@ func main() {
 		shards      = flag.Int("shards", runtime.NumCPU(), "concurrent executor shards (partitioned modes)")
 		statePath   = flag.String("state", "", "snapshot file: restored at boot if present, written atomically on SIGINT/SIGTERM")
 		backlog     = flag.Int("append-backlog", 0, "bound on queued /append batches; overflow sheds with 503 (0 = unbounded)")
-		storeKind   = flag.String("store", "map", "storage backend: map (unbounded striped map) | bounded (memory-bounded segmented LRU, privacy-cost-aware eviction)")
+		storeKind   = flag.String("store", "map", "storage backend: map (unbounded striped map) | bounded (memory-bounded segmented LRU, privacy-cost-aware eviction) | file (persistent append-only log, crash-recovering)")
+		storePath   = flag.String("store-path", "", "directory of the persistent log for -store=file (required; shared by replicas)")
 		storeMaxMB  = flag.Int("store-max-mb", 64, "resident cache-store bound in MiB for -store=bounded (0 = bytes unbounded)")
 		storeMaxEnt = flag.Int("store-max-entries", 0, "resident cache-store entry bound for -store=bounded (0 = entries unbounded)")
+		replicaID   = flag.String("replica-id", "", "run as one replica of a fleet sharing -store (unique per replica; needs -mode=partitioned and an explicit -store)")
 		ckptEvery   = flag.Duration("checkpoint-interval", 0, "background checkpoint period for -state (0 disables; failures log and retry next tick)")
+		kvCkptEvery = flag.Duration("kv-checkpoint-interval", 0, "background KV checkpoint period into the storage backend (0 disables); with -store=file this doubles as a durable replication heartbeat")
 		pprofAddr   = flag.String("pprof", "", "expose net/http/pprof on this separate address (e.g. 127.0.0.1:6060); empty disables")
 	)
 	flag.Parse()
@@ -105,6 +108,7 @@ func main() {
 		cfg.Gaussian = true
 		cfg.DeltaGlobal = *deltaG
 	}
+	var fileStore *store.File
 	switch *storeKind {
 	case "map":
 		// nil Backend: the session defaults to the unbounded striped map.
@@ -113,8 +117,24 @@ func main() {
 			MaxBytes:   *storeMaxMB << 20,
 			MaxEntries: *storeMaxEnt,
 		})
+	case "file":
+		if *storePath == "" {
+			log.Fatal("turbo-server: -store=file needs -store-path")
+		}
+		fileStore, err = store.NewFile(store.FileConfig{Dir: *storePath})
+		if err != nil {
+			log.Fatalf("turbo-server: open file store: %v", err)
+		}
+		defer fileStore.Close()
+		cfg.Backend = fileStore
 	default:
-		log.Fatalf("turbo-server: unknown store %q (map|bounded)", *storeKind)
+		log.Fatalf("turbo-server: unknown store %q (map|bounded|file)", *storeKind)
+	}
+	if *replicaID != "" {
+		if cfg.Backend == nil {
+			log.Fatal("turbo-server: -replica-id needs an explicit -store the fleet shares (file or bounded)")
+		}
+		cfg.ReplicaID = *replicaID
 	}
 	sess, err := core.NewSession(cfg, ds)
 	if err != nil {
@@ -178,6 +198,43 @@ func main() {
 		close(ckptDone)
 	}
 
+	// KV checkpoint heartbeat: periodically checkpoint the session into
+	// the storage backend itself, one key per section with unchanged
+	// sections skipped by the manifest's content hashes. On a durable
+	// backend (-store=file) each tick both persists warm state and
+	// advances the manifest's generation — a replication heartbeat peers
+	// sharing the store can observe. Namespaced per replica so fleet
+	// members never clobber each other's sections.
+	kvCkptStop := make(chan struct{})
+	kvCkptDone := make(chan struct{})
+	if *kvCkptEvery > 0 {
+		kvNS := "ckpt"
+		if *replicaID != "" {
+			kvNS = "ckpt/" + *replicaID
+		}
+		go func() {
+			defer close(kvCkptDone)
+			ticker := time.NewTicker(*kvCkptEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					written, skipped, err := sess.SaveStateKV(sess.Store(), kvNS)
+					if err != nil {
+						log.Printf("turbo-server: kv checkpoint: %v (will retry)", err)
+						continue
+					}
+					log.Printf("turbo-server: kv checkpoint %s: %d sections written, %d unchanged",
+						kvNS, written, skipped)
+				case <-kvCkptStop:
+					return
+				}
+			}
+		}()
+	} else {
+		close(kvCkptDone)
+	}
+
 	// Profiling rides a separate listener (usually loopback-only) with an
 	// explicit mux, so the analyst-facing address never exposes pprof and
 	// the aggregate-only interface stays exactly the documented endpoints.
@@ -199,6 +256,9 @@ func main() {
 	guarantee := fmt.Sprintf("ε_G=%g", *epsG)
 	if *gaussian {
 		guarantee = fmt.Sprintf("(ε_G=%g, δ_G=%g) via Rényi admission", *epsG, *deltaG)
+	}
+	if *replicaID != "" {
+		guarantee += fmt.Sprintf(", replica %q over shared %s store", *replicaID, *storeKind)
 	}
 	fmt.Printf("turbo-server: %s over %s (%d rows, %d partitions) with (α=%g, β=%g), %s, %d shards\n",
 		m, ds.Domain(), ds.NRowsAll(), ds.Partitions(), *alpha, *beta, guarantee, *shards)
@@ -240,10 +300,12 @@ func main() {
 	// handlers (a /query paying budget, a /snapshot holding the quiesce)
 	// would race them.
 	<-shutdownDone
-	// Stop the periodic checkpointer before the final one so the two
+	// Stop the periodic checkpointers before the final one so they
 	// never interleave their SaveState captures.
 	close(ckptStop)
 	<-ckptDone
+	close(kvCkptStop)
+	<-kvCkptDone
 	srv.Close() // drain the ingestion worker: pending epochs apply before the snapshot
 	if *statePath != "" {
 		if err := persist.WriteFileAtomic(*statePath, func(w io.Writer) error {

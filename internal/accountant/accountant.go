@@ -95,6 +95,9 @@ type Block struct {
 	mu     sync.Mutex
 	global float64
 	spent  []float64
+	// shared, when non-nil, runs PayRange through the cross-replica
+	// owner-lease protocol (see shared.go).
+	shared *sharing
 }
 
 // NewBlock creates a block accountant with the given number of initial
@@ -148,6 +151,9 @@ func (b *Block) PayRange(start, end int, eps float64) error {
 	defer b.mu.Unlock()
 	if start < 0 || end >= len(b.spent) || start > end {
 		return fmt.Errorf("accountant: bad partition range [%d,%d] of %d", start, end, len(b.spent))
+	}
+	if b.shared != nil {
+		return b.payRangeSharedLocked(start, end, eps)
 	}
 	for i := start; i <= end; i++ {
 		if b.spent[i]+eps > b.global+1e-12 {

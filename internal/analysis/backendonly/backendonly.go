@@ -15,6 +15,14 @@
 //     snapshots): entry bytes must go through store.EncodeValue /
 //     store.DecodeValue, or the two backends stop storing identical bytes
 //     and CompareDelete's byte-equality guard silently breaks.
+//
+//  3. The cross-replica lease primitives (SetNXLease, CompareSwap) are
+//     confined to the protocol-owning packages — store/kvstore
+//     (implementations), accountant (budget-ownership leases), core
+//     (flight-leader leases). An ad-hoc lease elsewhere can wedge or
+//     overwrite a protocol's records (a stolen "!turbo/budget" owner key
+//     un-serializes a charge); consumers replicate through
+//     accountant.Block.Share and core.Config.ReplicaID instead.
 package backendonly
 
 import (
@@ -69,9 +77,27 @@ func isCacheEntry(t types.Type) bool {
 	return n.Obj().Name() == "Entry" && n.Obj().Pkg() != nil && n.Obj().Pkg().Name() == "cache"
 }
 
+// leasePrimitive reports whether callee is a cross-replica coordination
+// primitive of a storage type — the interface method or a concrete
+// backend's implementation.
+func leasePrimitive(callee *types.Func) bool {
+	switch callee.Name() {
+	case "SetNXLease", "CompareSwap":
+	default:
+		return false
+	}
+	switch callee.Pkg().Name() {
+	case "store", "kvstore", "accountant":
+		return true
+	}
+	return false
+}
+
 func run(pass *analysis.Pass) (interface{}, error) {
 	inStoreLayer := turboallow.PkgHasSegment(pass, "store") || turboallow.PkgHasSegment(pass, "kvstore")
 	inCodecLayer := inStoreLayer || turboallow.PkgHasSegment(pass, "cache")
+	inProtocolLayer := inStoreLayer ||
+		turboallow.PkgHasSegment(pass, "accountant") || turboallow.PkgHasSegment(pass, "core")
 	if inCodecLayer && inStoreLayer {
 		return nil, nil // the storage packages own both seams
 	}
@@ -102,6 +128,12 @@ func run(pass *analysis.Pass) (interface{}, error) {
 						"raw gob %s of cache.Entry: entry bytes must round-trip through store.EncodeValue/DecodeValue (fixed-layout codec)",
 						callee.Name())
 				}
+			}
+		case !inProtocolLayer && leasePrimitive(callee):
+			if !allow.Allowed(call.Pos(), name) {
+				pass.Reportf(call.Pos(),
+					"cross-replica lease primitive %s outside the protocol-owning packages: leases carry the budget-ownership and flight protocols — replicate through accountant.Block.Share / core.Config.ReplicaID, or annotate //turbo:allow(backendonly)",
+					callee.Name())
 			}
 		}
 	})

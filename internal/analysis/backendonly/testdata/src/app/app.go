@@ -38,3 +38,16 @@ func encodeEntryAllowed(enc *gob.Encoder, e cache.Entry) error {
 func encodeOther(enc *gob.Encoder, counts map[string]int) error {
 	return enc.Encode(counts)
 }
+
+func takeLease(kv *kvstore.Store) {
+	_, _ = kv.SetNXLease("!turbo/budget", "owner/0", "me", 0) // want `cross-replica lease primitive SetNXLease outside the protocol-owning packages`
+}
+
+func swapSpend(kv *kvstore.Store) {
+	_, _ = kv.CompareSwap("!turbo/budget", "spent/0", 0.1, 0.2) // want `cross-replica lease primitive CompareSwap outside the protocol-owning packages`
+}
+
+func leaseAllowed(kv *kvstore.Store) {
+	//turbo:allow(backendonly) harness planting a stale lease to test takeover
+	_, _ = kv.SetNXLease("!turbo/flight", "k", "dead", 0)
+}

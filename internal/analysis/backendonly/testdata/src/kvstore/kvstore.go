@@ -5,3 +5,8 @@ type Store struct{}
 
 func New() *Store             { return &Store{} }
 func NewSharded(n int) *Store { return &Store{} }
+
+func (s *Store) SetNXLease(ns, k string, v any, ttl int64) (bool, error) { return true, nil }
+func (s *Store) CompareSwap(ns, k string, expect, next any) (bool, error) {
+	return true, nil
+}

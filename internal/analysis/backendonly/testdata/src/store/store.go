@@ -7,3 +7,8 @@ import "kvstore"
 type Backend struct{ kv *kvstore.Store }
 
 func NewBackend() *Backend { return &Backend{kv: kvstore.New()} }
+
+// The storage layer implements the lease primitives themselves: silent.
+func (b *Backend) SetNXLease(ns, k string, v any, ttl int64) (bool, error) {
+	return b.kv.SetNXLease(ns, k, v, ttl)
+}

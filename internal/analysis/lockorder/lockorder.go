@@ -15,7 +15,15 @@
 //	core.Session.persistMu < stream.Ingestor.mu < core.Session.appendMu
 //	  < { core.Session.singleMu , tree.stateShard.mu (ascending) }
 //	  < tree.Tree.shardMu < cache.exactStripe.mu < tree.Tree.statsMu
-//	  < { kvstore.stripe.mu , store.boundedStripe.mu }
+//	  < accountant.Block.mu
+//	  < { kvstore.stripe.mu , store.boundedStripe.mu , store.File.mu }
+//	  < store.File.statsMu
+//
+// accountant.Block.mu ranks below the backend stripe locks because the
+// shared-budget protocol holds it across lease and spend-record writes
+// into the shared store (accountant/shared.go); store.File.statsMu ranks
+// below store.File.mu because compaction bumps its counter while holding
+// the log mutex.
 //
 // Locks not in the table are ignored. Escape hatch:
 // //turbo:allow(lockorder).
@@ -55,8 +63,11 @@ var Ranks = map[string]int{
 	"tree.Tree.shardMu":      40,
 	"cache.exactStripe.mu":   45,
 	"tree.Tree.statsMu":      50,
+	"accountant.Block.mu":    55,
 	"kvstore.stripe.mu":      60,
 	"store.boundedStripe.mu": 60,
+	"store.File.mu":          60,
+	"store.File.statsMu":     65,
 }
 
 // WindowClass marks the lock families whose members share a rank and may

@@ -46,6 +46,7 @@ var Experiments = []Experiment{
 	{"checkpoint", "durability: snapshot/restore latency and post-restore cache hit-rate vs cold start (internal/persist)", Checkpoint},
 	{"cache-pressure", "storage: bounded (privacy-cost-aware SLRU) vs unbounded backend hit-rate and resident bytes at 2x-cap working set", CachePressure},
 	{"misspath", "perf: hit / exact-miss / tree-miss throughput and allocs/op, vectorized engine vs support-walk baseline", MissPath},
+	{"replicas", "distributed serving: N-replica fleet over one shared persistent store, cross-replica single-flight pay-once vs unreplicated", Replicas},
 }
 
 // Lookup finds an experiment by name.

@@ -76,7 +76,7 @@ func TestBackendEntryCodecPath(t *testing.T) {
 		if err := b.SetWeighted("c", "k", e, e.Eps); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		raw := b.ExportNamespace("c")["k"]
+		raw := b.ExportNamespace("c")["k"].Val
 		if len(raw) != entryWireLen || raw[0] != entryTag {
 			t.Fatalf("%s: stored bytes %x are not the codec format", name, raw)
 		}

@@ -288,7 +288,7 @@ func (c *Exact) SnapshotPayload() ([]byte, error) {
 		sort.Strings(ss.Keys)
 		ss.Vals = make([][]byte, len(ss.Keys))
 		for j, k := range ss.Keys {
-			ss.Vals[j] = data[k]
+			ss.Vals[j] = data[k].Val
 		}
 		st.Stripes = append(st.Stripes, ss)
 	}

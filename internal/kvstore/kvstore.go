@@ -3,11 +3,11 @@
 // exact-cache entries, PMW histograms, SV state, and heuristic thresholds.
 //
 // It provides namespaced string keys with arbitrary gob-encoded values,
-// optimistic versioning, and per-namespace export/import — the subset of
-// Redis semantics Turbo relies on. The paper notes Redis "can be replaced
-// with a persistent, consistent and durable storage service"; the
-// internal/persist snapshot envelope plays that role, each exact cache
-// persisting its namespace as one section.
+// optimistic versioning, lease/CAS coordination primitives, and
+// per-namespace export/import — the subset of Redis semantics Turbo relies
+// on. The paper notes Redis "can be replaced with a persistent, consistent
+// and durable storage service"; store.File plays that role for durable
+// deployments, and the internal/persist snapshot envelope for checkpoints.
 //
 // Store is the default, unbounded implementation of store.Backend (the
 // pluggable storage contract every caching layer programs against); the
@@ -25,6 +25,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/store"
 )
@@ -34,10 +35,22 @@ import (
 // while costing only a few empty maps for small stores.
 const numStripes = 16
 
+// entry is one stored value plus the metadata the Backend contract
+// round-trips: the eviction weight (ignored here — the unbounded store
+// never evicts — but preserved for export/migration), the guard pin, and
+// the lease deadline/ttl (unix nanos; deadline 0 = no expiry).
+type entry struct {
+	val      []byte
+	weight   float64
+	pinned   bool
+	deadline int64
+	ttl      int64
+}
+
 // stripe is one lock-protected slice of the keyspace.
 type stripe struct {
 	mu   sync.RWMutex
-	data map[string][]byte
+	data map[string]*entry
 }
 
 // Store is an in-memory namespaced KV store, safe for concurrent use.
@@ -46,7 +59,11 @@ type Store struct {
 	seed    maphash.Seed
 	version atomic.Uint64
 
+	// nowNanos is the lease clock (unix nanos); tests substitute a fake.
+	nowNanos func() int64
+
 	hits, misses, sets, deletes atomic.Int64
+	decodeErrors                atomic.Int64
 }
 
 // compile-time check: Store is a store.Backend.
@@ -54,9 +71,12 @@ var _ store.Backend = (*Store)(nil)
 
 // New returns an empty store.
 func New() *Store {
-	s := &Store{seed: maphash.MakeSeed()}
+	s := &Store{
+		seed:     maphash.MakeSeed(),
+		nowNanos: func() int64 { return time.Now().UnixNano() },
+	}
 	for i := range s.stripes {
-		s.stripes[i].data = make(map[string][]byte)
+		s.stripes[i].data = make(map[string]*entry)
 	}
 	return s
 }
@@ -70,9 +90,24 @@ func (s *Store) stripeFor(full string) *stripe {
 	return &s.stripes[h&(numStripes-1)]
 }
 
+// expired reports whether e carries a lease whose deadline passed. Expired
+// entries count as absent everywhere and are reclaimed lazily by the
+// access that observes them.
+func (s *Store) expired(e *entry) bool {
+	return e.deadline > 0 && s.nowNanos() > e.deadline
+}
+
 // Set stores value under ns:k, encoded through the value's FastEncoder
 // when implemented (the hot-entry fixed-layout codec) and gob otherwise.
+// A plain write over a guard or lease makes it a plain entry again.
 func (s *Store) Set(ns, k string, value any) error {
+	return s.SetWeighted(ns, k, value, 0)
+}
+
+// SetWeighted stores value under ns:k with an eviction weight. The
+// unbounded store never evicts, but the weight is kept so exports carry it
+// into memory-bounded backends.
+func (s *Store) SetWeighted(ns, k string, value any, weight float64) error {
 	raw, err := store.EncodeValue(ns, k, value)
 	if err != nil {
 		return err
@@ -80,34 +115,71 @@ func (s *Store) Set(ns, k string, value any) error {
 	full := key(ns, k)
 	st := s.stripeFor(full)
 	st.mu.Lock()
-	st.data[full] = raw
+	st.data[full] = &entry{val: raw, weight: weight}
 	st.mu.Unlock()
 	s.sets.Add(1)
 	s.version.Add(1)
 	return nil
 }
 
-// SetWeighted stores value under ns:k. The unbounded store never evicts,
-// so the eviction weight is ignored.
-func (s *Store) SetWeighted(ns, k string, value any, _ float64) error {
-	return s.Set(ns, k, value)
+// SetNX stores value under ns:k only if the key is absent, reporting
+// whether it stored. The key is marked as a pinned guard (metadata the
+// unbounded store only round-trips — nothing here evicts anyway).
+func (s *Store) SetNX(ns, k string, value any) (bool, error) {
+	return s.SetNXLease(ns, k, value, 0)
 }
 
-// SetNX stores value under ns:k only if the key is absent, reporting
-// whether it stored.
-func (s *Store) SetNX(ns, k string, value any) (bool, error) {
+// SetNXLease stores value under ns:k only if the key is absent or its
+// previous lease expired, leasing it for ttl (ttl <= 0 = permanent guard).
+func (s *Store) SetNXLease(ns, k string, value any, ttl time.Duration) (bool, error) {
 	raw, err := store.EncodeValue(ns, k, value)
 	if err != nil {
 		return false, err
 	}
 	full := key(ns, k)
 	st := s.stripeFor(full)
+	var deadline, ttlN int64
+	if ttl > 0 {
+		ttlN = int64(ttl)
+		deadline = s.nowNanos() + ttlN
+	}
 	st.mu.Lock()
-	if _, ok := st.data[full]; ok {
+	if e, ok := st.data[full]; ok && !s.expired(e) {
 		st.mu.Unlock()
 		return false, nil
 	}
-	st.data[full] = raw
+	st.data[full] = &entry{val: raw, pinned: true, deadline: deadline, ttl: ttlN}
+	st.mu.Unlock()
+	s.sets.Add(1)
+	s.version.Add(1)
+	return true, nil
+}
+
+// CompareSwap replaces the value under ns:k only if it is present,
+// unexpired, and stores exactly the encoding of expect. Weight and pin
+// survive, and a leased key's deadline is renewed by its original ttl —
+// CompareSwap(ns, k, mine, mine) is lease renewal.
+func (s *Store) CompareSwap(ns, k string, expect, next any) (bool, error) {
+	want, err := store.EncodeValue(ns, k, expect)
+	if err != nil {
+		return false, err
+	}
+	raw, err := store.EncodeValue(ns, k, next)
+	if err != nil {
+		return false, err
+	}
+	full := key(ns, k)
+	st := s.stripeFor(full)
+	st.mu.Lock()
+	e, ok := st.data[full]
+	if !ok || s.expired(e) || !bytes.Equal(e.val, want) {
+		st.mu.Unlock()
+		return false, nil
+	}
+	e.val = raw
+	if e.ttl > 0 {
+		e.deadline = s.nowNanos() + e.ttl
+	}
 	st.mu.Unlock()
 	s.sets.Add(1)
 	s.version.Add(1)
@@ -115,20 +187,47 @@ func (s *Store) SetNX(ns, k string, value any) (bool, error) {
 }
 
 // Get loads ns:k into out (a pointer), reporting whether the key existed.
+// An expired lease counts as absent and is reclaimed on the way out. Bytes
+// that fail to decode are a poisoned entry, not a hit: the entry is
+// deleted (byte-guarded against a concurrent fresh Set), the decode-error
+// counter bumps, and the caller sees a miss plus the error.
 func (s *Store) Get(ns, k string, out any) (bool, error) {
 	full := key(ns, k)
 	st := s.stripeFor(full)
 	st.mu.RLock()
-	raw, ok := st.data[full]
+	e, ok := st.data[full]
+	var raw []byte
+	if ok {
+		if s.expired(e) {
+			ok = false
+		} else {
+			raw = e.val
+		}
+	}
 	st.mu.RUnlock()
 	if !ok {
+		if e != nil {
+			st.mu.Lock()
+			if e2, ok2 := st.data[full]; ok2 && e2 == e {
+				delete(st.data, full)
+			}
+			st.mu.Unlock()
+		}
 		s.misses.Add(1)
 		return false, nil
 	}
-	s.hits.Add(1)
 	if err := store.DecodeValue(ns, k, raw, out); err != nil {
-		return true, err
+		st.mu.Lock()
+		if e2, ok2 := st.data[full]; ok2 && bytes.Equal(e2.val, raw) {
+			delete(st.data, full)
+		}
+		st.mu.Unlock()
+		s.decodeErrors.Add(1)
+		s.misses.Add(1)
+		s.version.Add(1)
+		return false, err
 	}
+	s.hits.Add(1)
 	return true, nil
 }
 
@@ -152,7 +251,8 @@ func (s *Store) Delete(ns, k string) bool {
 // CompareDelete removes ns:k only if its stored bytes equal the encoding
 // of expect, reporting whether a delete happened. It is the guarded
 // invalidation primitive: a concurrent Set of a fresh value changes the
-// bytes, so a stale-entry eviction can never erase it.
+// bytes, so a stale-entry eviction can never erase it. An expired lease
+// counts as absent — its holder no longer owns the key.
 func (s *Store) CompareDelete(ns, k string, expect any) bool {
 	want, err := store.EncodeValue(ns, k, expect)
 	if err != nil {
@@ -161,8 +261,8 @@ func (s *Store) CompareDelete(ns, k string, expect any) bool {
 	full := key(ns, k)
 	st := s.stripeFor(full)
 	st.mu.Lock()
-	raw, ok := st.data[full]
-	if ok && bytes.Equal(raw, want) {
+	e, ok := st.data[full]
+	if ok && !s.expired(e) && bytes.Equal(e.val, want) {
 		delete(st.data, full)
 	} else {
 		ok = false
@@ -175,15 +275,16 @@ func (s *Store) CompareDelete(ns, k string, expect any) bool {
 	return ok
 }
 
-// Keys returns the sorted keys of a namespace (without the prefix).
+// Keys returns the sorted keys of a namespace (without the prefix),
+// skipping expired leases.
 func (s *Store) Keys(ns string) []string {
 	prefix := ns + ":"
 	var out []string
 	for i := range s.stripes {
 		st := &s.stripes[i]
 		st.mu.RLock()
-		for k := range st.data {
-			if strings.HasPrefix(k, prefix) {
+		for k, e := range st.data {
+			if strings.HasPrefix(k, prefix) && !s.expired(e) {
 				out = append(out, strings.TrimPrefix(k, prefix))
 			}
 		}
@@ -215,26 +316,32 @@ func (s *Store) MemoryBytes() int {
 	for i := range s.stripes {
 		st := &s.stripes[i]
 		st.mu.RLock()
-		for k, v := range st.data {
-			total += len(k) + len(v)
+		for k, e := range st.data {
+			total += len(k) + len(e.val)
 		}
 		st.mu.RUnlock()
 	}
 	return total
 }
 
-// ExportNamespace returns the raw stored bytes of every key in ns (keys
-// without the prefix), for per-namespace persistence: each exact cache
-// snapshots exactly the slice of the store it owns.
-func (s *Store) ExportNamespace(ns string) map[string][]byte {
+// ExportNamespace returns the stored bytes and metadata of every key in
+// ns (keys without the prefix), for per-namespace persistence: each exact
+// cache snapshots exactly the slice of the store it owns. Unexpired
+// leases are live coordination state and are skipped.
+func (s *Store) ExportNamespace(ns string) map[string]store.Exported {
 	prefix := ns + ":"
-	out := make(map[string][]byte)
+	out := make(map[string]store.Exported)
 	for i := range s.stripes {
 		st := &s.stripes[i]
 		st.mu.RLock()
-		for k, v := range st.data {
-			if strings.HasPrefix(k, prefix) {
-				out[strings.TrimPrefix(k, prefix)] = v
+		for k, e := range st.data {
+			if !strings.HasPrefix(k, prefix) || e.deadline > 0 {
+				continue
+			}
+			out[strings.TrimPrefix(k, prefix)] = store.Exported{
+				Val:    append([]byte(nil), e.val...),
+				Weight: e.weight,
+				Pinned: e.pinned,
 			}
 		}
 		st.mu.RUnlock()
@@ -243,8 +350,10 @@ func (s *Store) ExportNamespace(ns string) map[string][]byte {
 }
 
 // ImportNamespace replaces the contents of ns with previously-exported
-// raw entries, leaving every other namespace untouched.
-func (s *Store) ImportNamespace(ns string, data map[string][]byte) {
+// entries, leaving every other namespace untouched. Weights and pins
+// round-trip so a later migration into a memory-bounded backend keeps
+// its eviction priority.
+func (s *Store) ImportNamespace(ns string, data map[string]store.Exported) {
 	prefix := ns + ":"
 	for i := range s.stripes {
 		st := &s.stripes[i]
@@ -260,7 +369,11 @@ func (s *Store) ImportNamespace(ns string, data map[string][]byte) {
 		full := prefix + k
 		st := s.stripeFor(full)
 		st.mu.Lock()
-		st.data[full] = append([]byte(nil), v...)
+		st.data[full] = &entry{
+			val:    append([]byte(nil), v.Val...),
+			weight: v.Weight,
+			pinned: v.Pinned,
+		}
 		st.mu.Unlock()
 	}
 	s.version.Add(1)
@@ -270,12 +383,13 @@ func (s *Store) ImportNamespace(ns string, data map[string][]byte) {
 // The striped map never evicts and has no caps, so those fields are zero.
 func (s *Store) Stats() store.Stats {
 	return store.Stats{
-		Backend: "striped-map",
-		Hits:    s.hits.Load(),
-		Misses:  s.misses.Load(),
-		Sets:    s.sets.Load(),
-		Deletes: s.deletes.Load(),
-		Entries: s.Len(),
-		Bytes:   s.MemoryBytes(),
+		Backend:      "striped-map",
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Sets:         s.sets.Load(),
+		Deletes:      s.deletes.Load(),
+		DecodeErrors: s.decodeErrors.Load(),
+		Entries:      s.Len(),
+		Bytes:        s.MemoryBytes(),
 	}
 }

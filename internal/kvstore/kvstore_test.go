@@ -138,13 +138,30 @@ func TestExportImportNamespace(t *testing.T) {
 	}
 }
 
+// TestDecodeTypeMismatch pins the poison-entry contract: bytes that fail
+// to decode are a miss plus an error, the corrupt entry is deleted (so
+// the key is re-fillable instead of wedged), and the decode-error counter
+// records the event.
 func TestDecodeTypeMismatch(t *testing.T) {
 	s := New()
 	_ = s.Set("ns", "k", "a string")
 	var out int
 	ok, err := s.Get("ns", "k", &out)
-	if !ok || err == nil {
+	if ok || err == nil {
 		t.Fatalf("type mismatch: ok=%v err=%v", ok, err)
+	}
+	var str string
+	if found, _ := s.Get("ns", "k", &str); found {
+		t.Fatal("poisoned entry left resident")
+	}
+	if got := s.Stats().DecodeErrors; got != 1 {
+		t.Fatalf("DecodeErrors = %d, want 1", got)
+	}
+	if err := s.Set("ns", "k", 7); err != nil {
+		t.Fatal(err)
+	}
+	if found, err := s.Get("ns", "k", &out); err != nil || !found || out != 7 {
+		t.Fatalf("key not re-fillable after poison delete: %v %v %d", found, err, out)
 	}
 }
 
@@ -184,6 +201,50 @@ func TestSetNX(t *testing.T) {
 	var out int
 	if ok, _ := s.Get("ns", "k", &out); !ok || out != 1 {
 		t.Fatalf("SetNX overwrote: %d", out)
+	}
+}
+
+// TestLeaseExpiryAndRenewal pins the lease semantics: a live lease
+// excludes rivals, CompareSwap renews by the original ttl, and an expired
+// lease counts as absent everywhere (Get, CompareSwap, CompareDelete,
+// SetNXLease takeover).
+func TestLeaseExpiryAndRenewal(t *testing.T) {
+	s := New()
+	var now int64
+	s.nowNanos = func() int64 { return now }
+
+	if ok, err := s.SetNXLease("ns", "lease", "holder-1", 100); !ok || err != nil {
+		t.Fatalf("SetNXLease = %v, %v", ok, err)
+	}
+	if ok, _ := s.SetNXLease("ns", "lease", "holder-2", 100); ok {
+		t.Fatal("rival stole a live lease")
+	}
+	now = 80
+	if ok, err := s.CompareSwap("ns", "lease", "holder-1", "holder-1"); !ok || err != nil {
+		t.Fatalf("renewal CompareSwap = %v, %v", ok, err)
+	}
+	now = 150
+	var holder string
+	if ok, _ := s.Get("ns", "lease", &holder); !ok || holder != "holder-1" {
+		t.Fatalf("renewed lease = %v %q", ok, holder)
+	}
+	now = 300
+	if ok, _ := s.Get("ns", "lease", &holder); ok {
+		t.Fatal("expired lease still readable")
+	}
+	if s.CompareDelete("ns", "lease", "holder-1") {
+		t.Fatal("CompareDelete released an expired lease")
+	}
+	if ok, err := s.SetNXLease("ns", "lease", "holder-2", 100); !ok || err != nil {
+		t.Fatalf("takeover after expiry = %v, %v", ok, err)
+	}
+	// A plain write over the lease makes it a plain entry again.
+	if err := s.Set("ns", "lease", "plain"); err != nil {
+		t.Fatal(err)
+	}
+	now = 10_000
+	if ok, _ := s.Get("ns", "lease", &holder); !ok || holder != "plain" {
+		t.Fatal("plain write inherited the old lease deadline")
 	}
 }
 

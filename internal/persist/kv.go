@@ -69,7 +69,12 @@ func (r *Registry) SaveKV(kv KV, ns string) (written, skipped int, err error) {
 func (r *Registry) CaptureKV(kv KV, ns string) (written, skipped int, err error) {
 	var prev kvManifest
 	if _, err := kv.Get(ns, kvManifestKey, &prev); err != nil {
-		return 0, 0, fmt.Errorf("persist: read previous manifest: %w", err)
+		// A previous manifest that exists but cannot be decoded (torn write,
+		// corrupt byte) must not wedge checkpointing forever: treat it as
+		// absent. Every section hash then misses, so the next checkpoint is
+		// a full rewrite (skipped=0) that lays down a fresh manifest —
+		// self-healing at the cost of one non-incremental save.
+		prev = kvManifest{}
 	}
 	next := kvManifest{Version: FormatVersion, Sums: make(map[string]string)}
 	for i := len(r.order) - 1; i >= 0; i-- {

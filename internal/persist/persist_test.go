@@ -426,6 +426,51 @@ func TestKVSnapshotIncremental(t *testing.T) {
 	}
 }
 
+// TestKVSnapshotTornManifestRecovers pins the self-healing contract: a
+// previous manifest that exists but cannot be decoded (torn write,
+// corrupt byte) is treated as absent, so the next checkpoint is a full
+// rewrite instead of an error — one corrupt manifest must not wedge every
+// future checkpoint.
+func TestKVSnapshotTornManifestRecovers(t *testing.T) {
+	a := &fakeLayer{name: "a", state: []byte("alpha")}
+	b := &fakeLayer{name: "b", state: []byte("beta")}
+	reg := NewRegistry()
+	reg.Register(a)
+	reg.Register(b)
+
+	kv := newMemKV()
+	if _, _, err := reg.SaveKV(kv, "snap"); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the stored manifest in place (a torn in-place overwrite).
+	kv.data["snap:!manifest"] = []byte("not a gob stream")
+
+	written, skipped, err := reg.SaveKV(kv, "snap")
+	if err != nil {
+		t.Fatalf("SaveKV over a torn manifest: %v", err)
+	}
+	if written != 2 || skipped != 0 {
+		t.Fatalf("recovery SaveKV wrote %d, skipped %d; want full rewrite 2, 0", written, skipped)
+	}
+
+	a2 := &fakeLayer{name: "a"}
+	b2 := &fakeLayer{name: "b"}
+	reg2 := NewRegistry()
+	reg2.Register(a2)
+	reg2.Register(b2)
+	if err := reg2.LoadKV(kv, "snap"); err != nil {
+		t.Fatalf("LoadKV after recovery: %v", err)
+	}
+	if string(a2.state) != "alpha" || string(b2.state) != "beta" {
+		t.Fatalf("recovered snapshot restored %q/%q", a2.state, b2.state)
+	}
+	// And incrementality resumes: the fresh manifest makes the next
+	// checkpoint skip everything again.
+	if _, skipped, err := reg.SaveKV(kv, "snap"); err != nil || skipped != 2 {
+		t.Fatalf("post-recovery SaveKV skipped %d (err %v); want 2", skipped, err)
+	}
+}
+
 // TestKVSnapshotValidation pins the Load discipline over KV snapshots:
 // no manifest, unknown sections, missing sections, and torn checkpoints
 // surface as the same typed errors the envelope reader uses.

@@ -536,6 +536,9 @@ type CacheStats struct {
 	Misses      int64   `json:"misses"`
 	Evictions   int64   `json:"evictions"`
 	EvictedCost float64 `json:"evicted_cost"`
+	// DecodeErrors counts poisoned entries the backend found undecodable
+	// (deleted and re-executed, never served): a data-integrity signal.
+	DecodeErrors int64 `json:"decode_errors"`
 	// ExactHits/ExactMisses/ExactHitRate are the session's window-level
 	// exact cache counters (fast map included); ExactStripes is its
 	// namespace stripe count (>1 when striped by executor shard).
@@ -545,16 +548,28 @@ type CacheStats struct {
 	ExactStripes int     `json:"exact_stripes"`
 }
 
+// ReplicationStats is the /schema replication section, present for
+// sessions running as one replica of a fleet over a shared backend.
+type ReplicationStats struct {
+	// ReplicaID is this server's identity in the fleet.
+	ReplicaID string `json:"replica_id"`
+	// RemoteShared counts answers observed from a peer replica's flight
+	// through the shared exact cache (the fleet-level analogue of the
+	// local flight_deduped counter).
+	RemoteShared int64 `json:"remote_shared"`
+}
+
 // SchemaResponse is the /schema result: only public metadata (ingestion
 // counters are data-independent operational state).
 type SchemaResponse struct {
-	Table      string          `json:"table"`
-	Domain     string          `json:"domain"`
-	Attributes []string        `json:"attributes"`
-	Rows       int             `json:"rows"`
-	Partitions int             `json:"partitions"`
-	Cache      *CacheStats     `json:"cache"`
-	Ingestion  *IngestionStats `json:"ingestion,omitempty"`
+	Table       string            `json:"table"`
+	Domain      string            `json:"domain"`
+	Attributes  []string          `json:"attributes"`
+	Rows        int               `json:"rows"`
+	Partitions  int               `json:"partitions"`
+	Cache       *CacheStats       `json:"cache"`
+	Ingestion   *IngestionStats   `json:"ingestion,omitempty"`
+	Replication *ReplicationStats `json:"replication,omitempty"`
 }
 
 // handleSchema serves public metadata; it touches no session state beyond
@@ -589,11 +604,18 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 			Misses:       st.Misses,
 			Evictions:    st.Evictions,
 			EvictedCost:  st.EvictedCost,
+			DecodeErrors: st.DecodeErrors,
 			ExactHits:    exactHits,
 			ExactMisses:  exactMisses,
 			ExactHitRate: exact.HitRate(),
 			ExactStripes: exact.Stripes(),
 		},
+	}
+	if id := s.sess.ReplicaID(); id != "" {
+		resp.Replication = &ReplicationStats{
+			ReplicaID:    id,
+			RemoteShared: int64(s.sess.RemoteShared()),
+		}
 	}
 	if s.ing != nil {
 		st := s.ing.Stats()

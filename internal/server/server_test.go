@@ -361,3 +361,66 @@ func TestNewValidation(t *testing.T) {
 		t.Fatal("empty table accepted")
 	}
 }
+
+// TestSchemaReplicationSection pins the new /schema surfaces: a
+// replicated session reports its replica identity and remote-share
+// counter, and backend decode failures thread up as decode_errors.
+func TestSchemaReplicationSection(t *testing.T) {
+	be := store.NewBounded(store.BoundedConfig{Stripes: 1})
+	srv, _ := newTestServerWith(t, 100, func(c *core.Config) {
+		c.Backend = be
+		c.ReplicaID = "r1"
+		c.MCSamples = 200
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Poison one backend entry and read it back with a mismatched type:
+	// the backend deletes it and counts a decode error.
+	if err := be.Set("poison", "k", "not-a-number"); err != nil {
+		t.Fatal(err)
+	}
+	var f float64
+	if ok, err := be.Get("poison", "k", &f); ok || err == nil {
+		t.Fatalf("poisoned read: ok=%v err=%v", ok, err)
+	}
+
+	resp, err := http.Get(ts.URL + "/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr SchemaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Replication == nil || sr.Replication.ReplicaID != "r1" {
+		t.Fatalf("replication section = %+v", sr.Replication)
+	}
+	if sr.Replication.RemoteShared != 0 {
+		t.Fatalf("remote_shared = %d before any traffic", sr.Replication.RemoteShared)
+	}
+	if sr.Cache == nil || sr.Cache.DecodeErrors != 1 {
+		t.Fatalf("cache section = %+v, want decode_errors 1", sr.Cache)
+	}
+}
+
+// TestSchemaUnreplicatedOmitsSection pins that an unreplicated server's
+// /schema carries no replication section at all.
+func TestSchemaUnreplicatedOmitsSection(t *testing.T) {
+	srv, _ := newTestServer(t, 100)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["replication"]; ok {
+		t.Fatal("unreplicated /schema carries a replication section")
+	}
+}

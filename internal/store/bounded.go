@@ -28,13 +28,23 @@ package store
 import (
 	"bytes"
 	"container/list"
+	"errors"
 	"hash/maphash"
 	"math"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// ErrPinnedCapacity reports a SetNX/SetNXLease refused because the
+// pinned-entry safety valve is full. Pinned guards are exempt from
+// eviction, so their population must be bounded or a guard storm could
+// grow the "bounded" store without limit; refusing is the only safe
+// answer — silently inserting an evictable guard would break the mutual
+// exclusion the caller is building on.
+var ErrPinnedCapacity = errors.New("store: pinned-entry capacity exhausted")
 
 // BoundedConfig parameterizes a memory-bounded backend.
 type BoundedConfig struct {
@@ -53,6 +63,10 @@ type BoundedConfig struct {
 	// ProtectedFrac is the fraction of a stripe's byte budget reserved
 	// for the protected segment; out of (0,1) defaults to 0.8.
 	ProtectedFrac float64
+	// MaxPinned bounds the backend-wide population of pinned entries
+	// (SetNX guards and leases, which eviction must never remove);
+	// overflow refuses with ErrPinnedCapacity. <= 0 defaults to 1024.
+	MaxPinned int
 }
 
 // fill applies defaults.
@@ -66,6 +80,9 @@ func (c *BoundedConfig) fill() {
 	if c.ProtectedFrac <= 0 || c.ProtectedFrac >= 1 {
 		c.ProtectedFrac = 0.8
 	}
+	if c.MaxPinned <= 0 {
+		c.MaxPinned = 1024
+	}
 }
 
 // boundedEntry is one resident cache entry.
@@ -75,6 +92,13 @@ type boundedEntry struct {
 	weight float64
 	elem   *list.Element
 	hot    bool // true when resident in the protected segment
+	// pinned entries (SetNX guards, leases) are exempt from victim
+	// selection until their lease expires; deadline is the lease expiry
+	// in unix nanos (0 = no expiry) and ttl the original lease length,
+	// which CompareSwap renewals re-apply.
+	pinned   bool
+	deadline int64
+	ttl      int64
 }
 
 // size is the entry's contribution to the byte accounting.
@@ -101,7 +125,15 @@ type Bounded struct {
 	stripes []*boundedStripe
 	version atomic.Uint64
 
+	// pinnedCount is the backend-wide pinned population, bounded by
+	// cfg.MaxPinned (the safety valve that keeps non-evictable guards
+	// from growing the bounded store without limit).
+	pinnedCount atomic.Int64
+	// nowNanos is the lease clock (unix nanos); tests substitute a fake.
+	nowNanos func() int64
+
 	hits, misses, sets, deletes, evictions atomic.Int64
+	decodeErrors                           atomic.Int64
 	evictedCost                            atomicFloat
 }
 
@@ -136,7 +168,7 @@ func NewBounded(cfg BoundedConfig) *Bounded {
 	if cfg.MaxBytes > 0 && cfg.Stripes > cfg.MaxBytes {
 		cfg.Stripes = cfg.MaxBytes
 	}
-	b := &Bounded{cfg: cfg, seed: maphash.MakeSeed()}
+	b := &Bounded{cfg: cfg, seed: maphash.MakeSeed(), nowNanos: func() int64 { return time.Now().UnixNano() }}
 	for i := 0; i < cfg.Stripes; i++ {
 		share := func(total int) int {
 			if total <= 0 {
@@ -168,9 +200,18 @@ func (b *Bounded) stripeFor(full string) *boundedStripe {
 	return b.stripes[h%uint64(len(b.stripes))]
 }
 
-// insertLocked places (or replaces) an entry and restores the caps. The
-// caller holds st.mu.
-func (b *Bounded) insertLocked(st *boundedStripe, full string, val []byte, weight float64) {
+// expiredEntry reports whether e carries a lease whose deadline passed.
+// Expired entries count as absent everywhere and are reclaimed lazily (on
+// the access that observes them) or by eviction.
+func (b *Bounded) expiredEntry(e *boundedEntry) bool {
+	return e.deadline > 0 && b.nowNanos() > e.deadline
+}
+
+// insertLocked places (or replaces) an entry and restores the caps. A
+// plain write (pinned=false) over a guard or lease makes it a plain entry
+// again; guarded updates that must preserve the pin go through
+// CompareSwap. The caller holds st.mu.
+func (b *Bounded) insertLocked(st *boundedStripe, full string, val []byte, weight float64, pinned bool, deadline, ttl int64) {
 	if e, ok := st.entries[full]; ok {
 		st.bytes += len(val) - len(e.val)
 		if e.hot {
@@ -178,12 +219,23 @@ func (b *Bounded) insertLocked(st *boundedStripe, full string, val []byte, weigh
 		}
 		e.val = val
 		e.weight = weight
+		if e.pinned != pinned {
+			if pinned {
+				b.pinnedCount.Add(1)
+			} else {
+				b.pinnedCount.Add(-1)
+			}
+		}
+		e.pinned, e.deadline, e.ttl = pinned, deadline, ttl
 		b.touchLocked(st, e)
 	} else {
-		e := &boundedEntry{key: full, val: val, weight: weight}
+		e := &boundedEntry{key: full, val: val, weight: weight, pinned: pinned, deadline: deadline, ttl: ttl}
 		e.elem = st.probation.PushFront(e)
 		st.entries[full] = e
 		st.bytes += e.size()
+		if pinned {
+			b.pinnedCount.Add(1)
+		}
 	}
 	b.evictLocked(st)
 }
@@ -216,7 +268,7 @@ func (b *Bounded) touchLocked(st *boundedStripe, e *boundedEntry) {
 
 // removeLocked drops an entry from its segment and the accounting. The
 // caller holds st.mu.
-func (st *boundedStripe) removeLocked(e *boundedEntry) {
+func (b *Bounded) removeLocked(st *boundedStripe, e *boundedEntry) {
 	if e.hot {
 		st.protected.Remove(e.elem)
 		st.hotBytes -= e.size()
@@ -225,10 +277,16 @@ func (st *boundedStripe) removeLocked(e *boundedEntry) {
 	}
 	st.bytes -= e.size()
 	delete(st.entries, e.key)
+	if e.pinned {
+		b.pinnedCount.Add(-1)
+	}
 }
 
 // evictLocked restores the stripe's caps by evicting sampled cold-tail
-// victims, lowest eviction weight first. The caller holds st.mu.
+// victims, lowest eviction weight first. Pinned entries (guards, leases)
+// are never victims while live, so a stripe whose remaining entries are
+// all pinned stays over cap — the MaxPinned valve bounds how far. The
+// caller holds st.mu.
 func (b *Bounded) evictLocked(st *boundedStripe) {
 	over := func() bool {
 		if len(st.entries) == 0 {
@@ -238,31 +296,41 @@ func (b *Bounded) evictLocked(st *boundedStripe) {
 			(st.maxEnts > 0 && len(st.entries) > st.maxEnts)
 	}
 	for over() {
-		victim := st.sampleVictim(st.probation, b.cfg.Sample)
+		victim := b.sampleVictim(st.probation, b.cfg.Sample)
 		if victim == nil {
-			victim = st.sampleVictim(st.protected, b.cfg.Sample)
+			victim = b.sampleVictim(st.protected, b.cfg.Sample)
 		}
 		if victim == nil {
 			return
 		}
-		st.removeLocked(victim)
+		b.removeLocked(st, victim)
 		b.evictions.Add(1)
 		b.evictedCost.Add(victim.weight)
 	}
 }
 
-// sampleVictim examines up to sample entries from the cold tail of a
-// segment and returns the lowest-weight one (ties favor the colder
-// entry), or nil for an empty segment.
-func (st *boundedStripe) sampleVictim(seg *list.List, sample int) *boundedEntry {
+// sampleVictim examines up to sample unpinned entries from the cold tail
+// of a segment and returns the lowest-weight one (ties favor the colder
+// entry), or nil when the segment holds no eligible victim. An expired
+// lease is the best possible victim — its guard is already void — and is
+// taken immediately; live pinned entries are skipped without consuming
+// the sample budget (the pinned population is valve-bounded, so the skip
+// scan is too). The caller holds st.mu.
+func (b *Bounded) sampleVictim(seg *list.List, sample int) *boundedEntry {
 	var victim *boundedEntry
-	elem := seg.Back()
-	for i := 0; i < sample && elem != nil; i++ {
+	examined := 0
+	for elem := seg.Back(); elem != nil && examined < sample; elem = elem.Prev() {
 		e := elem.Value.(*boundedEntry)
+		if b.expiredEntry(e) {
+			return e
+		}
+		if e.pinned {
+			continue
+		}
+		examined++
 		if victim == nil || e.weight < victim.weight {
 			victim = e
 		}
-		elem = elem.Prev()
 	}
 	return victim
 }
@@ -282,7 +350,7 @@ func (b *Bounded) SetWeighted(ns, k string, value any, weight float64) error {
 	full := fullKey(ns, k)
 	st := b.stripeFor(full)
 	st.mu.Lock()
-	b.insertLocked(st, full, val, weight)
+	b.insertLocked(st, full, val, weight, false, 0, 0)
 	st.mu.Unlock()
 	b.sets.Add(1)
 	b.version.Add(1)
@@ -290,27 +358,89 @@ func (b *Bounded) SetWeighted(ns, k string, value any, weight float64) error {
 }
 
 // SetNX stores value under ns:k only if absent, reporting whether it
-// stored.
+// stored. The key is pinned non-evictable: a not-present-guarded key that
+// memory pressure can remove is not a guard (overflow of the pinned valve
+// is ErrPinnedCapacity, never a silently evictable guard).
 func (b *Bounded) SetNX(ns, k string, value any) (bool, error) {
+	return b.SetNXLease(ns, k, value, 0)
+}
+
+// SetNXLease stores value under ns:k only if absent or expired, leasing
+// it for ttl (ttl <= 0 = permanent guard). Stored keys are pinned.
+func (b *Bounded) SetNXLease(ns, k string, value any, ttl time.Duration) (bool, error) {
 	val, err := EncodeValue(ns, k, value)
 	if err != nil {
 		return false, err
 	}
 	full := fullKey(ns, k)
 	st := b.stripeFor(full)
+	var deadline, ttlN int64
+	if ttl > 0 {
+		ttlN = int64(ttl)
+		deadline = b.nowNanos() + ttlN
+	}
 	st.mu.Lock()
-	if _, ok := st.entries[full]; ok {
+	e, ok := st.entries[full]
+	if ok && !b.expiredEntry(e) {
 		st.mu.Unlock()
 		return false, nil
 	}
-	b.insertLocked(st, full, val, 0)
+	// The valve is enforced per insert under the stripe lock; concurrent
+	// inserts on other stripes can overshoot by at most one entry each.
+	if !(ok && e.pinned) && b.pinnedCount.Load() >= int64(b.cfg.MaxPinned) {
+		st.mu.Unlock()
+		return false, ErrPinnedCapacity
+	}
+	b.insertLocked(st, full, val, 0, true, deadline, ttlN)
 	st.mu.Unlock()
 	b.sets.Add(1)
 	b.version.Add(1)
 	return true, nil
 }
 
-// Get loads ns:k into out, recording the touch for the LRU segments.
+// CompareSwap replaces the value under ns:k only if it is present,
+// unexpired, and stores exactly the encoding of expect. The entry's
+// weight and pin survive, and a leased key's deadline is renewed by its
+// original ttl — CompareSwap(ns, k, mine, mine) is lease renewal.
+func (b *Bounded) CompareSwap(ns, k string, expect, next any) (bool, error) {
+	want, err := EncodeValue(ns, k, expect)
+	if err != nil {
+		return false, err
+	}
+	val, err := EncodeValue(ns, k, next)
+	if err != nil {
+		return false, err
+	}
+	full := fullKey(ns, k)
+	st := b.stripeFor(full)
+	st.mu.Lock()
+	e, ok := st.entries[full]
+	if !ok || b.expiredEntry(e) || !bytes.Equal(e.val, want) {
+		st.mu.Unlock()
+		return false, nil
+	}
+	st.bytes += len(val) - len(e.val)
+	if e.hot {
+		st.hotBytes += len(val) - len(e.val)
+	}
+	e.val = val
+	if e.ttl > 0 {
+		e.deadline = b.nowNanos() + e.ttl
+	}
+	b.touchLocked(st, e)
+	b.evictLocked(st)
+	st.mu.Unlock()
+	b.sets.Add(1)
+	b.version.Add(1)
+	return true, nil
+}
+
+// Get loads ns:k into out, recording the touch for the LRU segments. An
+// expired lease counts as absent and is reclaimed on the way out. Bytes
+// that fail to decode are a poisoned entry, not a hit: the entry is
+// deleted (guarded against a concurrent fresh Set by byte equality), the
+// decode-error counter bumps, and the caller sees a miss plus the error —
+// one corrupt byte costs a re-execution instead of wedging the key.
 func (b *Bounded) Get(ns, k string, out any) (bool, error) {
 	full := fullKey(ns, k)
 	st := b.stripeFor(full)
@@ -318,18 +448,31 @@ func (b *Bounded) Get(ns, k string, out any) (bool, error) {
 	e, ok := st.entries[full]
 	var raw []byte
 	if ok {
-		b.touchLocked(st, e)
-		raw = e.val
+		if b.expiredEntry(e) {
+			b.removeLocked(st, e)
+			ok = false
+		} else {
+			b.touchLocked(st, e)
+			raw = e.val
+		}
 	}
 	st.mu.Unlock()
 	if !ok {
 		b.misses.Add(1)
 		return false, nil
 	}
-	b.hits.Add(1)
 	if err := DecodeValue(ns, k, raw, out); err != nil {
-		return true, err
+		st.mu.Lock()
+		if e2, ok2 := st.entries[full]; ok2 && bytes.Equal(e2.val, raw) {
+			b.removeLocked(st, e2)
+		}
+		st.mu.Unlock()
+		b.decodeErrors.Add(1)
+		b.misses.Add(1)
+		b.version.Add(1)
+		return false, err
 	}
+	b.hits.Add(1)
 	return true, nil
 }
 
@@ -340,7 +483,7 @@ func (b *Bounded) Delete(ns, k string) bool {
 	st.mu.Lock()
 	e, ok := st.entries[full]
 	if ok {
-		st.removeLocked(e)
+		b.removeLocked(st, e)
 	}
 	st.mu.Unlock()
 	if ok {
@@ -362,7 +505,7 @@ func (b *Bounded) CompareDelete(ns, k string, expect any) bool {
 	st.mu.Lock()
 	e, ok := st.entries[full]
 	if ok && bytes.Equal(e.val, want) {
-		st.removeLocked(e)
+		b.removeLocked(st, e)
 	} else {
 		ok = false
 	}
@@ -417,15 +560,25 @@ func (b *Bounded) MemoryBytes() int {
 	return total
 }
 
-// ExportNamespace returns the raw stored bytes of every key in ns.
-func (b *Bounded) ExportNamespace(ns string) map[string][]byte {
+// ExportNamespace returns the stored bytes and metadata (eviction weight,
+// pin) of every key in ns. Unexpired leases are live coordination state,
+// meaningless in a snapshot, and are skipped.
+func (b *Bounded) ExportNamespace(ns string) map[string]Exported {
 	prefix := ns + ":"
-	out := make(map[string][]byte)
+	out := make(map[string]Exported)
 	for _, st := range b.stripes {
 		st.mu.Lock()
 		for k, e := range st.entries {
-			if strings.HasPrefix(k, prefix) {
-				out[strings.TrimPrefix(k, prefix)] = e.val
+			if !strings.HasPrefix(k, prefix) {
+				continue
+			}
+			if e.deadline > 0 {
+				continue
+			}
+			out[strings.TrimPrefix(k, prefix)] = Exported{
+				Val:    append([]byte(nil), e.val...),
+				Weight: e.weight,
+				Pinned: e.pinned,
 			}
 		}
 		st.mu.Unlock()
@@ -434,16 +587,19 @@ func (b *Bounded) ExportNamespace(ns string) map[string][]byte {
 }
 
 // ImportNamespace replaces the contents of ns with previously-exported
-// raw entries (zero eviction weight — callers that know their entries'
-// privacy cost re-insert through SetWeighted), evicting if the import
-// overflows the caps.
-func (b *Bounded) ImportNamespace(ns string, data map[string][]byte) {
+// entries, restoring each entry's eviction weight and pin — a restored
+// checkpoint must remember the ε paid per entry, or the most expensive
+// releases become first eviction victims. A pinned import that would
+// overflow the valve lands unpinned instead: losing a guard's pin on
+// restore degrades to the pre-guard recompute path, while refusing the
+// import would silently drop data.
+func (b *Bounded) ImportNamespace(ns string, data map[string]Exported) {
 	prefix := ns + ":"
 	for _, st := range b.stripes {
 		st.mu.Lock()
 		for k, e := range st.entries {
 			if strings.HasPrefix(k, prefix) {
-				st.removeLocked(e)
+				b.removeLocked(st, e)
 			}
 		}
 		st.mu.Unlock()
@@ -452,7 +608,8 @@ func (b *Bounded) ImportNamespace(ns string, data map[string][]byte) {
 		full := prefix + k
 		st := b.stripeFor(full)
 		st.mu.Lock()
-		b.insertLocked(st, full, append([]byte(nil), v...), 0)
+		pinned := v.Pinned && b.pinnedCount.Load() < int64(b.cfg.MaxPinned)
+		b.insertLocked(st, full, append([]byte(nil), v.Val...), v.Weight, pinned, 0, 0)
 		st.mu.Unlock()
 	}
 	b.version.Add(1)
@@ -461,17 +618,18 @@ func (b *Bounded) ImportNamespace(ns string, data map[string][]byte) {
 // Stats returns the backend's counters and memory accounting.
 func (b *Bounded) Stats() Stats {
 	return Stats{
-		Backend:     "bounded-slru",
-		Hits:        b.hits.Load(),
-		Misses:      b.misses.Load(),
-		Sets:        b.sets.Load(),
-		Deletes:     b.deletes.Load(),
-		Evictions:   b.evictions.Load(),
-		EvictedCost: b.evictedCost.Load(),
-		Entries:     b.Len(),
-		Bytes:       b.MemoryBytes(),
-		CapEntries:  b.cfg.MaxEntries,
-		CapBytes:    b.cfg.MaxBytes,
+		Backend:      "bounded-slru",
+		Hits:         b.hits.Load(),
+		Misses:       b.misses.Load(),
+		Sets:         b.sets.Load(),
+		Deletes:      b.deletes.Load(),
+		Evictions:    b.evictions.Load(),
+		EvictedCost:  b.evictedCost.Load(),
+		DecodeErrors: b.decodeErrors.Load(),
+		Entries:      b.Len(),
+		Bytes:        b.MemoryBytes(),
+		CapEntries:   b.cfg.MaxEntries,
+		CapBytes:     b.cfg.MaxBytes,
 	}
 }
 

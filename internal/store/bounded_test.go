@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -172,12 +173,234 @@ func TestBoundedExportImport(t *testing.T) {
 	}
 	// Import replaces the namespace and leaves others untouched.
 	_ = b2.Set("b", "keep", 7)
-	b2.ImportNamespace("a", map[string][]byte{"solo": exported["k0"]})
+	b2.ImportNamespace("a", map[string]Exported{"solo": exported["k0"]})
 	if got := len(b2.Keys("a")); got != 1 {
 		t.Fatalf("namespace a has %d keys after replacing import", got)
 	}
 	if ok, _ := b2.Get("b", "keep", &out); !ok || out != 7 {
 		t.Fatal("import touched a foreign namespace")
+	}
+}
+
+// TestBoundedImportPreservesWeights is the restore-then-pressure
+// regression for the Import weight-loss bug: a restored checkpoint must
+// remember the ε paid per entry, or the most expensive releases become
+// first eviction victims under the first post-restore pressure.
+func TestBoundedImportPreservesWeights(t *testing.T) {
+	src := NewBounded(BoundedConfig{Stripes: 1})
+	for i := 0; i < 5; i++ {
+		_ = src.SetWeighted("ns", fmt.Sprintf("gold%d", i), i, 100)
+	}
+	exported := src.ExportNamespace("ns")
+	if w := exported["gold0"].Weight; w != 100 {
+		t.Fatalf("export dropped the weight: %g", w)
+	}
+
+	dst := NewBounded(BoundedConfig{MaxEntries: 10, Stripes: 1, Sample: 10})
+	dst.ImportNamespace("ns", exported)
+	// Cheap one-touch churn: pre-fix, the imported entries sat at weight 0
+	// and were evicted alongside the churn.
+	for i := 0; i < 200; i++ {
+		_ = dst.SetWeighted("ns", fmt.Sprintf("churn%d", i), i, 0.01)
+	}
+	var out int
+	for i := 0; i < 5; i++ {
+		if ok, _ := dst.Get("ns", fmt.Sprintf("gold%d", i), &out); !ok {
+			t.Fatalf("imported gold%d lost its weight and was evicted", i)
+		}
+	}
+}
+
+// TestBoundedImportPreservesPins checks guard pins survive the
+// export/import round-trip.
+func TestBoundedImportPreservesPins(t *testing.T) {
+	src := NewBounded(BoundedConfig{Stripes: 1})
+	if ok, err := src.SetNX("ns", "guard", 1); !ok || err != nil {
+		t.Fatalf("SetNX = %v, %v", ok, err)
+	}
+	exported := src.ExportNamespace("ns")
+	if !exported["guard"].Pinned {
+		t.Fatal("export dropped the pin")
+	}
+	dst := NewBounded(BoundedConfig{MaxEntries: 4, Stripes: 1, Sample: 4})
+	dst.ImportNamespace("ns", exported)
+	for i := 0; i < 100; i++ {
+		_ = dst.Set("ns", fmt.Sprintf("churn%d", i), i)
+	}
+	var out int
+	if ok, _ := dst.Get("ns", "guard", &out); !ok {
+		t.Fatal("imported guard was evicted")
+	}
+	if got := dst.pinnedCount.Load(); got != 1 {
+		t.Fatalf("pinnedCount = %d after import, want 1", got)
+	}
+}
+
+// TestBoundedPoisonedEntryDeleted is the decode-failure regression: bytes
+// that fail to decode must be a miss plus an error, with the corrupt
+// entry deleted so the key is re-fillable — pre-fix it was a "hit" and
+// the poisoned entry stayed resident forever.
+func TestBoundedPoisonedEntryDeleted(t *testing.T) {
+	b := NewBounded(BoundedConfig{Stripes: 1})
+	_ = b.Set("ns", "k", "a string")
+	var out int
+	ok, err := b.Get("ns", "k", &out)
+	if ok || err == nil {
+		t.Fatalf("poisoned Get = %v, %v; want miss plus error", ok, err)
+	}
+	var str string
+	if found, _ := b.Get("ns", "k", &str); found {
+		t.Fatal("poisoned entry left resident")
+	}
+	st := b.Stats()
+	if st.DecodeErrors != 1 {
+		t.Fatalf("DecodeErrors = %d, want 1", st.DecodeErrors)
+	}
+	if st.Hits != 0 {
+		t.Fatalf("decode failure counted as a hit: %+v", st)
+	}
+	if err := b.Set("ns", "k", 7); err != nil {
+		t.Fatal(err)
+	}
+	if found, err := b.Get("ns", "k", &out); err != nil || !found || out != 7 {
+		t.Fatalf("key not re-fillable after poison delete: %v %v %d", found, err, out)
+	}
+}
+
+// TestBoundedGuardSurvivesEviction is the evictable-guard regression:
+// eviction pressure must never remove a SetNX guard, or mutual exclusion
+// breaks — pre-fix guards landed at weight 0 as first-choice victims.
+func TestBoundedGuardSurvivesEviction(t *testing.T) {
+	b := NewBounded(BoundedConfig{MaxEntries: 8, Stripes: 1, Sample: 8})
+	if ok, err := b.SetNX("ns", "guard", "owner-1"); !ok || err != nil {
+		t.Fatalf("SetNX = %v, %v", ok, err)
+	}
+	for i := 0; i < 500; i++ {
+		_ = b.Set("ns", fmt.Sprintf("churn%d", i), i)
+	}
+	// The guard still holds: a second claimant must be refused.
+	if ok, err := b.SetNX("ns", "guard", "owner-2"); ok || err != nil {
+		t.Fatalf("guard evicted under pressure: SetNX = %v, %v", ok, err)
+	}
+	var owner string
+	if ok, _ := b.Get("ns", "guard", &owner); !ok || owner != "owner-1" {
+		t.Fatalf("guard = %q, %v", owner, ok)
+	}
+}
+
+// TestBoundedPinnedCapacityValve pins the safety valve: the pinned
+// population is bounded, and overflow is a refusal — never a silently
+// evictable guard.
+func TestBoundedPinnedCapacityValve(t *testing.T) {
+	b := NewBounded(BoundedConfig{Stripes: 1, MaxPinned: 4})
+	for i := 0; i < 4; i++ {
+		if ok, err := b.SetNX("ns", fmt.Sprintf("g%d", i), i); !ok || err != nil {
+			t.Fatalf("guard %d: %v, %v", i, ok, err)
+		}
+	}
+	if _, err := b.SetNX("ns", "overflow", 1); !errors.Is(err, ErrPinnedCapacity) {
+		t.Fatalf("valve overflow err = %v, want ErrPinnedCapacity", err)
+	}
+	// Deleting a guard frees a slot.
+	b.Delete("ns", "g0")
+	if ok, err := b.SetNX("ns", "overflow", 1); !ok || err != nil {
+		t.Fatalf("post-delete SetNX = %v, %v", ok, err)
+	}
+	// Plain writes are never refused by the valve, and a plain write over
+	// a guard unpins it.
+	if err := b.Set("ns", "g1", 99); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.pinnedCount.Load(); got != 3 {
+		t.Fatalf("pinnedCount = %d, want 3", got)
+	}
+}
+
+// TestBoundedLeaseExpiry pins the lease clock semantics: an expired lease
+// counts as absent everywhere and its key is reclaimable.
+func TestBoundedLeaseExpiry(t *testing.T) {
+	b := NewBounded(BoundedConfig{Stripes: 1})
+	var now int64
+	b.nowNanos = func() int64 { return now }
+
+	if ok, err := b.SetNXLease("ns", "lease", "holder-1", 100); !ok || err != nil {
+		t.Fatalf("SetNXLease = %v, %v", ok, err)
+	}
+	var holder string
+	if ok, _ := b.Get("ns", "lease", &holder); !ok || holder != "holder-1" {
+		t.Fatalf("live lease Get = %v %q", ok, holder)
+	}
+	// A rival cannot take the live lease.
+	if ok, _ := b.SetNXLease("ns", "lease", "holder-2", 100); ok {
+		t.Fatal("rival stole a live lease")
+	}
+	// Renewal pushes the deadline out by the original ttl.
+	now = 80
+	if ok, err := b.CompareSwap("ns", "lease", "holder-1", "holder-1"); !ok || err != nil {
+		t.Fatalf("renewal CompareSwap = %v, %v", ok, err)
+	}
+	now = 150 // past the original deadline, inside the renewed one
+	if ok, _ := b.Get("ns", "lease", &holder); !ok {
+		t.Fatal("renewed lease expired at the original deadline")
+	}
+	// Expiry: the key counts as absent and is reclaimable.
+	now = 300
+	if ok, _ := b.Get("ns", "lease", &holder); ok {
+		t.Fatal("expired lease still readable")
+	}
+	if ok, _ := b.CompareSwap("ns", "lease", "holder-1", "holder-1"); ok {
+		t.Fatal("CompareSwap succeeded on an expired lease")
+	}
+	if ok, err := b.SetNXLease("ns", "lease", "holder-2", 100); !ok || err != nil {
+		t.Fatalf("takeover after expiry = %v, %v", ok, err)
+	}
+	if ok, _ := b.Get("ns", "lease", &holder); !ok || holder != "holder-2" {
+		t.Fatalf("post-takeover holder = %q, %v", holder, ok)
+	}
+}
+
+// TestBoundedExpiredLeaseIsFirstVictim checks eviction reclaims expired
+// leases before touching real cache entries.
+func TestBoundedExpiredLeaseIsFirstVictim(t *testing.T) {
+	b := NewBounded(BoundedConfig{MaxEntries: 4, Stripes: 1, Sample: 4})
+	var now int64
+	b.nowNanos = func() int64 { return now }
+	if ok, err := b.SetNXLease("ns", "lease", 1, 10); !ok || err != nil {
+		t.Fatalf("SetNXLease = %v, %v", ok, err)
+	}
+	for i := 0; i < 3; i++ {
+		_ = b.SetWeighted("ns", fmt.Sprintf("gold%d", i), i, 100)
+	}
+	now = 50 // lease expired
+	_ = b.SetWeighted("ns", "gold3", 3, 100)
+	var out int
+	for i := 0; i < 4; i++ {
+		if ok, _ := b.Get("ns", fmt.Sprintf("gold%d", i), &out); !ok {
+			t.Fatalf("gold%d evicted while an expired lease was resident", i)
+		}
+	}
+	if got := b.pinnedCount.Load(); got != 0 {
+		t.Fatalf("pinnedCount = %d after expired-lease reclaim, want 0", got)
+	}
+}
+
+// TestBoundedCompareSwapPreservesWeight checks a swap keeps the entry's
+// eviction weight (the fill's paid ε) instead of resetting it.
+func TestBoundedCompareSwapPreservesWeight(t *testing.T) {
+	b := NewBounded(BoundedConfig{Stripes: 1})
+	_ = b.SetWeighted("ns", "k", 1, 42)
+	if ok, err := b.CompareSwap("ns", "k", 1, 2); !ok || err != nil {
+		t.Fatalf("CompareSwap = %v, %v", ok, err)
+	}
+	st := b.stripes[0]
+	st.mu.Lock()
+	w := st.entries["ns:k"].weight
+	st.mu.Unlock()
+	if w != 42 {
+		t.Fatalf("weight after swap = %g, want 42", w)
+	}
+	if ok, _ := b.CompareSwap("ns", "k", 1, 3); ok {
+		t.Fatal("CompareSwap matched stale bytes")
 	}
 }
 
@@ -232,8 +455,10 @@ func TestBoundedConcurrent(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	if got := b.Len(); got > 64 {
-		t.Fatalf("cap breached under concurrency: %d", got)
+	// SetNX-created guards are pinned non-evictable, so the hard bound is
+	// the cap plus the resident pinned population (valve-bounded).
+	if got, pinned := b.Len(), int(b.pinnedCount.Load()); got > 64+pinned {
+		t.Fatalf("cap breached under concurrency: %d resident, %d pinned", got, pinned)
 	}
 	// Internal byte accounting still agrees with a from-scratch count.
 	total := 0

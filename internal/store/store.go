@@ -24,6 +24,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"time"
 )
 
 // FastEncoder is implemented by values that provide their own fixed-layout
@@ -86,7 +87,8 @@ func DecodeValue(ns, k string, raw []byte, out any) error {
 // memory accounting — the figures the HTTP server surfaces under
 // /schema's cache section and the cache-pressure experiment plots.
 type Stats struct {
-	// Backend names the implementation ("striped-map", "bounded-slru").
+	// Backend names the implementation ("striped-map", "bounded-slru",
+	// "file-log").
 	Backend string
 	// Hits and Misses count Get outcomes (key present / absent).
 	Hits, Misses int64
@@ -99,12 +101,33 @@ type Stats struct {
 	// is requested again.
 	Evictions   int64
 	EvictedCost float64
+	// DecodeErrors counts Get calls that found the key but could not
+	// decode its bytes. The backend deletes the poisoned entry and
+	// reports a miss, so one corrupt byte costs a re-execution instead of
+	// wedging the key forever; a nonzero count is a data-integrity signal
+	// the /schema cache section surfaces.
+	DecodeErrors int64
 	// Entries and Bytes are the resident entry count and memory estimate
 	// (keys + encoded values).
 	Entries int
 	Bytes   int
 	// CapEntries and CapBytes are the configured bounds (0 = unbounded).
 	CapEntries, CapBytes int
+}
+
+// Exported is one entry of a namespace export: the stored bytes plus the
+// metadata a faithful re-import needs. Weight is the entry's eviction
+// weight (the ε paid to materialize it) — before exports carried it, a
+// restored checkpoint forgot the per-entry privacy cost and the most
+// expensive releases became first eviction victims. Pinned marks
+// guard/lease entries that memory pressure must never evict. Lease
+// deadlines are deliberately NOT exported: leases are live coordination
+// state (flight leadership, partition ownership), meaningless in a
+// snapshot; backends skip unexpired leases on export.
+type Exported struct {
+	Val    []byte
+	Weight float64
+	Pinned bool
 }
 
 // Backend is the storage interface the caching layers program against.
@@ -122,8 +145,25 @@ type Backend interface {
 	// budget on recompute; unbounded backends ignore the weight.
 	SetWeighted(ns, k string, value any, weight float64) error
 	// SetNX stores value under ns:k only if the key is absent, reporting
-	// whether it stored.
+	// whether it stored. A key created this way is a guard: memory-bounded
+	// backends pin it non-evictable (a not-present guard that eviction can
+	// remove is not a guard), within a bounded pinned-entry safety valve.
 	SetNX(ns, k string, value any) (bool, error)
+	// SetNXLease stores value under ns:k only if the key is absent or its
+	// previous lease has expired, reporting whether it stored. ttl > 0
+	// leases the key: it expires ttl from now unless renewed through
+	// CompareSwap, and an expired key counts as absent everywhere. ttl <= 0
+	// stores a permanent guard (exactly SetNX). Lease keys are pinned
+	// non-evictable in memory-bounded backends — they are the cross-replica
+	// coordination primitive (single-flight leadership, partition budget
+	// ownership), and evicting one would break mutual exclusion.
+	SetNXLease(ns, k string, value any, ttl time.Duration) (bool, error)
+	// CompareSwap replaces the value under ns:k only if the key is present,
+	// unexpired, and its stored bytes equal the encoding of expect,
+	// reporting whether it swapped. A successful swap preserves the entry's
+	// weight and pin and renews a leased key's deadline by its original
+	// ttl — CompareSwap(ns, k, mine, mine) is lease renewal.
+	CompareSwap(ns, k string, expect, next any) (bool, error)
 	// Delete removes ns:k, reporting whether it existed.
 	Delete(ns, k string) bool
 	// CompareDelete removes ns:k only if its stored bytes equal the
@@ -140,14 +180,16 @@ type Backend interface {
 	// MemoryBytes returns the resident size of stored keys plus values —
 	// the §6.5 memory metric.
 	MemoryBytes() int
-	// ExportNamespace returns the raw stored bytes of every key in ns,
-	// for per-namespace persistence sections.
-	ExportNamespace(ns string) map[string][]byte
+	// ExportNamespace returns the stored bytes and metadata (eviction
+	// weight, pin) of every key in ns, for per-namespace persistence
+	// sections and backend-to-backend migration. Unexpired leases are
+	// live coordination state and are skipped.
+	ExportNamespace(ns string) map[string]Exported
 	// ImportNamespace replaces the contents of ns with previously
-	// exported raw entries, leaving every other namespace untouched.
-	// Imported entries carry zero eviction weight; layers that know
-	// their entries' privacy cost re-insert through SetWeighted instead.
-	ImportNamespace(ns string, data map[string][]byte)
+	// exported entries, leaving every other namespace untouched. Weights
+	// and pins round-trip, so a memory-bounded backend's eviction
+	// priority survives a restore.
+	ImportNamespace(ns string, data map[string]Exported)
 	// Stats returns the backend's counters and memory accounting.
 	Stats() Stats
 }
