@@ -87,6 +87,7 @@ func main() {
 		rows     = flag.Int("rows", 0, "override synthetic dataset rows (both datasets)")
 		parallel = flag.String("parallel", "", "goroutine counts for -exp=scaling, e.g. 1,2,4,8,16")
 		arrivals = flag.String("arrivals", "", "queries-per-arrival ratios for -exp=streaming, e.g. 400,100,25")
+		batch    = flag.Int("batch", 0, "for -exp=scaling: drive an HTTP server via /query/batch with batches of N (0 = in-process singleton drive)")
 		jsonOut  = flag.String("json", "", "also write machine-readable results (a JSON array) to FILE")
 	)
 	flag.Parse()
@@ -128,6 +129,11 @@ func main() {
 			sc.Workers = append(sc.Workers, w)
 		}
 	}
+	if *batch < 0 {
+		fmt.Fprintf(os.Stderr, "turbo-bench: bad -batch value %d\n", *batch)
+		os.Exit(2)
+	}
+	sc.Batch = *batch
 	if *arrivals != "" {
 		for _, part := range strings.Split(*arrivals, ",") {
 			r, err := strconv.Atoi(strings.TrimSpace(part))

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrBudgetExhausted is returned by Pay when executing a mechanism would
@@ -38,6 +39,10 @@ type Filter struct {
 	mu     sync.Mutex
 	global float64
 	spent  float64
+	// locks counts admission-relevant mutex acquisitions (payments and
+	// budget checks, not metric reads) — the denominator-free half of the
+	// batch plane's "admission lock acquisitions per query" metric.
+	locks atomic.Uint64
 }
 
 // NewFilter creates a filter enforcing ε_G = global.
@@ -53,6 +58,7 @@ func (f *Filter) Pay(eps float64) error {
 	if eps < 0 || math.IsNaN(eps) {
 		return fmt.Errorf("accountant: bad payment %g", eps)
 	}
+	f.locks.Add(1)
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.spent+eps > f.global+1e-12 {
@@ -64,6 +70,7 @@ func (f *Filter) Pay(eps float64) error {
 
 // HasBudget reports whether the filter can still accept some payment.
 func (f *Filter) HasBudget() bool {
+	f.locks.Add(1)
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.spent < f.global-1e-12
@@ -98,6 +105,9 @@ type Block struct {
 	// shared, when non-nil, runs PayRange through the cross-replica
 	// owner-lease protocol (see shared.go).
 	shared *sharing
+	// locks counts admission-relevant mutex acquisitions (payments and
+	// budget checks, not metric reads); see batch.go.
+	locks atomic.Uint64
 }
 
 // NewBlock creates a block accountant with the given number of initial
@@ -144,11 +154,19 @@ func (b *Block) Partitions() int {
 // The charge is atomic: if any partition would exceed ε_G, nothing is
 // deducted and ErrBudgetExhausted is returned.
 func (b *Block) PayRange(start, end int, eps float64) error {
+	b.locks.Add(1)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.payRangeLocked(start, end, eps)
+}
+
+// payRangeLocked is PayRange's body, shared with PayRangeBatch so a
+// batch of charges applies under one lock acquisition. Called with b.mu
+// held.
+func (b *Block) payRangeLocked(start, end int, eps float64) error {
 	if eps < 0 || math.IsNaN(eps) {
 		return fmt.Errorf("accountant: bad payment %g", eps)
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	if start < 0 || end >= len(b.spent) || start > end {
 		return fmt.Errorf("accountant: bad partition range [%d,%d] of %d", start, end, len(b.spent))
 	}
@@ -206,6 +224,7 @@ func (b *Block) MaxSpent() float64 {
 // HasBudgetRange reports whether all partitions of [start, end] retain some
 // budget.
 func (b *Block) HasBudgetRange(start, end int) bool {
+	b.locks.Add(1)
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if start < 0 || end >= len(b.spent) || start > end {

@@ -1,0 +1,171 @@
+package accountant
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFilterPayBatch(t *testing.T) {
+	f := NewFilter(1.0)
+	verdicts := f.PayBatch([]float64{0.4, 0.4, 0.4, -1, 0.2})
+	want := []bool{true, true, false, false, true}
+	for i, ok := range want {
+		if got := verdicts[i] == nil; got != ok {
+			t.Fatalf("charge %d: verdict ok=%v, want %v (err %v)", i, got, ok, verdicts[i])
+		}
+	}
+	if !errors.Is(verdicts[2], ErrBudgetExhausted) {
+		t.Fatalf("over-budget charge verdict = %v, want ErrBudgetExhausted", verdicts[2])
+	}
+	if errors.Is(verdicts[3], ErrBudgetExhausted) {
+		t.Fatalf("malformed charge must not read as exhaustion: %v", verdicts[3])
+	}
+	if got := f.Spent(); got != 1.0 {
+		t.Fatalf("spent = %g, want 1.0 (accepted charges only)", got)
+	}
+}
+
+func TestFilterPayBatchOneLockAcquisition(t *testing.T) {
+	f := NewFilter(10)
+	before := f.LockAcquisitions()
+	f.PayBatch(make([]float64, 64))
+	if got := f.LockAcquisitions() - before; got != 1 {
+		t.Fatalf("PayBatch of 64 cost %d lock acquisitions, want 1", got)
+	}
+	before = f.LockAcquisitions()
+	for i := 0; i < 64; i++ {
+		if err := f.Pay(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.LockAcquisitions() - before; got != 64 {
+		t.Fatalf("64 singleton Pays cost %d lock acquisitions, want 64", got)
+	}
+}
+
+func TestBlockAdmitBatch(t *testing.T) {
+	b := NewBlock(1.0, 4)
+	if err := b.PayRange(1, 1, 1.0); err != nil { // exhaust partition 1
+		t.Fatal(err)
+	}
+	verdicts := b.AdmitBatch([]PartitionRange{
+		{Start: 0, End: 0},  // fine
+		{Start: 0, End: 1},  // spans the exhausted partition
+		{Start: 2, End: 3},  // fine
+		{Start: 3, End: 99}, // malformed
+	})
+	if verdicts[0] != nil || verdicts[2] != nil {
+		t.Fatalf("healthy windows refused: %v, %v", verdicts[0], verdicts[2])
+	}
+	if !errors.Is(verdicts[1], ErrBudgetExhausted) {
+		t.Fatalf("exhausted window verdict = %v, want ErrBudgetExhausted", verdicts[1])
+	}
+	if verdicts[3] == nil || errors.Is(verdicts[3], ErrBudgetExhausted) {
+		t.Fatalf("malformed window verdict = %v, want a non-exhaustion error", verdicts[3])
+	}
+	// Advisory: nothing was deducted.
+	if got := b.SpentAt(0); got != 0 {
+		t.Fatalf("AdmitBatch deducted %g from partition 0", got)
+	}
+}
+
+func TestBlockAdmitBatchOneLockAcquisition(t *testing.T) {
+	b := NewBlock(1.0, 8)
+	wins := make([]PartitionRange, 64)
+	for i := range wins {
+		wins[i] = PartitionRange{Start: i % 8, End: i % 8}
+	}
+	before := b.LockAcquisitions()
+	b.AdmitBatch(wins)
+	if got := b.LockAcquisitions() - before; got != 1 {
+		t.Fatalf("AdmitBatch of 64 cost %d lock acquisitions, want 1", got)
+	}
+	before = b.LockAcquisitions()
+	for _, w := range wins {
+		b.HasBudgetRange(w.Start, w.End)
+	}
+	if got := b.LockAcquisitions() - before; got != 64 {
+		t.Fatalf("64 singleton HasBudgetRange cost %d acquisitions, want 64", got)
+	}
+}
+
+func TestBlockPayRangeBatch(t *testing.T) {
+	b := NewBlock(1.0, 4)
+	verdicts := b.PayRangeBatch([]RangeCharge{
+		{Start: 0, End: 3, Eps: 0.6},
+		{Start: 1, End: 2, Eps: 0.3},
+		{Start: 0, End: 3, Eps: 0.3}, // partitions 1,2 would exceed: atomic refusal
+		{Start: 0, End: 0, Eps: 0.3}, // partition 0 alone still fits
+	})
+	if verdicts[0] != nil || verdicts[1] != nil || verdicts[3] != nil {
+		t.Fatalf("accepted charges refused: %v %v %v", verdicts[0], verdicts[1], verdicts[3])
+	}
+	if !errors.Is(verdicts[2], ErrBudgetExhausted) {
+		t.Fatalf("busting charge verdict = %v, want ErrBudgetExhausted", verdicts[2])
+	}
+	// Charge 2's atomicity: partition 0 and 3 untouched by it.
+	wantSpent := []float64{0.9, 0.9, 0.9, 0.6}
+	for i, want := range wantSpent {
+		if got := b.SpentAt(i); got < want-1e-9 || got > want+1e-9 {
+			t.Fatalf("partition %d spent %g, want %g", i, got, want)
+		}
+	}
+}
+
+func TestRDPBlockAdmitBatch(t *testing.T) {
+	mirror := NewBlock(1.0, 3)
+	b := NewRDPBlockForDP(DefaultOrders, 1.0, 1e-9, 3, mirror)
+	// Exhaust partition 1 by paying its exact per-order budget curve:
+	// afterwards spent == global at every positive order, so the strict
+	// headroom predicate AdmitBatch shares with HasBudgetRange flips.
+	exhaust := NewCurve(DefaultOrders)
+	copy(exhaust.Eps, b.global.Eps)
+	if err := b.PayRange(1, 1, exhaust); err != nil {
+		t.Fatal(err)
+	}
+	if b.HasBudgetRange(1, 1) {
+		t.Fatal("failed to exhaust partition 1")
+	}
+	verdicts := b.AdmitBatch([]PartitionRange{
+		{Start: 0, End: 0},
+		{Start: 0, End: 2}, // spans exhausted partition 1
+		{Start: 2, End: 2},
+		{Start: -1, End: 2}, // malformed
+	})
+	if verdicts[0] != nil || verdicts[2] != nil {
+		t.Fatalf("healthy windows refused: %v, %v", verdicts[0], verdicts[2])
+	}
+	if !errors.Is(verdicts[1], ErrBudgetExhausted) {
+		t.Fatalf("exhausted window verdict = %v, want ErrBudgetExhausted", verdicts[1])
+	}
+	if verdicts[3] == nil {
+		t.Fatal("malformed window admitted")
+	}
+}
+
+func TestConcurrentFilterAdmitBatch(t *testing.T) {
+	c := NewConcurrentFilter(1.0)
+	if _, err := c.Register(pureMech{0.7}); err != nil {
+		t.Fatal(err)
+	}
+	verdicts := c.AdmitBatch([]float64{0.2, 0.5, 0.2, -1})
+	if verdicts[0] != nil || verdicts[2] != nil {
+		t.Fatalf("affordable budgets refused: %v, %v", verdicts[0], verdicts[2])
+	}
+	if !errors.Is(verdicts[1], ErrBudgetExhausted) {
+		t.Fatalf("unaffordable budget verdict = %v, want ErrBudgetExhausted", verdicts[1])
+	}
+	if verdicts[3] == nil {
+		t.Fatal("negative budget admitted")
+	}
+	// Advisory, non-cumulative: verdicts 0 and 2 both pass even though
+	// 0.7+0.2+0.2 > 1 — nothing was reserved.
+	if got := c.Spent(); got != 0.7 {
+		t.Fatalf("AdmitBatch moved the filter: spent %g, want 0.7", got)
+	}
+}
+
+// pureMech is a minimal Interactive for filter tests.
+type pureMech struct{ b float64 }
+
+func (m pureMech) Budget() float64 { return m.b }

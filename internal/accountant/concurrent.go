@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Interactive is a long-lived DP mechanism: it answers a stream of
@@ -51,6 +52,9 @@ type ConcurrentFilter struct {
 	filter *Filter
 	nextID int
 	live   map[int]Interactive
+	// locks counts admission-relevant acquisitions of the registry mutex
+	// (Register, Interact, Retire, AdmitBatch); see batch.go.
+	locks atomic.Uint64
 }
 
 // NewConcurrentFilter creates a filter enforcing ε_G across all admitted
@@ -73,6 +77,7 @@ func (c *ConcurrentFilter) Register(m Interactive) (Handle, error) {
 	if b < 0 {
 		return Handle{}, fmt.Errorf("accountant: negative mechanism budget %g", b)
 	}
+	c.locks.Add(1)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.filter.Pay(b); err != nil {
@@ -90,6 +95,7 @@ func (c *ConcurrentFilter) Register(m Interactive) (Handle, error) {
 // each individual interaction is a correctness convenience, not a privacy
 // requirement).
 func (c *ConcurrentFilter) Interact(h Handle, fn func(Interactive) error) error {
+	c.locks.Add(1)
 	c.mu.Lock()
 	m, ok := c.live[h.id]
 	c.mu.Unlock()
@@ -102,6 +108,7 @@ func (c *ConcurrentFilter) Interact(h Handle, fn func(Interactive) error) error 
 // Retire removes a mechanism from the live set. Its budget remains spent:
 // DP consumption is irrevocable.
 func (c *ConcurrentFilter) Retire(h Handle) {
+	c.locks.Add(1)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.live, h.id)

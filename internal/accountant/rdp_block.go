@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // RDPBlock tracks one RDP consumption curve per partition, each bounded by
@@ -39,6 +40,9 @@ type RDPBlock struct {
 	spent    []Curve
 	mirror   *Block
 	mirrored []float64 // per-partition converted spend already mirrored
+	// locks counts admission-relevant mutex acquisitions (payments and
+	// budget checks, not metric reads); see batch.go.
+	locks atomic.Uint64
 }
 
 // NewRDPBlockForDP creates an RDP block accountant whose per-partition
@@ -137,6 +141,7 @@ func (b *RDPBlock) PayRange(start, end int, cost Curve) error {
 			return fmt.Errorf("accountant: bad curve payment %g", e)
 		}
 	}
+	b.locks.Add(1)
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if start < 0 || end >= len(b.spent) || start > end {
@@ -265,6 +270,7 @@ func (b *RDPBlock) MaxSpentDP() float64 {
 // HasBudgetRange reports whether every partition of [start, end] retains
 // strictly-positive headroom at some order.
 func (b *RDPBlock) HasBudgetRange(start, end int) bool {
+	b.locks.Add(1)
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if start < 0 || end >= len(b.spent) || start > end {

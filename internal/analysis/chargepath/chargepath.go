@@ -9,7 +9,8 @@
 //     internal/accountant — anywhere else, a restore could overwrite
 //     composed history without the snapshot registry's validation.
 //
-//  2. Payment calls (Pay/PayRange on accountant types) appear only in
+//  2. Payment calls (Pay/PayRange and their batched forms
+//     PayBatch/PayRangeBatch on accountant types) appear only in
 //     designated payer packages (accountant, pmw, tree, baseline, core,
 //     engine). A private measurement accountant elsewhere takes a
 //     //turbo:allow(chargepath) annotation with justification.
@@ -18,9 +19,11 @@
 //     storage packages must sit in a function from which an admission
 //     result is reachable: the function — or a same-package function it
 //     transitively calls — either invokes an accountant payment/admission
-//     API (Pay, PayRange, Register, Interact) or obtains a result value
-//     carrying a Paid field. This is the PR 5 eviction-safety property:
-//     an entry is only ever written by the flight that paid for it.
+//     API (Pay, PayRange, Register, Interact, or the batch plane's
+//     one-round AdmitBatch/PayBatch/PayRangeBatch) or obtains a result
+//     value carrying a Paid field. This is the PR 5 eviction-safety
+//     property: an entry is only ever written by the flight that paid
+//     for it.
 package chargepath
 
 import (
@@ -120,7 +123,11 @@ func admissionEvidence(callee *types.Func) bool {
 	}
 	if accountantFunc(callee) {
 		switch callee.Name() {
-		case "Pay", "PayRange", "Register", "Interact":
+		case "Pay", "PayRange", "Register", "Interact",
+			"AdmitBatch", "PayBatch", "PayRangeBatch":
+			// The batch plane's one-round admission verdicts (AdmitBatch)
+			// and batched payments are admission results like their
+			// singleton counterparts.
 			return true
 		}
 	}
@@ -203,7 +210,8 @@ func run(pass *analysis.Pass) (interface{}, error) {
 					"accountant spend state mutates outside internal/accountant: %s restores only through the accountant's own snapshot sections",
 					callee.Name())
 			}
-		case accountantFunc(callee) && (callee.Name() == "Pay" || callee.Name() == "PayRange"):
+		case accountantFunc(callee) && (callee.Name() == "Pay" || callee.Name() == "PayRange" ||
+			callee.Name() == "PayBatch" || callee.Name() == "PayRangeBatch"):
 			if !isPayerPkg && !allow.Allowed(call.Pos(), name) {
 				pass.Reportf(call.Pos(),
 					"ε/RDP charge (%s) outside a designated payer package: charges must flow through admission, or annotate a private measurement accountant with //turbo:allow(chargepath)",

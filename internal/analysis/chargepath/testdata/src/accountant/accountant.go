@@ -8,6 +8,9 @@ func NewFilter(eps float64) *Block { return &Block{} }
 
 func (b *Block) Pay(eps float64) error                  { b.spent += eps; return nil }
 func (b *Block) PayRange(lo, hi int, eps float64) error { return nil }
+func (b *Block) AdmitBatch(wins [][2]int) []error       { return make([]error, len(wins)) }
+func (b *Block) PayRangeBatch(eps []float64) []error    { return make([]error, len(eps)) }
+func (b *Block) PayBatch(eps []float64) []error         { return make([]error, len(eps)) }
 func (b *Block) RestoreSpent(v float64)                 { b.spent = v }
 func (b *Block) RestorePayload(p []byte) error          { return nil }
 

@@ -72,3 +72,22 @@ func fillAllowed(c *cache.Exact) {
 	//turbo:allow(chargepath) warm-up preload of deterministic entries
 	c.Put("k", 1)
 }
+
+// Batch-plane rules: a one-round AdmitBatch verdict is admission
+// evidence for a cache fill, while batched payments stay confined to
+// payer packages like their singleton forms.
+
+func fillBatchAdmitted(b *accountant.Block, c *cache.Exact) {
+	verdicts := b.AdmitBatch([][2]int{{0, 3}})
+	if verdicts[0] == nil {
+		c.Put("k", 1)
+	}
+}
+
+func chargeBatch(b *accountant.Block) {
+	_ = b.PayBatch([]float64{0.1}) // want `ε/RDP charge \(PayBatch\) outside a designated payer package`
+}
+
+func chargeRangeBatch(b *accountant.Block) {
+	_ = b.PayRangeBatch([]float64{0.1}) // want `ε/RDP charge \(PayRangeBatch\) outside a designated payer package`
+}

@@ -44,6 +44,10 @@ type Scale struct {
 	// ArrivalRatios is the queries-per-arrival ladder for the streaming
 	// ingestion experiment; nil uses DefaultArrivalRatios.
 	ArrivalRatios []int
+	// Batch switches the scaling experiment to drive an HTTP server with
+	// /query/batch requests of this size (turbo-bench -batch); 0 keeps
+	// the in-process singleton drive.
+	Batch int
 }
 
 // ScaleSmall is the default for Go benchmarks: same shapes, seconds of

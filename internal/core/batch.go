@@ -1,0 +1,278 @@
+// The batch plane: AnswerBatch runs a whole slice of queries through
+// the Fig. 1 pipeline with the per-query round-trips amortized across
+// the batch.
+//
+// One planner pass classifies the entire batch and groups members by
+// flight identity (predicate + window + data version), so identical
+// queries are deduplicated before any lock is taken: the group executes
+// once and the answer fans out to every member. Distinct groups then
+// share the expensive stages:
+//
+//   - one exact-cache probe per distinct group (not per query);
+//   - ONE admission round per touched accountant for all cache-missed
+//     groups (accountant/batch.go), with per-group verdicts — an
+//     over-budget query 429s on its own without dooming batchmates, and
+//     the batch pays one filter-lock acquisition where singleton
+//     traffic pays one per query;
+//   - one dataset warm-up pass that materializes each distinct window
+//     aggregate and predicate mask once (dataset.WarmBatch), so the
+//     admitted groups' executions all run on shared, version-stamped
+//     state;
+//   - per-group execution through the same single-flight group (and
+//     cross-replica flight lease) as the singleton path, so batch
+//     executions still dedup against concurrent singleton traffic and
+//     fill the exact cache before their flight key is released.
+//
+// Admission verdicts are advisory (see accountant/batch.go): the
+// execution-time payments remain the enforcement point, so a verdict
+// that goes stale between admission and execution fails safe. The
+// batch plane's one semantic difference from the singleton path is
+// deliberate: a query over an exhausted window is refused at admission
+// even though its free R1/node-cache path might still have answered.
+package core
+
+import (
+	"sync"
+
+	"repro/internal/accountant"
+	"repro/internal/dataset"
+	"repro/internal/query"
+)
+
+// BatchResult is one query's outcome within AnswerBatch: exactly one of
+// Answer and Err is meaningful, matching Answer's return pair.
+type BatchResult struct {
+	Answer Answer
+	Err    error
+}
+
+// batchGroup collects the batch members sharing one flight identity;
+// the group resolves once — to a cache hit, an admission refusal, or
+// one execution — and the outcome fans out to every member in a single
+// final pass. n is the member count; mergedInto redirects a group that
+// the flight-identity merge folded into an earlier equal group.
+type batchGroup struct {
+	pl         Plan
+	n          int
+	ans        Answer
+	err        error
+	mergedInto *batchGroup
+}
+
+// AnswerBatch answers a batch of linear queries, returning one ordered
+// result per query. Identical queries (same predicate, window, and data
+// version) execute and pay at most once; all cache-missed groups are
+// admitted in one accountant round; and shared evaluation state is
+// warmed once for the whole batch. Per-query failures (planning errors,
+// ErrBudgetExhausted) land in that query's slot; session-wide gates
+// (ErrStateCorrupt, ErrRestoring) fail every slot.
+func (s *Session) AnswerBatch(qs []*query.Query) []BatchResult {
+	out := make([]BatchResult, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	if s.corrupt.Load() {
+		for i := range out {
+			out[i].Err = ErrStateCorrupt
+		}
+		return out
+	}
+	// One in-flight token covers the whole batch: LoadState only needs
+	// to know whether any payment can be in progress.
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.restoring.Load() {
+		for i := range out {
+			out[i].Err = ErrRestoring
+		}
+		return out
+	}
+
+	// Plan every member once and group in first-appearance order, under
+	// a single dataset metadata snapshot (one lock acquisition for the
+	// whole batch). The memo is keyed by query pointer — batch producers
+	// (the SQL frontend, the bench harness) naturally resubmit the same
+	// *query.Query for repeats, and a pointer hit skips replanning
+	// entirely. Equal queries behind distinct pointers still merge, but
+	// only if they miss the exact cache (below), so the hit path never
+	// builds a flight key. Groups live in one flat arena (the group
+	// count is bounded by len(qs), so appends never reallocate and group
+	// pointers stay stable); members hold only a pointer to their group,
+	// and the final pass below fans each group's outcome back out.
+	snap := s.ds.MetaSnapshot()
+	byPtr := make(map[*query.Query]*batchGroup, len(qs))
+	arena := make([]batchGroup, 0, len(qs))
+	assign := make([]*batchGroup, len(qs))
+	for i, q := range qs {
+		g := byPtr[q]
+		if g == nil {
+			pl, err := s.planner.PlanWith(&snap, q)
+			if err != nil {
+				out[i].Err = err
+				continue
+			}
+			arena = append(arena, batchGroup{pl: pl})
+			g = &arena[len(arena)-1]
+			byPtr[q] = g
+		}
+		g.n++
+		assign[i] = g
+	}
+
+	// One exact-cache probe per distinct group. Hit groups resolve on
+	// the spot; misses collect for the shared admission round.
+	var misses []*batchGroup
+	for i := range arena {
+		g := &arena[i]
+		if e, ok := s.exact.Get(g.pl.Query, g.pl.Version); ok {
+			g.ans = Answer{Value: e.Value, Source: SourceExactHit,
+				Start: g.pl.Start, End: g.pl.End, Rows: g.pl.Rows}
+			s.recordN(SourceExactHit, g.n)
+			continue
+		}
+		misses = append(misses, g)
+	}
+
+	if len(misses) > 0 {
+		// Merge equal-but-distinct-pointer miss groups by flight identity
+		// (predicate + window + data version) so they admit, warm, and
+		// execute once; a folded group redirects its members to the
+		// surviving one.
+		if len(misses) > 1 {
+			byKey := make(map[string]*batchGroup, len(misses))
+			merged := misses[:0]
+			for _, g := range misses {
+				key := flightKey(g.pl)
+				if m := byKey[key]; m != nil {
+					m.n += g.n
+					g.mergedInto = m
+					continue
+				}
+				byKey[key] = g
+				merged = append(merged, g)
+			}
+			misses = merged
+		}
+
+		// One admission round for every missed group; a refused group
+		// resolves to its verdict without executing.
+		verdicts := s.admitBatch(misses)
+		warm := make([]dataset.BatchQuery, 0, len(misses))
+		run := misses[:0]
+		for i, g := range misses {
+			if verdicts[i] != nil {
+				s.noteErr(verdicts[i])
+				g.err = verdicts[i]
+				continue
+			}
+			warm = append(warm, dataset.BatchQuery{Query: g.pl.Query, Start: g.pl.Start, End: g.pl.End})
+			run = append(run, g)
+		}
+		if len(run) > 0 {
+			s.ds.WarmBatch(warm)
+
+			// Execute each admitted group once, through the same
+			// single-flight path as Answer, concurrently across groups
+			// (they are distinct flight keys by construction, so they
+			// never wait on each other).
+			if len(run) == 1 {
+				g := run[0]
+				ans, shared, err := s.execute(g.pl)
+				s.resolveExecuted(g, ans, shared, err)
+			} else {
+				var wg sync.WaitGroup
+				for _, g := range run {
+					wg.Add(1)
+					go func(g *batchGroup) {
+						defer wg.Done()
+						ans, shared, err := s.execute(g.pl)
+						s.resolveExecuted(g, ans, shared, err)
+					}(g)
+				}
+				wg.Wait()
+			}
+		}
+	}
+
+	// Fan every group's outcome out to its members in one sequential
+	// pass (slots with planning errors already carry them and have no
+	// group).
+	for i, g := range assign {
+		if g == nil {
+			continue
+		}
+		if g.mergedInto != nil {
+			g = g.mergedInto
+		}
+		if g.err != nil {
+			out[i].Err = g.err
+		} else {
+			out[i].Answer = g.ans
+		}
+	}
+	return out
+}
+
+// admitBatch runs one admission round over the cache-missed groups,
+// against whichever accountant gates this session's mode, returning one
+// advisory verdict per group.
+func (s *Session) admitBatch(groups []*batchGroup) []error {
+	if s.admit != nil {
+		// Non-partitioned pure mode: every paid release is admitted
+		// through the concurrent-composition filter, so the batch verdict
+		// asks whether the cheapest paid mechanism — one ε Laplace
+		// release — could still be registered.
+		budgets := make([]float64, len(groups))
+		for i := range budgets {
+			budgets[i] = s.singleEps
+		}
+		return s.admit.AdmitBatch(budgets)
+	}
+	wins := make([]accountant.PartitionRange, len(groups))
+	for i, g := range groups {
+		wins[i] = accountant.PartitionRange{Start: g.pl.Start, End: g.pl.End}
+	}
+	if a := s.RDPAdmission(); a != nil {
+		return a.Block().AdmitBatch(wins)
+	}
+	return s.block.AdmitBatch(wins)
+}
+
+// resolveExecuted stores one group execution's outcome on the group and
+// accounts for it. The first member carries the execution itself
+// (deduplicated only if the flight was shared with a concurrent
+// caller); every further member is an intra-batch deduplication. Safe
+// to call concurrently across distinct groups — the counters are
+// atomics and each goroutine owns its group.
+func (s *Session) resolveExecuted(g *batchGroup, ans Answer, shared bool, err error) {
+	if err != nil {
+		s.noteErr(err)
+		g.err = err
+		return
+	}
+	ans.Start, ans.End, ans.Rows = g.pl.Start, g.pl.End, g.pl.Rows
+	g.ans = ans
+	dedup := g.n - 1
+	if shared {
+		dedup++
+	}
+	if dedup > 0 {
+		s.deduped.Add(int64(dedup))
+	}
+	s.recordN(ans.Source, g.n)
+}
+
+// AdmissionLockAcquisitions returns the cumulative admission-relevant
+// lock acquisitions across the session's accountants — the numerator of
+// the batch experiment's "admission lock acquisitions per query"
+// metric (accountant/batch.go documents what counts).
+func (s *Session) AdmissionLockAcquisitions() uint64 {
+	n := s.block.LockAcquisitions()
+	if s.admit != nil {
+		n += s.admit.LockAcquisitions()
+	}
+	if a := s.RDPAdmission(); a != nil {
+		n += a.Block().LockAcquisitions()
+	}
+	return n
+}

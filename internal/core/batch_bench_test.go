@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/query"
+)
+
+// BenchmarkAnswerBatch measures the steady-state (exact-hit) cost per
+// answer of the batch plane at several batch sizes against the plain
+// Answer path, on a zipf-like stream of shared query pointers.
+func BenchmarkAnswerBatch(b *testing.B) {
+	dom, ds := buildDS(b, 8)
+	cfg := defaultCfg(Partitioned)
+	cfg.EpsilonGlobal = 1000
+	s, err := NewSession(cfg, ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// 32 distinct windowed queries, repeated in a skewed stream.
+	var pool []*query.Query
+	for i := 0; i < 32; i++ {
+		q := query.MustNew(dom, map[int][]int{1: {i % 4}, 0: {i / 4 % 2}})
+		pool = append(pool, q.WithWindow(i%8, (i%8)+(i/8)%(8-i%8)))
+	}
+	stream := make([]*query.Query, 1024)
+	for i := range stream {
+		stream[i] = pool[(i*i)%7%len(pool)]
+		if i%3 == 0 {
+			stream[i] = pool[i%len(pool)]
+		}
+	}
+	for _, q := range stream {
+		if _, err := s.Answer(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("answer", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Answer(stream[i%len(stream)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, size := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("batch-%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			j := 0
+			for i := 0; i < b.N; i++ {
+				res := s.AnswerBatch(stream[j : j+size])
+				j = (j + size) % len(stream)
+				for _, r := range res {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
+}

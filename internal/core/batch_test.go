@@ -1,0 +1,237 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/accountant"
+	"repro/internal/query"
+)
+
+// TestAnswerBatchBasics pins the batch plane's per-slot contract on a
+// partitioned session: ordered results, intra-batch dedup of identical
+// queries, exact-hit fan-out, and per-slot planning errors that leave
+// batchmates unharmed.
+func TestAnswerBatchBasics(t *testing.T) {
+	dom, ds := buildDS(t, 4)
+	s, err := NewSession(defaultCfg(Partitioned), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa := query.MustNew(dom, map[int][]int{0: {1}}).WithWindow(0, 1)
+	qb := query.MustNew(dom, map[int][]int{1: {2}}).WithWindow(2, 3)
+	bad := query.MustNew(dom, map[int][]int{0: {0}}).WithWindow(0, 99)
+
+	res := s.AnswerBatch([]*query.Query{qa, bad, qb, qa, nil, qa})
+	if len(res) != 6 {
+		t.Fatalf("got %d results for 6 queries", len(res))
+	}
+	for _, i := range []int{0, 2, 3, 5} {
+		if res[i].Err != nil {
+			t.Fatalf("slot %d failed: %v", i, res[i].Err)
+		}
+	}
+	if res[1].Err == nil || res[4].Err == nil {
+		t.Fatalf("malformed slots answered: %v, %v", res[1].Err, res[4].Err)
+	}
+	// Intra-batch dedup: the three qa members carry one execution's
+	// answer and count two deduplications.
+	if res[0].Answer != res[3].Answer || res[0].Answer != res[5].Answer {
+		t.Fatalf("duplicate members disagree: %+v / %+v / %+v",
+			res[0].Answer, res[3].Answer, res[5].Answer)
+	}
+	if got := s.Deduped(); got != 2 {
+		t.Fatalf("deduped = %d, want 2", got)
+	}
+	if got := s.Queries(); got != 4 {
+		t.Fatalf("queries = %d, want 4 answered members", got)
+	}
+	if res[0].Answer.Start != 0 || res[0].Answer.End != 1 || res[0].Answer.Rows == 0 {
+		t.Fatalf("window metadata missing: %+v", res[0].Answer)
+	}
+
+	// A second batch over the same queries is pure exact-hit fan-out:
+	// no executions, no dedup, no budget.
+	spent := s.AverageSpent()
+	res2 := s.AnswerBatch([]*query.Query{qa, qb, qa})
+	for i, r := range res2 {
+		if r.Err != nil {
+			t.Fatalf("replay slot %d failed: %v", i, r.Err)
+		}
+		if r.Answer.Source != SourceExactHit {
+			t.Fatalf("replay slot %d source = %s, want exact-hit", i, r.Answer.Source)
+		}
+	}
+	if res2[0].Answer.Value != res[0].Answer.Value {
+		t.Fatal("replayed value diverged from the executed one")
+	}
+	if s.AverageSpent() != spent {
+		t.Fatal("exact-hit replay consumed budget")
+	}
+	if got := s.Deduped(); got != 2 {
+		t.Fatalf("exact hits counted as dedup: %d", got)
+	}
+}
+
+// TestAnswerBatchPartialRefusal exercises partial admission: one
+// exhausted window 429s its members while batchmates on healthy windows
+// execute normally — within one AnswerBatch call.
+func TestAnswerBatchPartialRefusal(t *testing.T) {
+	dom, ds := buildDS(t, 4)
+	s, err := NewSession(defaultCfg(Partitioned), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaust partition 1's budget directly.
+	if err := s.Accountant().PayRange(1, 1, s.Accountant().Global()); err != nil {
+		t.Fatal(err)
+	}
+	exhausted := query.MustNew(dom, map[int][]int{0: {1}}).WithWindow(0, 1)
+	healthy := query.MustNew(dom, map[int][]int{0: {1}}).WithWindow(2, 3)
+	res := s.AnswerBatch([]*query.Query{exhausted, healthy, exhausted})
+	if !errors.Is(res[0].Err, accountant.ErrBudgetExhausted) || !errors.Is(res[2].Err, accountant.ErrBudgetExhausted) {
+		t.Fatalf("exhausted-window slots = %v / %v, want ErrBudgetExhausted", res[0].Err, res[2].Err)
+	}
+	if res[1].Err != nil {
+		t.Fatalf("healthy batchmate doomed: %v", res[1].Err)
+	}
+	if !s.Exhausted() {
+		t.Fatal("refusal did not latch the exhaustion flag")
+	}
+}
+
+// TestAnswerBatchNonPartitioned covers the concurrent-filter admission
+// leg: a non-partitioned session batch-answers through the single PMW.
+func TestAnswerBatchNonPartitioned(t *testing.T) {
+	dom, ds := buildDS(t, 1)
+	s, err := NewSession(defaultCfg(NonPartitioned), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa := query.MustNew(dom, map[int][]int{0: {1}})
+	qb := query.MustNew(dom, map[int][]int{1: {3}})
+	res := s.AnswerBatch([]*query.Query{qa, qb, qa})
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("slot %d failed: %v", i, r.Err)
+		}
+	}
+	if res[0].Answer.Value != res[2].Answer.Value {
+		t.Fatal("duplicate members disagree")
+	}
+	want, _ := s.Answer(qa)
+	if want.Source != SourceExactHit {
+		t.Fatalf("batch execution did not fill the exact cache: %s", want.Source)
+	}
+}
+
+// TestAnswerBatchNoDoubleSpendRace is the batch plane's no-double-spend
+// property test, run under -race by CI: a batch of N identical queries
+// moves the accountant by exactly one execution's Paid and counts N−1
+// deduplications; batches then race streaming appends and snapshots;
+// and a snapshot restored into a twin session matches the original's
+// spend vector charge for charge.
+func TestAnswerBatchNoDoubleSpendRace(t *testing.T) {
+	dom, ds := buildDS(t, 6)
+	cfg := defaultCfg(Streaming)
+	s, err := NewSession(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deterministic phase: one batch of N duplicates, quiesced session.
+	const n = 16
+	q := query.MustNew(dom, map[int][]int{0: {1}}).WithWindow(0, 3)
+	before := s.Accountant().SpentVector()
+	batch := make([]*query.Query, n)
+	for i := range batch {
+		batch[i] = q
+	}
+	res := s.AnswerBatch(batch)
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("slot %d failed: %v", i, r.Err)
+		}
+		if r.Answer != res[0].Answer {
+			t.Fatalf("slot %d diverged: %+v vs %+v", i, r.Answer, res[0].Answer)
+		}
+	}
+	paid := res[0].Answer.Paid
+	if paid <= 0 {
+		t.Fatalf("first execution on a fresh session paid %g, want > 0", paid)
+	}
+	after := s.Accountant().SpentVector()
+	delta := 0.0
+	for i := range before {
+		delta += after[i] - before[i]
+	}
+	if delta < paid-1e-9 || delta > paid+1e-9 {
+		t.Fatalf("accountant moved %g for a batch of %d duplicates, want exactly one Paid = %g",
+			delta, n, paid)
+	}
+	if got := s.Deduped(); got != n-1 {
+		t.Fatalf("deduped = %d, want %d", got, n-1)
+	}
+
+	// Race phase: concurrent batches of duplicates interleaved with
+	// streaming append epochs and snapshot writers.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				qi := query.MustNew(dom, map[int][]int{1: {(w + i) % 4}}).WithWindow(0, 5)
+				b := []*query.Query{qi, qi, qi, qi}
+				for _, r := range s.AnswerBatch(b) {
+					if r.Err != nil && !errors.Is(r.Err, accountant.ErrBudgetExhausted) {
+						panic(fmt.Sprintf("batch worker %d: %v", w, r.Err))
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			if _, err := s.AppendPartitions(1); err != nil {
+				panic(err)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			var buf bytes.Buffer
+			_ = s.SaveState(&buf) // concurrent saves may hit the restore gate; racing is the point
+		}
+	}()
+	wg.Wait()
+
+	// Snapshot-equality phase: a quiesced snapshot restored into a twin
+	// reproduces the spend vector charge for charge.
+	var snap bytes.Buffer
+	if err := s.SaveState(&snap); err != nil {
+		t.Fatal(err)
+	}
+	twin, err := NewSession(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := twin.LoadState(&snap); err != nil {
+		t.Fatal(err)
+	}
+	got, want := twin.Accountant().SpentVector(), s.Accountant().SpentVector()
+	if len(got) != len(want) {
+		t.Fatalf("twin has %d partitions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("partition %d: twin spent %g, original %g", i, got[i], want[i])
+		}
+	}
+}

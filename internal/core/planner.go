@@ -62,6 +62,30 @@ func (p *Planner) Plan(q *query.Query) (Plan, error) {
 	return Plan{Query: q, Start: start, End: end, Version: version, Rows: rows}, nil
 }
 
+// PlanWith resolves q like Plan, but against a metadata snapshot the
+// caller captured with Dataset.MetaSnapshot — the batch plane plans any
+// number of queries under one dataset lock acquisition this way.
+func (p *Planner) PlanWith(m *dataset.MetaSnapshot, q *query.Query) (Plan, error) {
+	if q == nil {
+		return Plan{}, errors.New("core: nil query")
+	}
+	if q.Domain() != nil && !q.Domain().Equal(p.ds.Domain()) {
+		return Plan{}, errors.New("core: query domain does not match session dataset")
+	}
+	start, end := 0, m.Partitions()-1
+	if a, b, ok := q.Window(); ok {
+		start, end = a, b
+		if a < 0 || b >= m.Partitions() {
+			return Plan{}, fmt.Errorf("core: window [%d,%d] out of range", a, b)
+		}
+	}
+	version, rows, err := m.WindowMeta(start, end)
+	if err != nil {
+		return Plan{}, err
+	}
+	return Plan{Query: q, Start: start, End: end, Version: version, Rows: rows}, nil
+}
+
 // TurboQuery wraps the plan as the engine-agnostic query view of the Turbo
 // API (Fig. 7b).
 func (pl Plan) TurboQuery() TurboQuery { return plannedQuery{pl: pl} }

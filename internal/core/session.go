@@ -240,6 +240,10 @@ type Session struct {
 	// Non-partitioned machinery: one executor shard.
 	singleMu sync.Mutex
 	single   *pmw.PMW
+	// singleEps is the single PMW's per-release ε — the cheapest paid
+	// mechanism, which the batch plane's advisory admission prices
+	// (batch.go); 0 in partitioned modes.
+	singleEps float64
 	// admit gates every pure-DP mechanism of the non-partitioned path
 	// through concurrent composition (Appendix B); nil in tree and
 	// Gaussian modes.
@@ -358,6 +362,7 @@ func NewSession(cfg Config, ds *dataset.Dataset) (*Session, error) {
 		}
 		full := pmw.RangeExecutor{Exec: s.exec, Start: 0, End: ds.Partitions() - 1}
 		eps := noise.EpsilonForAccuracy(cfg.Alpha, cfg.Beta, n)
+		s.singleEps = eps
 		var payer pmw.Payer
 		if cfg.Gaussian {
 			if cfg.DeltaGlobal <= 0 || cfg.DeltaGlobal >= 1 {
@@ -616,6 +621,13 @@ func (s *Session) record(src Source) {
 	s.bySrc[sourceIndex[src]].Add(1)
 }
 
+// recordN counts n answers from one source in two atomic adds — the
+// batch plane's fan-out uses it instead of n record calls.
+func (s *Session) recordN(src Source, n int) {
+	s.queries.Add(int64(n))
+	s.bySrc[sourceIndex[src]].Add(int64(n))
+}
+
 func (s *Session) noteErr(err error) {
 	if errors.Is(err, accountant.ErrBudgetExhausted) {
 		s.exhaust.Store(true)
@@ -709,8 +721,14 @@ func (s *Session) Store() store.Backend { return s.store }
 
 // StoreStats returns the storage backend's hit/miss/eviction/bytes
 // counters, for /schema's cache section and the cache-pressure
-// experiment.
-func (s *Session) StoreStats() store.Stats { return s.store.Stats() }
+// experiment, with the vectorized engine's predicate-mask memo
+// counters overlaid so every answer-cache layer reports in one place.
+func (s *Session) StoreStats() store.Stats {
+	st := s.store.Stats()
+	ms := s.ds.MaskStats()
+	st.MaskHits, st.MaskMisses, st.MaskEvictions = ms.Hits, ms.Misses, ms.Evictions
+	return st
+}
 
 // MemoryBytes reports resident caching-state size: histograms plus the KV
 // store (§6.5).

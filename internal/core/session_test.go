@@ -14,7 +14,7 @@ import (
 	"repro/internal/tree"
 )
 
-func buildDS(t *testing.T, partitions int) (*domain.Domain, *dataset.Dataset) {
+func buildDS(t testing.TB, partitions int) (*domain.Domain, *dataset.Dataset) {
 	t.Helper()
 	dom := domain.MustNew(
 		domain.Attribute{Name: "p", Card: 2},

@@ -33,6 +33,7 @@ package dataset
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/domain"
 	"repro/internal/query"
@@ -69,6 +70,14 @@ type bitIndex struct {
 	mu    sync.RWMutex
 	attr  [][][]uint64 // attr[i][v] = mask over bins with Value(bin,i)==v
 	preds map[string][]uint64
+
+	// Memo telemetry for the combined predicate masks, surfaced through
+	// Dataset.MaskStats → Session.StoreStats → /schema: how often the
+	// batch plane (and the singleton miss path) reuses a shared mask
+	// versus paying a rebuild, and how much the maxPredMasks cap churns.
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
 }
 
 func newBitIndex(dom *domain.Domain) *bitIndex {
@@ -134,8 +143,10 @@ func (ix *bitIndex) predicateMask(q *query.Query) []uint64 {
 	m, ok := ix.preds[key]
 	ix.mu.RUnlock()
 	if ok {
+		ix.hits.Add(1)
 		return m
 	}
+	ix.misses.Add(1)
 	mask := make([]uint64, ix.words)
 	first := true
 	for i := 0; i < ix.dom.NumAttrs(); i++ {
@@ -173,6 +184,7 @@ func (ix *bitIndex) predicateMask(q *query.Query) []uint64 {
 	if len(ix.preds) >= maxPredMasks {
 		for victim := range ix.preds {
 			delete(ix.preds, victim)
+			ix.evictions.Add(1)
 			break
 		}
 	}

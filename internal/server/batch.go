@@ -1,0 +1,123 @@
+// POST /query/batch: the HTTP surface of the session's batch plane.
+//
+// Analysts submit an ordered array of SQL statements and get back one
+// ordered result per statement, each with its own status — a dashboard
+// refresh or a decomposed workload ships one round-trip instead of N,
+// and the session amortizes planning, cache probes, admission locking,
+// and shared evaluation state across the batch (core.AnswerBatch).
+// Statuses are per element: one over-budget query 429s in its slot
+// without dooming its batchmates, exactly like the singleton endpoint's
+// status mapping. The envelope itself is 200 whenever the batch was
+// processed; only malformed requests (400) and session-wide gates —
+// corrupt or restoring state (503) — fail the whole call.
+
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/accountant"
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// BatchQueryRequest is the /query/batch payload: an ordered array of
+// SQL statements.
+type BatchQueryRequest struct {
+	Queries []string `json:"queries"`
+}
+
+// BatchItem is one statement's outcome within a /query/batch response:
+// Status mirrors the singleton endpoint's mapping (200 answered, 429
+// budget-exhausted, 422 unparseable or unanswerable), with exactly one
+// of Result and Error populated.
+type BatchItem struct {
+	Status int            `json:"status"`
+	Result *QueryResponse `json:"result,omitempty"`
+	Error  *ErrorResponse `json:"error,omitempty"`
+}
+
+// BatchQueryResponse is the /query/batch result: Results[i] answers
+// Queries[i].
+type BatchQueryResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// handleQueryBatch parses every statement, runs the parseable ones
+// through the session's batch plane in one call, and assembles the
+// ordered per-element status array. Counters advance exactly as if the
+// elements had been served individually: one served request and one
+// answer per 200 element, one refusal per 429 element.
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{"bad-request", "POST only"})
+		return
+	}
+	var req BatchQueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{"bad-request", err.Error()})
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{"bad-request", "empty batch"})
+		return
+	}
+
+	items := make([]BatchItem, len(req.Queries))
+	qs := make([]*query.Query, 0, len(req.Queries))
+	slots := make([]int, 0, len(req.Queries))
+	for i, sql := range req.Queries {
+		st, err := s.parser.Parse(sql)
+		if err != nil {
+			items[i] = BatchItem{Status: http.StatusUnprocessableEntity,
+				Error: &ErrorResponse{"parse", err.Error()}}
+			continue
+		}
+		if !strings.EqualFold(st.Table, s.table) {
+			items[i] = BatchItem{Status: http.StatusUnprocessableEntity,
+				Error: &ErrorResponse{"parse", "unknown table " + strconv.Quote(st.Table)}}
+			continue
+		}
+		qs = append(qs, st.Query)
+		slots = append(slots, i)
+	}
+
+	if len(qs) > 0 {
+		results := s.sess.AnswerBatch(qs)
+		for k, res := range results {
+			i := slots[k]
+			switch {
+			case errors.Is(res.Err, core.ErrStateCorrupt):
+				writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{"corrupt", res.Err.Error()})
+				return
+			case errors.Is(res.Err, core.ErrRestoring):
+				w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter))
+				writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{"overloaded", res.Err.Error()})
+				return
+			case errors.Is(res.Err, accountant.ErrBudgetExhausted):
+				s.refusals.Add(1)
+				items[i] = BatchItem{Status: http.StatusTooManyRequests,
+					Error: &ErrorResponse{"exhausted", "global privacy budget exhausted"}}
+			case res.Err != nil:
+				items[i] = BatchItem{Status: http.StatusUnprocessableEntity,
+					Error: &ErrorResponse{"bad-request", res.Err.Error()}}
+			default:
+				ans := res.Answer
+				s.countAnswer(ans.Source)
+				s.countServed()
+				items[i] = BatchItem{Status: http.StatusOK, Result: &QueryResponse{
+					Fraction:  ans.Value,
+					Count:     ans.Value * float64(ans.Rows),
+					Source:    string(ans.Source),
+					Paid:      ans.Paid,
+					Remaining: s.sess.Accountant().Global() - s.sess.AverageSpent(),
+				}}
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchQueryResponse{Results: items})
+}

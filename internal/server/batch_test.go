@@ -1,0 +1,183 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func postBatch(t *testing.T, ts *httptest.Server, queries []string) (*http.Response, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(BatchQueryRequest{Queries: queries})
+	resp, err := http.Post(ts.URL+"/query/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// TestBatchEndpoint pins the ordered per-element contract: answered
+// slots, duplicate slots sharing one execution's answer, a parse error
+// in its own slot, and counters advancing per element.
+func TestBatchEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t, 100)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	qs := []string{
+		"SELECT COUNT(*) FROM covid WHERE positive = 1",
+		"SELECT nonsense",
+		"SELECT COUNT(*) FROM covid WHERE age IN (1, 2)",
+		"SELECT COUNT(*) FROM covid WHERE positive = 1", // duplicate of slot 0
+		"SELECT COUNT(*) FROM wrongtable WHERE positive = 1",
+	}
+	resp, body := postBatch(t, ts, qs)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("envelope status %d: %s", resp.StatusCode, body)
+	}
+	var br BatchQueryResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != len(qs) {
+		t.Fatalf("%d results for %d queries", len(br.Results), len(qs))
+	}
+	for _, i := range []int{0, 2, 3} {
+		if br.Results[i].Status != http.StatusOK || br.Results[i].Result == nil {
+			t.Fatalf("slot %d = %+v, want 200 with result", i, br.Results[i])
+		}
+	}
+	for _, i := range []int{1, 4} {
+		if br.Results[i].Status != http.StatusUnprocessableEntity || br.Results[i].Error == nil ||
+			br.Results[i].Error.Kind != "parse" {
+			t.Fatalf("slot %d = %+v, want 422 parse", i, br.Results[i])
+		}
+	}
+	if br.Results[0].Result.Fraction != br.Results[3].Result.Fraction {
+		t.Fatal("duplicate slots disagree")
+	}
+	if got := srv.queries.Load(); got != 3 {
+		t.Fatalf("served counter = %d, want 3 (one per 200 element)", got)
+	}
+	if got := srv.answers.Load(); got != 3 {
+		t.Fatalf("answers counter = %d, want 3", got)
+	}
+
+	// Replaying the same batch is exact-hit fan-out.
+	_, body = postBatch(t, ts, qs[:1])
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Results[0].Result.Source != "exact-hit" {
+		t.Fatalf("replay source = %s, want exact-hit", br.Results[0].Result.Source)
+	}
+}
+
+// TestBatchEndpointMixedAdmission is the mixed admit/429 smoke CI runs:
+// one batch containing queries on an exhausted window and on healthy
+// windows gets per-element 429s and 200s in order.
+func TestBatchEndpointMixedAdmission(t *testing.T) {
+	srv, _ := newTestServer(t, 100)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Exhaust partition 0's budget directly; windows touching it are
+	// refused at batch admission while [1,3] stays healthy.
+	acct := srv.sess.Accountant()
+	if err := acct.PayRange(0, 0, acct.Global()); err != nil {
+		t.Fatal(err)
+	}
+	refusalsBefore := srv.refusals.Load()
+	qs := []string{
+		"SELECT COUNT(*) FROM covid WHERE positive = 1 AND time BETWEEN 0 AND 1",
+		"SELECT COUNT(*) FROM covid WHERE positive = 1 AND time BETWEEN 1 AND 3",
+		"SELECT COUNT(*) FROM covid WHERE age = 2 AND time BETWEEN 0 AND 0",
+	}
+	resp, body := postBatch(t, ts, qs)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("envelope status %d: %s", resp.StatusCode, body)
+	}
+	var br BatchQueryResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{http.StatusTooManyRequests, http.StatusOK, http.StatusTooManyRequests}
+	for i, w := range want {
+		if br.Results[i].Status != w {
+			t.Fatalf("slot %d status = %d, want %d (%+v)", i, br.Results[i].Status, w, br.Results[i])
+		}
+	}
+	if br.Results[0].Error.Kind != "exhausted" {
+		t.Fatalf("slot 0 kind = %s, want exhausted", br.Results[0].Error.Kind)
+	}
+	if got := srv.refusals.Load() - refusalsBefore; got != 2 {
+		t.Fatalf("refusals advanced by %d, want 2", got)
+	}
+}
+
+// TestBatchEndpointMalformed pins the envelope-level failures.
+func TestBatchEndpointMalformed(t *testing.T) {
+	srv, _ := newTestServer(t, 100)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, _ := postBatch(t, ts, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch status %d, want 400", resp.StatusCode)
+	}
+	r2, err := http.Post(ts.URL+"/query/batch", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON status %d, want 400", r2.StatusCode)
+	}
+	r3, err := http.Get(ts.URL + "/query/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d, want 405", r3.StatusCode)
+	}
+}
+
+// TestSchemaMaskCounters verifies the predicate-mask memo counters
+// surface through /schema after batch traffic.
+func TestSchemaMaskCounters(t *testing.T) {
+	srv, _ := newTestServer(t, 100)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// age IN (1,2,3) has support 6 of 8 bins — wide enough for the
+	// masked-sum branch, narrow enough not to shortcut to fraction 1 —
+	// so answering it builds (then reuses) a memoized predicate mask.
+	qs := []string{
+		"SELECT COUNT(*) FROM covid WHERE age IN (1, 2, 3)",
+		"SELECT COUNT(*) FROM covid WHERE age IN (1, 2, 3) AND time BETWEEN 0 AND 1",
+	}
+	if resp, body := postBatch(t, ts, qs); resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, body)
+	}
+	resp, err := http.Get(ts.URL + "/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr SchemaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Cache == nil || sr.Cache.MaskMisses == 0 {
+		t.Fatalf("mask counters missing from /schema: %+v", sr.Cache)
+	}
+	if sr.Cache.MaskHits == 0 {
+		t.Fatalf("batch sharing produced no mask hits: %+v", sr.Cache)
+	}
+}

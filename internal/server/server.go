@@ -143,6 +143,7 @@ func (s *Server) Close() {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/query/batch", s.handleQueryBatch)
 	mux.HandleFunc("/groupby", s.handleGroupBy)
 	mux.HandleFunc("/append", s.handleAppend)
 	mux.HandleFunc("/budget", s.handleBudget)
@@ -546,6 +547,13 @@ type CacheStats struct {
 	ExactMisses  int     `json:"exact_misses"`
 	ExactHitRate float64 `json:"exact_hit_rate"`
 	ExactStripes int     `json:"exact_stripes"`
+	// MaskHits/MaskMisses/MaskEvictions are the vectorized engine's
+	// predicate-mask memo counters: how often executions (batch plane
+	// included) reused a shared mask versus paying a rebuild, and how
+	// much the memo cap churns.
+	MaskHits      int64 `json:"mask_hits"`
+	MaskMisses    int64 `json:"mask_misses"`
+	MaskEvictions int64 `json:"mask_evictions"`
 }
 
 // ReplicationStats is the /schema replication section, present for
@@ -595,20 +603,23 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 		Rows:       s.sess.Dataset().NRowsAll(),
 		Partitions: s.sess.Dataset().Partitions(),
 		Cache: &CacheStats{
-			Backend:      st.Backend,
-			Entries:      st.Entries,
-			Bytes:        st.Bytes,
-			CapEntries:   st.CapEntries,
-			CapBytes:     st.CapBytes,
-			Hits:         st.Hits,
-			Misses:       st.Misses,
-			Evictions:    st.Evictions,
-			EvictedCost:  st.EvictedCost,
-			DecodeErrors: st.DecodeErrors,
-			ExactHits:    exactHits,
-			ExactMisses:  exactMisses,
-			ExactHitRate: exact.HitRate(),
-			ExactStripes: exact.Stripes(),
+			Backend:       st.Backend,
+			Entries:       st.Entries,
+			Bytes:         st.Bytes,
+			CapEntries:    st.CapEntries,
+			CapBytes:      st.CapBytes,
+			Hits:          st.Hits,
+			Misses:        st.Misses,
+			Evictions:     st.Evictions,
+			EvictedCost:   st.EvictedCost,
+			DecodeErrors:  st.DecodeErrors,
+			ExactHits:     exactHits,
+			ExactMisses:   exactMisses,
+			ExactHitRate:  exact.HitRate(),
+			ExactStripes:  exact.Stripes(),
+			MaskHits:      st.MaskHits,
+			MaskMisses:    st.MaskMisses,
+			MaskEvictions: st.MaskEvictions,
 		},
 	}
 	if id := s.sess.ReplicaID(); id != "" {

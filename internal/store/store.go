@@ -113,6 +113,11 @@ type Stats struct {
 	Bytes   int
 	// CapEntries and CapBytes are the configured bounds (0 = unbounded).
 	CapEntries, CapBytes int
+	// MaskHits, MaskMisses, and MaskEvictions are the vectorized engine's
+	// predicate-mask memo counters (dataset.MaskStats). They describe a
+	// session-side memo, not this backend; Session.StoreStats overlays
+	// them so /schema reports every answer-cache layer in one place.
+	MaskHits, MaskMisses, MaskEvictions int64
 }
 
 // Exported is one entry of a namespace export: the stored bytes plus the
