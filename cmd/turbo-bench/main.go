@@ -76,6 +76,43 @@ func toJSONResult(e bench.Experiment, sc bench.Scale, res bench.Result, wall tim
 	return jr
 }
 
+// loadTreeMissBaseline extracts the treemiss-qps series of the FIRST
+// misspath record in a BENCH_*.json trajectory file — the first record is
+// the pinned perf baseline; later records are appended runs. A missing
+// file skips the gate (nil map, no error) so fresh checkouts without the
+// trajectory still run.
+func loadTreeMissBaseline(path string) (map[float64]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "turbo-bench: baseline %s not found; tree-miss gate skipped\n", path)
+			return nil, nil
+		}
+		return nil, err
+	}
+	var records []jsonResult
+	if err := json.Unmarshal(data, &records); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	for _, rec := range records {
+		if rec.Experiment != "misspath" {
+			continue
+		}
+		for _, s := range rec.Series {
+			if s.Name != "treemiss-qps" {
+				continue
+			}
+			base := make(map[float64]float64, len(s.Points))
+			for _, p := range s.Points {
+				base[p.X] = p.Y
+			}
+			return base, nil
+		}
+		return nil, fmt.Errorf("%s: first misspath record has no treemiss-qps series", path)
+	}
+	return nil, fmt.Errorf("%s: no misspath record", path)
+}
+
 func main() {
 	var (
 		exp      = flag.String("exp", "fig3", "experiment name or 'all'")
@@ -88,6 +125,7 @@ func main() {
 		parallel = flag.String("parallel", "", "goroutine counts for -exp=scaling, e.g. 1,2,4,8,16")
 		arrivals = flag.String("arrivals", "", "queries-per-arrival ratios for -exp=streaming, e.g. 400,100,25")
 		batch    = flag.Int("batch", 0, "for -exp=scaling: drive an HTTP server via /query/batch with batches of N (0 = in-process singleton drive)")
+		baseline = flag.String("baseline", "", "for -exp=misspath: JSON trajectory file whose FIRST misspath record supplies the treemiss-qps baseline for the 10x hard gate (missing file or empty flag skips the gate)")
 		jsonOut  = flag.String("json", "", "also write machine-readable results (a JSON array) to FILE")
 	)
 	flag.Parse()
@@ -134,6 +172,14 @@ func main() {
 		os.Exit(2)
 	}
 	sc.Batch = *batch
+	if *baseline != "" {
+		base, err := loadTreeMissBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "turbo-bench: -baseline: %v\n", err)
+			os.Exit(2)
+		}
+		sc.TreeMissBaseline = base
+	}
 	if *arrivals != "" {
 		for _, part := range strings.Split(*arrivals, ",") {
 			r, err := strconv.Atoi(strings.TrimSpace(part))

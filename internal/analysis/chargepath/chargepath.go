@@ -134,9 +134,9 @@ func admissionEvidence(callee *types.Func) bool {
 	return hasPaidResult(callee)
 }
 
-// cacheFill classifies a callee as a cache/backend write: Put on
-// cache.Exact, or any SetWeighted method (the Backend interface and every
-// implementation).
+// cacheFill classifies a callee as a cache/backend write: Put or PutKey
+// on cache.Exact, or any SetWeighted method (the Backend interface and
+// every implementation).
 func cacheFill(callee *types.Func) bool {
 	if callee == nil {
 		return false
@@ -144,7 +144,7 @@ func cacheFill(callee *types.Func) bool {
 	switch callee.Name() {
 	case "SetWeighted":
 		return true
-	case "Put":
+	case "Put", "PutKey":
 		return callee.Pkg() != nil && callee.Pkg().Name() == "cache" && recvNamed(callee) == "Exact"
 	}
 	return false

@@ -14,7 +14,7 @@
 //
 //	core.Session.persistMu < stream.Ingestor.mu < core.Session.appendMu
 //	  < { core.Session.singleMu , tree.stateShard.mu (ascending) }
-//	  < tree.Tree.shardMu < cache.exactStripe.mu < tree.Tree.statsMu
+//	  < tree.Tree.shardMu < cache.exactStripe.mu
 //	  < accountant.Block.mu
 //	  < { kvstore.stripe.mu , store.boundedStripe.mu , store.File.mu }
 //	  < store.File.statsMu
@@ -24,6 +24,14 @@
 // into the shared store (accountant/shared.go); store.File.statsMu ranks
 // below store.File.mu because compaction bumps its counter while holding
 // the log mutex.
+//
+// The tree's shard locks are acquired twice per query under the
+// split-phase Run discipline (a locked claim, an unlocked execute, a
+// locked commit); each locked phase independently follows the ascending
+// rule, and the unlocked execute phase may only touch layers ranked below
+// the shard locks (the accountant and the store), so the partial order is
+// unchanged. The tree's stats counters are atomics and no longer appear
+// in the table.
 //
 // Locks not in the table are ignored. Escape hatch:
 // //turbo:allow(lockorder).
@@ -62,7 +70,6 @@ var Ranks = map[string]int{
 	"tree.stateShard.mu":     30,
 	"tree.Tree.shardMu":      40,
 	"cache.exactStripe.mu":   45,
-	"tree.Tree.statsMu":      50,
 	"accountant.Block.mu":    55,
 	"kvstore.stripe.mu":      60,
 	"store.boundedStripe.mu": 60,

@@ -48,6 +48,13 @@ type Scale struct {
 	// /query/batch requests of this size (turbo-bench -batch); 0 keeps
 	// the in-process singleton drive.
 	Batch int
+	// TreeMissBaseline maps domain size (bins) to the committed
+	// treemiss-qps baseline for -exp=misspath (turbo-bench -baseline
+	// loads it from the first record of BENCH_misspath.json). When a
+	// ladder point has an entry, the experiment hard-errors unless the
+	// measured tree-miss throughput is at least 10x the baseline; nil or
+	// missing entries skip the gate.
+	TreeMissBaseline map[float64]float64
 }
 
 // ScaleSmall is the default for Go benchmarks: same shapes, seconds of

@@ -182,8 +182,51 @@ func (c *Exact) stripeForKey(key string) *exactStripe {
 // entry whose version no longer matches is stale forever (window versions
 // are monotone), so it is evicted from both layers on the way out.
 func (c *Exact) Get(q *query.Query, version int) (Entry, bool) {
-	st := c.stripeFor(q)
-	key := q.KeyWithWindow()
+	return c.getKeyed(c.stripeFor(q), q.KeyWithWindow(), version)
+}
+
+// stripeForStart maps a windowed key to its namespace stripe by window
+// start — the same formula stripeFor applies to q.Window(), for callers
+// holding a key built with query.AppendWindowKey instead of a query copy.
+func (c *Exact) stripeForStart(start int) *exactStripe {
+	if c.stripeCount <= 1 {
+		return c.stripes[0]
+	}
+	return c.stripes[(start/c.shardWidth)%c.stripeCount]
+}
+
+// GetKey is Get for a windowed key built with query.AppendWindowKey,
+// with the window start passed explicitly for stripe selection. A fresh
+// fast-map hit allocates nothing (the map probe's string conversion is
+// free); any other outcome materializes the key once and takes the
+// regular route.
+func (c *Exact) GetKey(key []byte, windowStart, version int) (Entry, bool) {
+	st := c.stripeForStart(windowStart)
+	st.mu.RLock()
+	e, ok := st.fast[string(key)]
+	st.mu.RUnlock()
+	if ok && e.Version == version {
+		c.hits.Add(1)
+		return e, true
+	}
+	// Stale or absent: leave the zero-allocation path. getKeyed re-probes
+	// the fast map, which is about to miss or invalidate there anyway.
+	return c.getKeyed(st, string(key), version)
+}
+
+// PutKey is Put for a windowed key built with query.AppendWindowKey.
+func (c *Exact) PutKey(key []byte, windowStart, version int, value, eps float64) error {
+	st := c.stripeForStart(windowStart)
+	k := string(key)
+	e := Entry{Value: value, Eps: eps, Version: version}
+	if err := c.store.SetWeighted(st.ns, k, e, eps); err != nil {
+		return err
+	}
+	c.cacheFast(st, k, e)
+	return nil
+}
+
+func (c *Exact) getKeyed(st *exactStripe, key string, version int) (Entry, bool) {
 	st.mu.RLock()
 	e, ok := st.fast[key]
 	st.mu.RUnlock()

@@ -123,6 +123,6 @@ func (ds *Dataset) WarmBatch(items []BatchQuery) {
 		ds.windowAgg(it.Start, it.End, version)
 	}
 	for _, q := range preds {
-		ds.idx.predicateMask(q)
+		ds.idx.predicate(q)
 	}
 }

@@ -59,7 +59,7 @@ func TestMaskStatsCountHitsMissesEvictions(t *testing.T) {
 			1: subsetVals(i%255 + 1),
 			2: subsetVals(i/255%255 + 1),
 		})
-		ds.idx.predicateMask(q)
+		ds.idx.predicate(q)
 	}
 	if st = ds.MaskStats(); st.Evictions == 0 {
 		t.Fatalf("no evictions after overflowing the memo: %+v", st)

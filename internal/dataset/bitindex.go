@@ -10,8 +10,11 @@
 //     encoding, never on the data: they form arithmetic runs of length
 //     Stride(i). One []uint64 word-mask per attribute value, built lazily
 //     on first use, turns any conjunction into OR-of-values per attribute
-//     then AND across attributes. Combined predicate masks are memoized by
-//     the query's canonical key.
+//     then AND across attributes. Combined predicate masks — plus, for
+//     all but the densest predicates, the mask's set bits extracted as a
+//     flat gather list — are memoized by the query's canonical key, so
+//     steady-state evaluation is a gather-sum over the support instead of
+//     a scan of every mask word.
 //  2. A query over partitions [s,e] needs only the window's summed count
 //     vector (linearity: q·Σh = Σq·h). The window-aggregate cache keeps
 //     that vector per window, stamped with the window's data version, so a
@@ -69,7 +72,7 @@ type bitIndex struct {
 
 	mu    sync.RWMutex
 	attr  [][][]uint64 // attr[i][v] = mask over bins with Value(bin,i)==v
-	preds map[string][]uint64
+	preds map[string]predEntry
 
 	// Memo telemetry for the combined predicate masks, surfaced through
 	// Dataset.MaskStats → Session.StoreStats → /schema: how often the
@@ -80,12 +83,20 @@ type bitIndex struct {
 	evictions atomic.Uint64
 }
 
+// predEntry is one memoized predicate: the combined conjunction mask and,
+// when the support is no more than half the domain (bounding the memo's
+// extra memory), its set bits as an ascending gather list.
+type predEntry struct {
+	mask []uint64
+	bins []int32
+}
+
 func newBitIndex(dom *domain.Domain) *bitIndex {
 	return &bitIndex{
 		dom:   dom,
 		words: (dom.Size() + 63) / 64,
 		attr:  make([][][]uint64, dom.NumAttrs()),
-		preds: make(map[string][]uint64),
+		preds: make(map[string]predEntry),
 	}
 }
 
@@ -135,9 +146,10 @@ func (ix *bitIndex) attrMask(i, v int) []uint64 {
 	return m
 }
 
-// predicateMask returns (memoized by canonical key) the combined mask of
-// bins satisfying q's conjunction.
-func (ix *bitIndex) predicateMask(q *query.Query) []uint64 {
+// predicate returns (memoized by canonical key) the combined mask of bins
+// satisfying q's conjunction, with its gather list when dense enough to
+// skip but sparse enough to store.
+func (ix *bitIndex) predicate(q *query.Query) predEntry {
 	key := q.Key()
 	ix.mu.RLock()
 	m, ok := ix.preds[key]
@@ -180,6 +192,18 @@ func (ix *bitIndex) predicateMask(q *query.Query) []uint64 {
 	if first { // unconstrained predicate: every bin
 		setRange(mask, 0, ix.dom.Size())
 	}
+	entry := predEntry{mask: mask}
+	if ss := q.SupportSize(); ss*2 <= ix.dom.Size() {
+		bins := make([]int32, 0, ss)
+		for w, word := range mask {
+			base := int32(w) << 6
+			for word != 0 {
+				bins = append(bins, base+int32(bits.TrailingZeros64(word)))
+				word &= word - 1
+			}
+		}
+		entry.bins = bins
+	}
 	ix.mu.Lock()
 	if len(ix.preds) >= maxPredMasks {
 		for victim := range ix.preds {
@@ -188,26 +212,45 @@ func (ix *bitIndex) predicateMask(q *query.Query) []uint64 {
 			break
 		}
 	}
-	ix.preds[key] = mask
+	ix.preds[key] = entry
 	ix.mu.Unlock()
-	return mask
+	return entry
 }
 
 // maskedSum computes Σ counts[bin] over the mask's set bits: the
-// vectorized inner product replacing the per-bin membership walk.
+// vectorized inner product replacing the per-bin membership walk. The
+// reduction runs four independent accumulator chains so dense masks are
+// not serialized on floating-point add latency; count vectors hold
+// integer-valued float64s well inside the 53-bit mantissa, so the sum is
+// exact under any association.
 func maskedSum(mask []uint64, counts []float64) float64 {
-	sum := 0.0
+	var s0, s1, s2, s3 float64
 	for w, word := range mask {
 		if word == 0 {
 			continue
 		}
 		base := w << 6
 		for word != 0 {
-			sum += counts[base+bits.TrailingZeros64(word)]
+			s0 += counts[base+bits.TrailingZeros64(word)]
+			word &= word - 1
+			if word == 0 {
+				break
+			}
+			s1 += counts[base+bits.TrailingZeros64(word)]
+			word &= word - 1
+			if word == 0 {
+				break
+			}
+			s2 += counts[base+bits.TrailingZeros64(word)]
+			word &= word - 1
+			if word == 0 {
+				break
+			}
+			s3 += counts[base+bits.TrailingZeros64(word)]
 			word &= word - 1
 		}
 	}
-	return sum
+	return (s0 + s1) + (s2 + s3)
 }
 
 // sparseSum walks q's support over vec with an iterative odometer — the
@@ -261,13 +304,38 @@ func sparseSum(q *query.Query, vec []float64) float64 {
 	}
 }
 
-// evalVec evaluates q's matched count over one count vector, picking the
-// sparse walk or the masked sum by the support-size crossover.
+// supportSum computes Σ vec[bin] over a memoized gather list: four
+// independent accumulator chains, exact for the integer-valued count
+// vectors under any association.
+func supportSum(bins []int32, vec []float64) float64 {
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(bins); i += 4 {
+		b := bins[i : i+4 : i+4]
+		s0 += vec[b[0]]
+		s1 += vec[b[1]]
+		s2 += vec[b[2]]
+		s3 += vec[b[3]]
+	}
+	for ; i < len(bins); i++ {
+		s0 += vec[bins[i]]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// evalVec evaluates q's matched count over one count vector: the sparse
+// odometer walk below the crossover (no memo entry needed), the memoized
+// gather list when one is stored, and the masked sum for the densest
+// predicates whose gather list would cost more memory than it saves.
 func (ix *bitIndex) evalVec(q *query.Query, vec []float64) float64 {
 	if q.SupportSize() < sparseCrossoverWords*ix.words {
 		return sparseSum(q, vec)
 	}
-	return maskedSum(ix.predicateMask(q), vec)
+	e := ix.predicate(q)
+	if e.bins != nil {
+		return supportSum(e.bins, vec)
+	}
+	return maskedSum(e.mask, vec)
 }
 
 // winAgg is one cached window aggregate: the summed count vector of

@@ -110,12 +110,28 @@ func TestPredicateMaskMatchesQuery(t *testing.T) {
 		dom := randomDomain(rng)
 		ix := newBitIndex(dom)
 		q := randomQuery(dom, rng)
-		mask := ix.predicateMask(q)
+		e := ix.predicate(q)
+		mask := e.mask
 		for bin := 0; bin < dom.Size(); bin++ {
 			got := mask[bin>>6]&(1<<(bin&63)) != 0
 			if want := q.Matches(bin); got != want {
 				t.Fatalf("trial %d: mask bit %d = %v, Matches = %v for %v (dom %v)",
 					trial, bin, got, want, q, dom)
+			}
+		}
+		// When a gather list is stored it must be exactly the mask's set
+		// bits, ascending.
+		if e.bins != nil {
+			if len(e.bins) != q.SupportSize() {
+				t.Fatalf("trial %d: gather list has %d bins, support is %d", trial, len(e.bins), q.SupportSize())
+			}
+			for j, bin := range e.bins {
+				if j > 0 && e.bins[j-1] >= bin {
+					t.Fatalf("trial %d: gather list not ascending at %d", trial, j)
+				}
+				if !q.Matches(int(bin)) {
+					t.Fatalf("trial %d: gather bin %d not matched by %v", trial, bin, q)
+				}
 			}
 		}
 		// Past the domain size the mask must be clean, or maskedSum would

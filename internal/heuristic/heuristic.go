@@ -40,6 +40,19 @@ type Heuristic interface {
 // one instance per node.
 type Factory func() Heuristic
 
+// SupportAware heuristics additionally accept a pre-resolved support set,
+// so a caller evaluating one predicate against many histograms (the tree's
+// split loop) resolves the support once instead of re-walking ForEachBin
+// per node. Implementations must make the exact decision — and the exact
+// state mutations — their dense methods make for the originating query.
+type SupportAware interface {
+	Heuristic
+	// IsReadySupport is IsReady over a resolved support.
+	IsReadySupport(h *histogram.Histogram, s *query.Support) bool
+	// PenalizeSupport is Penalize over a resolved support.
+	PenalizeSupport(h *histogram.Histogram, s *query.Support)
+}
+
 // WarmStartable heuristics can transfer their learned thresholds when a new
 // tree node is warm-started from existing ones (§4.5).
 type WarmStartable interface {
@@ -66,11 +79,20 @@ func NewAdaptivePerBin(c0, s0 float64) *AdaptivePerBin {
 	return &AdaptivePerBin{c0: c0, s0: s0}
 }
 
+// ensure materializes the per-bin threshold vector. A nil vector means
+// every bin still sits at C0 — the readiness probes compare against the
+// scalar directly, so a node that has never been penalized pays neither
+// the O(domain) fill nor a per-probe threshold gather. Only the penalty
+// paths, which must raise individual bins, materialize.
 func (a *AdaptivePerBin) ensure(size int) {
 	if a.thresholds == nil {
 		a.thresholds = make([]float64, size)
-		for i := range a.thresholds {
-			a.thresholds[i] = a.c0
+		if size > 0 {
+			// Doubling copies fill at memmove speed.
+			a.thresholds[0] = a.c0
+			for i := 1; i < size; i *= 2 {
+				copy(a.thresholds[i:], a.thresholds[:i])
+			}
 		}
 		return
 	}
@@ -82,8 +104,17 @@ func (a *AdaptivePerBin) ensure(size int) {
 // IsReady requires every support bin's update counter to meet its own
 // threshold.
 func (a *AdaptivePerBin) IsReady(h *histogram.Histogram, q *query.Query) bool {
-	a.ensure(h.Size())
 	ready := true
+	if a.thresholds == nil {
+		c0 := a.c0
+		q.ForEachBin(func(bin int) {
+			if h.Count(bin) < c0 {
+				ready = false
+			}
+		})
+		return ready
+	}
+	a.ensure(h.Size())
 	q.ForEachBin(func(bin int) {
 		if h.Count(bin) < a.thresholds[bin] {
 			ready = false
@@ -97,6 +128,36 @@ func (a *AdaptivePerBin) IsReady(h *histogram.Histogram, q *query.Query) bool {
 func (a *AdaptivePerBin) Penalize(h *histogram.Histogram, q *query.Query) {
 	a.ensure(h.Size())
 	for _, bin := range h.LeastUpdatedBins(q) {
+		a.thresholds[bin] += a.s0
+	}
+}
+
+// IsReadySupport implements SupportAware with the same decision IsReady
+// makes for the originating query.
+func (a *AdaptivePerBin) IsReadySupport(h *histogram.Histogram, s *query.Support) bool {
+	if a.thresholds == nil {
+		c0 := a.c0
+		for _, bin := range s.Bins() {
+			if h.Count(int(bin)) < c0 {
+				return false
+			}
+		}
+		return true
+	}
+	a.ensure(h.Size())
+	for _, bin := range s.Bins() {
+		if h.Count(int(bin)) < a.thresholds[bin] {
+			return false
+		}
+	}
+	return true
+}
+
+// PenalizeSupport implements SupportAware with the same threshold bumps
+// Penalize applies.
+func (a *AdaptivePerBin) PenalizeSupport(h *histogram.Histogram, s *query.Support) {
+	a.ensure(h.Size())
+	for _, bin := range h.LeastUpdatedBinsSupport(s) {
 		a.thresholds[bin] += a.s0
 	}
 }
@@ -193,6 +254,14 @@ func (s *StaticPerBin) IsReady(h *histogram.Histogram, q *query.Query) bool {
 
 // Penalize is a no-op: the design is not adaptive.
 func (s *StaticPerBin) Penalize(*histogram.Histogram, *query.Query) {}
+
+// IsReadySupport implements SupportAware.
+func (s *StaticPerBin) IsReadySupport(h *histogram.Histogram, sup *query.Support) bool {
+	return h.MinSupportCountS(sup) >= s.c0
+}
+
+// PenalizeSupport is a no-op: the design is not adaptive.
+func (s *StaticPerBin) PenalizeSupport(*histogram.Histogram, *query.Support) {}
 
 // Name implements Heuristic.
 func (s *StaticPerBin) Name() string { return fmt.Sprintf("static-per-bin(C0=%g)", s.c0) }

@@ -145,12 +145,15 @@ func TestAdaptivePerBinPanics(t *testing.T) {
 		}()
 		NewAdaptivePerBin(-1, 1)
 	}()
-	// Histogram size change mid-stream is a programming error.
+	// Histogram size change mid-stream is a programming error. Readiness
+	// probes never materialize the thresholds (nil means all-C0), so the
+	// materializing penalty path seeds the size here.
 	heur := NewAdaptivePerBin(1, 1)
 	d := dom()
 	h := histogram.NewUniform(d.Size())
 	q := query.MustNew(d, nil)
 	heur.IsReady(h, q)
+	heur.Penalize(h, q)
 	func() {
 		defer func() {
 			if recover() == nil {

@@ -25,10 +25,46 @@ import (
 
 // Histogram is a normalized distribution over domain bins with per-bin
 // update counters. It is not safe for concurrent mutation.
+//
+// Renormalization is lazy: weights store un-renormalized values and scale
+// carries the accumulated renormalization product, so the true weight of
+// bin i is weights[i]·scale. An update therefore touches only the support
+// bins plus one scalar, instead of sweeping the whole domain; the scale is
+// folded back into the weights ("settled") on a deterministic cadence —
+// every settleEvery updates, or when the scale leaves its safe magnitude
+// range — which keeps the stored values inside float64 range. Because the
+// cadence depends only on the update count and the scale value, the dense
+// and sparse-support update paths settle in lockstep and remain bit for
+// bit identical. Read paths never settle (they fold the scale into their
+// result instead), so reads stay non-mutating.
 type Histogram struct {
 	weights []float64
 	counts  []float64
+	scale   float64
 	updates int // total number of purposeful updates applied
+}
+
+// settleEvery is the lazy-renormalization folding cadence. Between
+// settles a bin grows by at most e^|step| per update; steps are learning
+// rates well below 1, so 512 updates stay far inside float64 range.
+const settleEvery = 512
+
+// settle folds the pending scale into the stored weights. Called only
+// from the update paths (on their deterministic cadence), never from
+// readers.
+func (h *Histogram) settle() {
+	if h.scale == 1 {
+		return
+	}
+	scaleAll(h.weights, h.scale)
+	h.scale = 1
+}
+
+// maybeSettle applies the deterministic settle cadence after an update.
+func (h *Histogram) maybeSettle() {
+	if h.updates%settleEvery == 0 || h.scale < 1e-250 || h.scale > 1e250 {
+		h.settle()
+	}
 }
 
 // NewUniform returns the uniform distribution over a domain of the given
@@ -40,12 +76,22 @@ func NewUniform(size int) *Histogram {
 	h := &Histogram{
 		weights: make([]float64, size),
 		counts:  make([]float64, size),
+		scale:   1,
 	}
-	w := 1.0 / float64(size)
-	for i := range h.weights {
-		h.weights[i] = w
-	}
+	fillFloat64(h.weights, 1.0/float64(size))
 	return h
+}
+
+// fillFloat64 sets every element of s to v by doubling copies, so large
+// fills run at memmove speed instead of one store per iteration.
+func fillFloat64(s []float64, v float64) {
+	if len(s) == 0 {
+		return
+	}
+	s[0] = v
+	for i := 1; i < len(s); i *= 2 {
+		copy(s[i:], s[:i])
+	}
 }
 
 // FromWeights builds a histogram from an arbitrary non-negative weight
@@ -61,7 +107,7 @@ func FromWeights(w []float64) (*Histogram, error) {
 	if sum <= 0 {
 		return nil, fmt.Errorf("histogram: all weights zero")
 	}
-	h := &Histogram{weights: make([]float64, len(w)), counts: make([]float64, len(w))}
+	h := &Histogram{weights: make([]float64, len(w)), counts: make([]float64, len(w)), scale: 1}
 	for i, x := range w {
 		h.weights[i] = x / sum
 	}
@@ -72,10 +118,21 @@ func FromWeights(w []float64) (*Histogram, error) {
 func (h *Histogram) Size() int { return len(h.weights) }
 
 // Weight returns h(bin).
-func (h *Histogram) Weight(bin int) float64 { return h.weights[bin] }
+func (h *Histogram) Weight(bin int) float64 { return h.weights[bin] * h.scale }
 
-// Weights returns the underlying weight vector. Callers must not modify it.
-func (h *Histogram) Weights() []float64 { return h.weights }
+// Weights returns the weight vector. With no renormalization pending it
+// is the underlying storage (callers must not modify it); otherwise a
+// scaled copy is materialized, so reads never mutate the histogram.
+func (h *Histogram) Weights() []float64 {
+	if h.scale == 1 {
+		return h.weights
+	}
+	out := make([]float64, len(h.weights))
+	for i, w := range h.weights {
+		out[i] = w * h.scale
+	}
+	return out
+}
 
 // Count returns the purposeful-update counter of bin.
 func (h *Histogram) Count(bin int) float64 { return h.counts[bin] }
@@ -85,7 +142,35 @@ func (h *Histogram) Count(bin int) float64 { return h.counts[bin] }
 func (h *Histogram) Updates() int { return h.updates }
 
 // Eval returns the histogram's estimate q(h) = q·h for a linear query.
-func (h *Histogram) Eval(q *query.Query) float64 { return q.Eval(h.weights) }
+//
+// The reduction runs four interleaved accumulator lanes — the i-th
+// support bin (ascending) feeds lane i mod 4, and the lanes combine as
+// (s0+s1)+(s2+s3). Every histogram reduction (EvalSupport, the update
+// mass loops) follows this exact spec, so the sparse kernels match the
+// dense ones bit for bit while none serializes on FP add latency.
+func (h *Histogram) Eval(q *query.Query) float64 {
+	if q.Domain().Size() != len(h.weights) {
+		panic(fmt.Sprintf("histogram: Eval got query over domain size %d for %d bins",
+			q.Domain().Size(), len(h.weights)))
+	}
+	w := h.weights
+	var s0, s1, s2, s3 float64
+	i := 0
+	q.ForEachBin(func(bin int) {
+		switch i & 3 {
+		case 0:
+			s0 += w[bin]
+		case 1:
+			s1 += w[bin]
+		case 2:
+			s2 += w[bin]
+		default:
+			s3 += w[bin]
+		}
+		i++
+	})
+	return ((s0 + s1) + (s2 + s3)) * h.scale
+}
 
 // Update applies one multiplicative-weights step of signed size step
 // (s = ±lr in Alg. 1) for query q, renormalizes, and increments the support
@@ -99,20 +184,81 @@ func (h *Histogram) Update(q *query.Query, step float64) {
 		panic(fmt.Sprintf("histogram: bad step %g", step))
 	}
 	factor := math.Exp(step)
-	// Support mass before the update; the new total is
-	// 1 + (factor-1)·mass, so we renormalize with a single pass.
-	mass := 0.0
+	// Support mass before the update (in stored units); the new total is
+	// 1 + (factor-1)·mass·scale, and the renormalization division folds
+	// into the scale instead of sweeping the domain. The mass reduction
+	// follows Eval's 4-lane spec, so it equals the Eval/EvalSupport
+	// estimate of the same state bit for bit.
+	w, c := h.weights, h.counts
+	var m0, m1, m2, m3 float64
+	i := 0
 	q.ForEachBin(func(bin int) {
-		mass += h.weights[bin]
-		h.weights[bin] *= factor
-		h.counts[bin]++
+		switch i & 3 {
+		case 0:
+			m0 += w[bin]
+		case 1:
+			m1 += w[bin]
+		case 2:
+			m2 += w[bin]
+		default:
+			m3 += w[bin]
+		}
+		i++
+		w[bin] *= factor
+		c[bin]++
 	})
-	total := 1 + (factor-1)*mass
-	inv := 1 / total
-	for i := range h.weights {
-		h.weights[i] *= inv
+	h.finishUpdate(factor, ((m0+m1)+(m2+m3))*h.scale)
+}
+
+// UpdateMass is Update with the support's histogram estimate precomputed:
+// est must equal h.Eval(q) on the current state. The tree's split-phase
+// Run snapshots the estimate at claim time and only applies updates when
+// the node's epoch is untouched, so est is exactly the mass·scale product
+// Update would derive — same bits — and the update loop becomes a pure
+// scatter with no reduction over the support.
+func (h *Histogram) UpdateMass(q *query.Query, step, est float64) {
+	if step == 0 {
+		return
 	}
+	if math.IsNaN(step) || math.IsInf(step, 0) {
+		panic(fmt.Sprintf("histogram: bad step %g", step))
+	}
+	factor := math.Exp(step)
+	w, c := h.weights, h.counts
+	q.ForEachBin(func(bin int) {
+		w[bin] *= factor
+		c[bin]++
+	})
+	h.finishUpdate(factor, est)
+}
+
+// finishUpdate folds one update's renormalization into the scale. est is
+// the pre-update histogram estimate of the support, i.e. mass·scale.
+func (h *Histogram) finishUpdate(factor, est float64) {
+	h.scale /= 1 + (factor-1)*est
 	h.updates++
+	h.maybeSettle()
+}
+
+// scaleAll multiplies every weight by inv. The multiplies are mutually
+// independent, so the 8-way unroll changes no result bit — it only buys
+// back the loop overhead on the O(domain) settle sweep.
+func scaleAll(w []float64, inv float64) {
+	i := 0
+	for ; i+8 <= len(w); i += 8 {
+		s := w[i : i+8 : i+8]
+		s[0] *= inv
+		s[1] *= inv
+		s[2] *= inv
+		s[3] *= inv
+		s[4] *= inv
+		s[5] *= inv
+		s[6] *= inv
+		s[7] *= inv
+	}
+	for ; i < len(w); i++ {
+		w[i] *= inv
+	}
 }
 
 // MinSupportCount returns the smallest per-bin counter among the bins in
@@ -148,6 +294,7 @@ func (h *Histogram) Clone() *Histogram {
 	c := &Histogram{
 		weights: append([]float64(nil), h.weights...),
 		counts:  append([]float64(nil), h.counts...),
+		scale:   h.scale,
 		updates: h.updates,
 	}
 	return c
@@ -164,6 +311,7 @@ func Average(hs ...*Histogram) (*Histogram, error) {
 	out := &Histogram{
 		weights: make([]float64, size),
 		counts:  make([]float64, size),
+		scale:   1,
 	}
 	totalUpdates := 0
 	for _, h := range hs {
@@ -171,7 +319,7 @@ func Average(hs ...*Histogram) (*Histogram, error) {
 			return nil, fmt.Errorf("histogram: Average size mismatch %d vs %d", h.Size(), size)
 		}
 		for i := range out.weights {
-			out.weights[i] += h.weights[i]
+			out.weights[i] += h.weights[i] * h.scale
 			out.counts[i] += h.counts[i]
 		}
 		totalUpdates += h.updates
@@ -194,7 +342,7 @@ func (h *Histogram) MinWeight() float64 {
 			min = w
 		}
 	}
-	return min
+	return min * h.scale
 }
 
 // Lambda returns the warm-start prior-flatness parameter λ ≥ 1 such that
@@ -219,7 +367,7 @@ func (h *Histogram) RelativeEntropy(p []float64) float64 {
 		if px <= 0 {
 			continue
 		}
-		d += px * math.Log(px/h.weights[i])
+		d += px * math.Log(px/(h.weights[i]*h.scale))
 	}
 	return d
 }
@@ -227,6 +375,9 @@ func (h *Histogram) RelativeEntropy(p []float64) float64 {
 // Normalized reports whether the weights form a distribution within tol.
 // It exists for tests and debug assertions.
 func (h *Histogram) Normalized(tol float64) bool {
+	if h.scale <= 0 || math.IsNaN(h.scale) || math.IsInf(h.scale, 0) {
+		return false
+	}
 	sum := 0.0
 	for _, w := range h.weights {
 		if w < 0 || math.IsNaN(w) {
@@ -234,7 +385,7 @@ func (h *Histogram) Normalized(tol float64) bool {
 		}
 		sum += w
 	}
-	return math.Abs(sum-1) <= tol
+	return math.Abs(sum*h.scale-1) <= tol
 }
 
 // MemoryBytes estimates the resident size of the histogram state: two
@@ -251,10 +402,16 @@ type State struct {
 	Updates int
 }
 
-// State exports a copy of the histogram's state.
+// State exports a copy of the histogram's state. Pending renormalization
+// is folded into the exported weights, so the serialized form is always
+// the true distribution and round-trips through old snapshots.
 func (h *Histogram) State() State {
+	w := make([]float64, len(h.weights))
+	for i, x := range h.weights {
+		w[i] = x * h.scale
+	}
 	return State{
-		Weights: append([]float64(nil), h.weights...),
+		Weights: w,
 		Counts:  append([]float64(nil), h.counts...),
 		Updates: h.updates,
 	}
@@ -268,6 +425,7 @@ func FromState(s State) (*Histogram, error) {
 	h := &Histogram{
 		weights: append([]float64(nil), s.Weights...),
 		counts:  append([]float64(nil), s.Counts...),
+		scale:   1,
 		updates: s.Updates,
 	}
 	if !h.Normalized(1e-6) {

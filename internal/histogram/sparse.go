@@ -1,0 +1,169 @@
+// Sparse-support kernels: the histogram operations the tree's hot path
+// uses, driven by a pre-resolved query.Support instead of a per-call
+// ForEachBin walk. Every kernel iterates the support in the same
+// ascending order as the dense methods, so floating-point reductions are
+// performed in the identical order and the results match the dense
+// oracle bit for bit — the property internal/histogram's tests pin. The
+// dense methods stay as the property-tested oracle (and the tree keeps
+// them reachable behind SetVectorized(false), mirroring the dataset
+// engine's toggle).
+
+package histogram
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/query"
+)
+
+// checkSupport validates that s was resolved over a domain of h's size.
+func (h *Histogram) checkSupport(s *query.Support) {
+	if s.DomainSize() != len(h.weights) {
+		panic(fmt.Sprintf("histogram: support resolved over %d bins, histogram has %d",
+			s.DomainSize(), len(h.weights)))
+	}
+}
+
+// EvalSupport returns q(h) = q·h for the query whose resolved support is
+// s: a gather-sum over the resolved bin indices. The bins are ascending —
+// the same order ForEachBin emits — and the reduction follows Eval's
+// 4-lane spec (bin i feeds lane i mod 4, lanes combine (s0+s1)+(s2+s3)),
+// so the result matches Eval on the originating query bit for bit, in
+// O(|support|) with four concurrent add chains.
+func (h *Histogram) EvalSupport(s *query.Support) float64 {
+	h.checkSupport(s)
+	w := h.weights
+	bins := s.Bins()
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(bins); i += 4 {
+		b := bins[i : i+4 : i+4]
+		s0 += w[b[0]]
+		s1 += w[b[1]]
+		s2 += w[b[2]]
+		s3 += w[b[3]]
+	}
+	switch len(bins) - i {
+	case 3:
+		s0 += w[bins[i]]
+		s1 += w[bins[i+1]]
+		s2 += w[bins[i+2]]
+	case 2:
+		s0 += w[bins[i]]
+		s1 += w[bins[i+1]]
+	case 1:
+		s0 += w[bins[i]]
+	}
+	return ((s0 + s1) + (s2 + s3)) * h.scale
+}
+
+// UpdateSupport applies one multiplicative-weights step over a resolved
+// support: multiply the support bins by e^step, bump their counters, and
+// fold the renormalization into the lazy scale. The support-bin walk, the
+// scale arithmetic, and the settle cadence follow the exact shape of
+// Update, so the resulting weights are bit for bit what Update would have
+// produced for the originating query — in O(|support|), not O(domain).
+func (h *Histogram) UpdateSupport(s *query.Support, step float64) {
+	if step == 0 {
+		return
+	}
+	if math.IsNaN(step) || math.IsInf(step, 0) {
+		panic(fmt.Sprintf("histogram: bad step %g", step))
+	}
+	h.checkSupport(s)
+	factor := math.Exp(step)
+	w, c := h.weights, h.counts
+	bins := s.Bins()
+	// The mass reduction follows Eval's 4-lane spec, mirroring Update.
+	var m0, m1, m2, m3 float64
+	i := 0
+	for ; i+4 <= len(bins); i += 4 {
+		b := bins[i : i+4 : i+4]
+		m0 += w[b[0]]
+		m1 += w[b[1]]
+		m2 += w[b[2]]
+		m3 += w[b[3]]
+		w[b[0]] *= factor
+		w[b[1]] *= factor
+		w[b[2]] *= factor
+		w[b[3]] *= factor
+		c[b[0]]++
+		c[b[1]]++
+		c[b[2]]++
+		c[b[3]]++
+	}
+	for j := i; j < len(bins); j++ {
+		bin := bins[j]
+		switch j & 3 {
+		case 0:
+			m0 += w[bin]
+		case 1:
+			m1 += w[bin]
+		default:
+			m2 += w[bin]
+		}
+		w[bin] *= factor
+		c[bin]++
+	}
+	h.finishUpdate(factor, ((m0+m1)+(m2+m3))*h.scale)
+}
+
+// UpdateSupportMass is UpdateMass over a resolved support: the caller
+// supplies the claim-time estimate (= EvalSupport on the unchanged
+// state), so the loop multiplies and counts without re-reducing the
+// support mass.
+func (h *Histogram) UpdateSupportMass(s *query.Support, step, est float64) {
+	if step == 0 {
+		return
+	}
+	if math.IsNaN(step) || math.IsInf(step, 0) {
+		panic(fmt.Sprintf("histogram: bad step %g", step))
+	}
+	h.checkSupport(s)
+	factor := math.Exp(step)
+	w, c := h.weights, h.counts
+	bins := s.Bins()
+	i := 0
+	for ; i+4 <= len(bins); i += 4 {
+		b := bins[i : i+4 : i+4]
+		w[b[0]] *= factor
+		w[b[1]] *= factor
+		w[b[2]] *= factor
+		w[b[3]] *= factor
+		c[b[0]]++
+		c[b[1]]++
+		c[b[2]]++
+		c[b[3]]++
+	}
+	for ; i < len(bins); i++ {
+		w[bins[i]] *= factor
+		c[bins[i]]++
+	}
+	h.finishUpdate(factor, est)
+}
+
+// MinSupportCountS is MinSupportCount over a resolved support.
+func (h *Histogram) MinSupportCountS(s *query.Support) float64 {
+	h.checkSupport(s)
+	min := math.Inf(1)
+	for _, bin := range s.Bins() {
+		if h.counts[bin] < min {
+			min = h.counts[bin]
+		}
+	}
+	return min
+}
+
+// LeastUpdatedBinsSupport is LeastUpdatedBins over a resolved support:
+// the support bins whose counter equals the support minimum.
+func (h *Histogram) LeastUpdatedBinsSupport(s *query.Support) []int {
+	min := h.MinSupportCountS(s)
+	var out []int
+	for _, bin := range s.Bins() {
+		if h.counts[bin] == min {
+			out = append(out, int(bin))
+		}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package histogram
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/domain"
+	"repro/internal/query"
+)
+
+// randomQuery draws a conjunctive predicate over d: each attribute is
+// restricted to a random proper subset with probability 1/2.
+func randomQuery(t *testing.T, d *domain.Domain, rng *rand.Rand) *query.Query {
+	t.Helper()
+	allowed := map[int][]int{}
+	for a := 0; a < d.NumAttrs(); a++ {
+		if rng.Intn(2) == 1 {
+			continue
+		}
+		card := d.Card(a)
+		k := 1 + rng.Intn(card)
+		if k == card && card > 1 {
+			k--
+		}
+		allowed[a] = rng.Perm(card)[:k]
+	}
+	if len(allowed) == 0 {
+		a := rng.Intn(d.NumAttrs())
+		allowed[a] = []int{rng.Intn(d.Card(a))}
+	}
+	q, err := query.New(d, allowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func sparseDoms() []*domain.Domain {
+	return []*domain.Domain{
+		domain.MustNew(domain.Attribute{Name: "a", Card: 7}),
+		domain.MustNew(
+			domain.Attribute{Name: "a", Card: 4},
+			domain.Attribute{Name: "b", Card: 8},
+		),
+		domain.MustNew(
+			domain.Attribute{Name: "a", Card: 8},
+			domain.Attribute{Name: "b", Card: 8},
+			domain.Attribute{Name: "c", Card: 8},
+			domain.Attribute{Name: "tail", Card: 2},
+		),
+	}
+}
+
+// TestEvalSupportMatchesDenseBitForBit: the masked dot product must
+// reproduce the recursive ForEachBin sum exactly — same bins, same
+// order, same floating-point result.
+func TestEvalSupportMatchesDenseBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var sup query.Support
+	for _, d := range sparseDoms() {
+		h := NewUniform(d.Size())
+		// Rough up the weights so sums are order-sensitive.
+		for i := 0; i < 200; i++ {
+			h.Update(randomQuery(t, d, rng), 0.05+0.2*rng.Float64())
+		}
+		for i := 0; i < 200; i++ {
+			q := randomQuery(t, d, rng)
+			q.Resolve(&sup)
+			if got, want := sup.Len(), q.SupportSize(); got != want {
+				t.Fatalf("domain %d: support len %d, want %d", d.Size(), got, want)
+			}
+			if got, want := h.EvalSupport(&sup), h.Eval(q); got != want {
+				t.Fatalf("domain %d: EvalSupport = %v, Eval = %v (must be bit-identical)",
+					d.Size(), got, want)
+			}
+		}
+	}
+}
+
+// TestUpdateSupportMatchesDenseBitForBit: after every sparse update the
+// histogram must be bitwise identical to a twin driven by the dense
+// oracle with the same queries and steps.
+func TestUpdateSupportMatchesDenseBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var sup query.Support
+	for _, d := range sparseDoms() {
+		hs, hd := NewUniform(d.Size()), NewUniform(d.Size())
+		for i := 0; i < 500; i++ {
+			q := randomQuery(t, d, rng)
+			step := (rng.Float64() - 0.5) * 0.4
+			if i%17 == 0 {
+				step = 0 // a zero step must stay a no-op on both paths
+			}
+			q.Resolve(&sup)
+			hs.UpdateSupport(&sup, step)
+			hd.Update(q, step)
+			if hs.Updates() != hd.Updates() {
+				t.Fatalf("update %d: counters diverged (%d vs %d)", i, hs.Updates(), hd.Updates())
+			}
+		}
+		for b := 0; b < d.Size(); b++ {
+			if hs.Weight(b) != hd.Weight(b) {
+				t.Fatalf("bin %d: weight %v vs dense %v (must be bit-identical)", b, hs.Weight(b), hd.Weight(b))
+			}
+			if hs.Count(b) != hd.Count(b) {
+				t.Fatalf("bin %d: count %v vs dense %v", b, hs.Count(b), hd.Count(b))
+			}
+		}
+	}
+}
+
+// TestMixedUpdatesStayNormalized: 10k interleaved sparse/dense updates
+// keep the renormalization invariant and never desynchronize the two
+// kernel families on one histogram.
+func TestMixedUpdatesStayNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	d := sparseDoms()[2]
+	h := NewUniform(d.Size())
+	twin := NewUniform(d.Size())
+	var sup query.Support
+	for i := 0; i < 10000; i++ {
+		q := randomQuery(t, d, rng)
+		step := (rng.Float64() - 0.5) * 0.5
+		twin.Update(q, step)
+		if i%2 == 0 {
+			q.Resolve(&sup)
+			h.UpdateSupport(&sup, step)
+		} else {
+			h.Update(q, step)
+		}
+	}
+	if !h.Normalized(1e-9) {
+		t.Fatal("histogram left the simplex after 10k mixed updates")
+	}
+	for b := 0; b < d.Size(); b++ {
+		if h.Weight(b) != twin.Weight(b) {
+			t.Fatalf("bin %d: mixed-kernel weight %v vs dense twin %v", b, h.Weight(b), twin.Weight(b))
+		}
+	}
+}
+
+// TestSupportCountKernelsMatchDense: MinSupportCountS and
+// LeastUpdatedBinsSupport agree with their dense counterparts.
+func TestSupportCountKernelsMatchDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	d := sparseDoms()[1]
+	h := NewUniform(d.Size())
+	var sup query.Support
+	for i := 0; i < 300; i++ {
+		q := randomQuery(t, d, rng)
+		q.Resolve(&sup)
+		if got, want := h.MinSupportCountS(&sup), h.MinSupportCount(q); got != want {
+			t.Fatalf("iter %d: MinSupportCountS = %v, dense %v", i, got, want)
+		}
+		gotBins, wantBins := h.LeastUpdatedBinsSupport(&sup), h.LeastUpdatedBins(q)
+		if len(gotBins) != len(wantBins) {
+			t.Fatalf("iter %d: least-updated sets differ in size: %v vs %v", i, gotBins, wantBins)
+		}
+		for j := range gotBins {
+			if gotBins[j] != wantBins[j] {
+				t.Fatalf("iter %d: least-updated sets differ: %v vs %v", i, gotBins, wantBins)
+			}
+		}
+		h.Update(q, 0.1)
+	}
+}
+
+// TestUpdateSupportSizeMismatchPanics: a support resolved over another
+// domain must be rejected, not silently misapplied.
+func TestUpdateSupportSizeMismatchPanics(t *testing.T) {
+	ds := sparseDoms()
+	q := query.MustNew(ds[0], map[int][]int{0: {1, 2}})
+	var sup query.Support
+	q.Resolve(&sup)
+	h := NewUniform(ds[1].Size())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size-mismatched support did not panic")
+		}
+	}()
+	h.EvalSupport(&sup)
+}

@@ -1,0 +1,37 @@
+package interval
+
+import (
+	"testing"
+)
+
+// TestAppendSplitMatchesSplit: AppendSplit into a reused buffer produces
+// exactly Split's decomposition for every window in a 64-partition range.
+func TestAppendSplitMatchesSplit(t *testing.T) {
+	buf := make([]Node, 0, 16)
+	for start := 0; start < 64; start++ {
+		for end := start; end < 64; end++ {
+			buf = AppendSplit(buf[:0], start, end)
+			want := Split(start, end)
+			if len(buf) != len(want) {
+				t.Fatalf("[%d,%d]: %d nodes, want %d", start, end, len(buf), len(want))
+			}
+			for i := range want {
+				if buf[i] != want[i] {
+					t.Fatalf("[%d,%d] node %d: %v, want %v", start, end, i, buf[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAppendSplitReusesBuffer: with sufficient capacity, AppendSplit
+// allocates nothing — the property the tree's pooled Run scratch needs.
+func TestAppendSplitReusesBuffer(t *testing.T) {
+	buf := make([]Node, 0, 16)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendSplit(buf[:0], 3, 57)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendSplit allocated %.1f per run with warm buffer", allocs)
+	}
+}

@@ -71,10 +71,15 @@ func (n Node) Valid() bool {
 // l.4). It panics on an invalid window since windows come from validated
 // queries.
 func Split(start, end int) []Node {
+	return AppendSplit(nil, start, end)
+}
+
+// AppendSplit is Split appending into dst, for callers that reuse a
+// scratch slice across queries (the tree's zero-allocation Run path).
+func AppendSplit(dst []Node, start, end int) []Node {
 	if start < 0 || start > end {
 		panic(fmt.Sprintf("interval: bad window [%d,%d]", start, end))
 	}
-	var nodes []Node
 	a := start
 	for a <= end {
 		// Largest power-of-two block that starts at a (alignment) and
@@ -86,10 +91,10 @@ func Split(start, end int) []Node {
 		for size > end-a+1 {
 			size >>= 1
 		}
-		nodes = append(nodes, Node{a, a + size - 1})
+		dst = append(dst, Node{a, a + size - 1})
 		a += size
 	}
-	return nodes
+	return dst
 }
 
 // MaxSplitNodes returns the worst-case number of nodes Split can return for

@@ -18,6 +18,7 @@ package query
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/domain"
@@ -43,13 +44,17 @@ type Query struct {
 	// per-probe fmt.Sprintf would be the hit path's only allocation.
 	winKey  string
 	support int
+	// supMemo caches the resolved Support (see ResolvedSupport). The
+	// pointer is shared by every WithWindow/WithoutWindow clone, so the
+	// predicate is resolved at most once across all windowed copies.
+	supMemo *supportMemo
 }
 
 // New builds a query over dom. allowed maps attribute index → permitted
 // values; attributes absent from the map are unconstrained. Values are
 // validated against the domain.
 func New(dom *domain.Domain, allowed map[int][]int) (*Query, error) {
-	q := &Query{dom: dom, allowed: make([][]int, dom.NumAttrs())}
+	q := &Query{dom: dom, allowed: make([][]int, dom.NumAttrs()), supMemo: new(supportMemo)}
 	for i, vals := range allowed {
 		if i < 0 || i >= dom.NumAttrs() {
 			return nil, fmt.Errorf("query: attribute index %d out of range", i)
@@ -126,6 +131,20 @@ func (q *Query) WithWindow(start, end int) *Query {
 	c.start, c.end, c.hasWindow = start, end, true
 	c.winKey = fmt.Sprintf("%s@[%d,%d]", c.key, start, end)
 	return &c
+}
+
+// AppendWindowKey appends q.WithWindow(start, end).KeyWithWindow() — the
+// canonical windowed cache key — to dst, without materializing the
+// windowed copy. Byte-for-byte identical to the WithWindow route; the
+// tree's zero-allocation node-cache probes build their keys with it.
+func (q *Query) AppendWindowKey(dst []byte, start, end int) []byte {
+	dst = append(dst, q.key...)
+	dst = append(dst, '@', '[')
+	dst = strconv.AppendInt(dst, int64(start), 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, int64(end), 10)
+	dst = append(dst, ']')
+	return dst
 }
 
 // WithoutWindow returns a copy of q with no partition window.

@@ -1,0 +1,158 @@
+// Resolved predicate supports: the reusable sparse view of a query the
+// tree's histogram kernels consume (see internal/histogram's sparse
+// kernels and ARCHITECTURE.md "Execution engine").
+//
+// A query's predicate selects a fixed set of domain bins. ForEachBin
+// re-derives that set on every evaluation through a recursive walk; the
+// tree evaluates the same predicate against every node histogram of a
+// split, so it resolves the support once per Run into a Support — the
+// ascending bin indices plus a word-wide bitmask — and every per-node
+// kernel then iterates plain slices. All node histograms span the same
+// domain, which is what makes one resolution shareable across the split.
+
+package query
+
+import "sync/atomic"
+
+// Support is the resolved support set of one predicate over one domain:
+// the bin indices with q(v) = 1 in ascending order, and the same set as a
+// 64-bit-word bitmask (bit i of word w covers bin 64·w+i). A Support is a
+// reusable buffer: Resolve overwrites it in place, growing the backing
+// slices only until they reach the domain's high-water mark, so a
+// steady-state resolution allocates nothing.
+//
+// The index order is identical to ForEachBin's emission order (ascending:
+// attribute strides are row-major and value sets are sorted), so a kernel
+// walking Bins — or the mask words in order, lowest bit first — performs
+// floating-point reductions in exactly the dense oracle's order and
+// reproduces its results bit for bit.
+type Support struct {
+	bins []int32
+	mask []uint64
+	size int
+	key  string
+}
+
+// Resolve fills s with q's support, reusing s's buffers. The previous
+// contents are discarded.
+func (q *Query) Resolve(s *Support) {
+	size := q.dom.Size()
+	words := (size + 63) >> 6
+	s.size = size
+	s.key = q.key
+	s.bins = s.bins[:0]
+	if cap(s.mask) < words {
+		s.mask = make([]uint64, words)
+	} else {
+		s.mask = s.mask[:words]
+		for i := range s.mask {
+			s.mask[i] = 0
+		}
+	}
+
+	d := q.dom
+	n := d.NumAttrs()
+	// Iterative odometer over the attributes' allowed-value lists, in the
+	// same lexicographic order as ForEachBin's recursion. pos[i] is the
+	// index into attribute i's choice list; base is the current bin.
+	var posBuf [maxResolveAttrs]int
+	if n > maxResolveAttrs {
+		// Domains beyond the odometer's depth fall back to the recursive
+		// walk; order is identical either way.
+		q.ForEachBin(func(bin int) {
+			s.bins = append(s.bins, int32(bin))
+			s.mask[bin>>6] |= 1 << uint(bin&63)
+		})
+		return
+	}
+	pos := posBuf[:n]
+	valueAt := func(attr, j int) int {
+		if vals := q.allowed[attr]; vals != nil {
+			return vals[j]
+		}
+		return j
+	}
+	choices := func(attr int) int {
+		if vals := q.allowed[attr]; vals != nil {
+			return len(vals)
+		}
+		return d.Card(attr)
+	}
+	base := 0
+	for i := 0; i < n; i++ {
+		base += valueAt(i, 0) * d.Stride(i)
+	}
+	for {
+		s.bins = append(s.bins, int32(base))
+		s.mask[base>>6] |= 1 << uint(base&63)
+		i := n - 1
+		for i >= 0 {
+			pos[i]++
+			if pos[i] < choices(i) {
+				base += (valueAt(i, pos[i]) - valueAt(i, pos[i]-1)) * d.Stride(i)
+				break
+			}
+			base -= (valueAt(i, pos[i]-1) - valueAt(i, 0)) * d.Stride(i)
+			pos[i] = 0
+			i--
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// maxResolveAttrs bounds the iterative odometer's depth; wider domains
+// (none exist in the repo's workloads) resolve through ForEachBin.
+const maxResolveAttrs = 24
+
+// supportMemo is the once-per-predicate cache behind ResolvedSupport. It
+// is allocated by the query constructor and shared, by pointer, with
+// every WithWindow/WithoutWindow clone, so a workload's reusable
+// predicate resolves exactly once no matter how many windowed copies run.
+type supportMemo struct {
+	p atomic.Pointer[Support]
+}
+
+// ResolvedSupport returns q's support, resolving and memoizing it on
+// first use. The support depends only on the predicate and the domain,
+// both immutable, so the memoized value is shared across every windowed
+// clone of the query and must not be modified. Concurrent first calls
+// may each resolve, but one publication wins and every caller returns
+// the published value.
+func (q *Query) ResolvedSupport() *Support {
+	m := q.supMemo
+	if m == nil {
+		// Zero-value query (no constructor ran): resolve uncached.
+		s := new(Support)
+		q.Resolve(s)
+		return s
+	}
+	if s := m.p.Load(); s != nil {
+		return s
+	}
+	s := new(Support)
+	q.Resolve(s)
+	m.p.CompareAndSwap(nil, s)
+	return m.p.Load()
+}
+
+// Len returns the number of support bins (SupportSize of the resolved
+// query).
+func (s *Support) Len() int { return len(s.bins) }
+
+// Bins returns the ascending support bin indices. Callers must not modify
+// the slice; it is invalidated by the next Resolve.
+func (s *Support) Bins() []int32 { return s.bins }
+
+// Mask returns the support as 64-bit words over the domain. Callers must
+// not modify the slice; it is invalidated by the next Resolve.
+func (s *Support) Mask() []uint64 { return s.mask }
+
+// DomainSize returns the domain size the support was resolved over.
+func (s *Support) DomainSize() int { return s.size }
+
+// Key returns the predicate key of the query the support was resolved
+// from — the cheap way for a consumer to assert the support matches the
+// query in hand.
+func (s *Support) Key() string { return s.key }

@@ -1,0 +1,54 @@
+//go:build !race
+
+// Allocation regression for the tree's steady-state cache-hit path: a Run
+// whose every split node is served by a qualified node-cache entry must
+// allocate nothing. Excluded under -race (the detector instruments
+// allocations).
+
+package tree
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/query"
+)
+
+func TestRunCacheHitPathAllocs(t *testing.T) {
+	f := newFix(t, func(c *Config) { c.NodeExactCache = true }, 1e6, 8)
+	q := query.MustNew(f.dom, map[int][]int{0: {1}}).WithWindow(0, 7)
+
+	// Organic node-cache hits essentially never fire: the stored per-node
+	// ε is always below the pessimistic qualification bound. Prefill the
+	// cache with entries whose recorded cost trivially qualifies, exactly
+	// what the bench harness's treehit scenario does.
+	for _, iv := range interval.Split(0, 7) {
+		version, err := f.ds.RangeVersion(iv.Start, iv.End)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.tree.Cache().Put(q.WithWindow(iv.Start, iv.End), version, 0.5, 1e9); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res, err := f.tree.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CachedNodes != len(interval.Split(0, 7)) {
+		t.Fatalf("prefill did not take: %+v", res)
+	}
+
+	// Pin the GC so a mid-measurement cycle cannot clear the scratch pool.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := f.tree.Run(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cache-hit Run allocated %.2f per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,142 @@
+// Tests for the three-phase Run: oracle equivalence of the sparse-support
+// path, SV-key builder bytes, and claim-plan bookkeeping.
+
+package tree
+
+import (
+	"testing"
+
+	"repro/internal/heuristic"
+	"repro/internal/interval"
+	"repro/internal/query"
+)
+
+// TestSVKeyBytes: the append builder produces exactly the concatenation of
+// the nodes' [a,b] renderings — the registry key format live SV snapshots
+// were written under.
+func TestSVKeyBytes(t *testing.T) {
+	sets := [][]interval.Node{
+		{{Start: 0, End: 0}},
+		{{Start: 0, End: 3}, {Start: 4, End: 5}, {Start: 6, End: 6}},
+		{{Start: 128, End: 255}, {Start: 256, End: 511}},
+	}
+	for _, nodes := range sets {
+		want := ""
+		for _, n := range nodes {
+			want += n.String()
+		}
+		if got := svKey(nodes); got != want {
+			t.Fatalf("svKey = %q, want %q", got, want)
+		}
+		if got := string(appendSVKey(make([]byte, 0, 64), nodes)); got != want {
+			t.Fatalf("appendSVKey = %q, want %q", got, want)
+		}
+	}
+}
+
+// TestVectorizedMatchesDenseOracle drives two identically-seeded trees
+// through the same mixed workload — one on the sparse-support kernels,
+// one on the dense per-query walks — and requires bit-identical answers,
+// payments, branch routing, and final node histograms. This is the
+// tree-level pin on the sparse kernels' bit-for-bit claim.
+func TestVectorizedMatchesDenseOracle(t *testing.T) {
+	fVec := newFix(t, nil, 1000, 8)
+	fDense := newFix(t, nil, 1000, 8)
+	fDense.tree.SetVectorized(false)
+	if !fVec.tree.Vectorized() {
+		t.Fatal("vectorized tree not vectorized by default")
+	}
+	if fDense.tree.Vectorized() {
+		t.Fatal("SetVectorized(false) did not stick")
+	}
+
+	queries := []*query.Query{
+		query.MustNew(fVec.dom, map[int][]int{0: {1}}).WithWindow(0, 7),
+		query.MustNew(fVec.dom, map[int][]int{1: {2, 3}}).WithWindow(0, 3),
+		query.MustNew(fVec.dom, map[int][]int{0: {0}, 1: {1}}).WithWindow(2, 6),
+		query.MustNew(fVec.dom, map[int][]int{1: {0}}).WithWindow(1, 5),
+	}
+	for round := 0; round < 15; round++ {
+		for qi, q := range queries {
+			rv, errV := fVec.tree.Run(q)
+			rd, errD := fDense.tree.Run(q)
+			if (errV == nil) != (errD == nil) {
+				t.Fatalf("round %d query %d: error divergence %v vs %v", round, qi, errV, errD)
+			}
+			if errV != nil {
+				continue
+			}
+			if rv.Value != rd.Value || rv.Paid != rd.Paid ||
+				rv.SVNodes != rd.SVNodes || rv.LaplaceNodes != rd.LaplaceNodes ||
+				rv.SVFailed != rd.SVFailed {
+				t.Fatalf("round %d query %d: results diverge: %+v vs %+v", round, qi, rv, rd)
+			}
+		}
+	}
+
+	sv, sd := fVec.tree.Stats(), fDense.tree.Stats()
+	if sv != sd {
+		t.Fatalf("stats diverge: %+v vs %+v", sv, sd)
+	}
+	for _, iv := range interval.AllNodes(8) {
+		hv := fVec.tree.NodeHistogram(iv)
+		hd := fDense.tree.NodeHistogram(iv)
+		if (hv == nil) != (hd == nil) {
+			t.Fatalf("node %v materialized on one tree only", iv)
+		}
+		if hv == nil {
+			continue
+		}
+		if hv.Updates() != hd.Updates() {
+			t.Fatalf("node %v: %d vs %d updates", iv, hv.Updates(), hd.Updates())
+		}
+		wv, wd := hv.Weights(), hd.Weights()
+		for b := range wv {
+			if wv[b] != wd[b] {
+				t.Fatalf("node %v bin %d: weight %v vs %v", iv, b, wv[b], wd[b])
+			}
+		}
+	}
+}
+
+// TestSerialRunsNeverSkipStale: with no concurrency, every claim-time
+// epoch is intact at commit, so the stale-skip counter must stay zero.
+func TestSerialRunsNeverSkipStale(t *testing.T) {
+	f := newFix(t, nil, 1000, 8)
+	q := query.MustNew(f.dom, map[int][]int{0: {1}}).WithWindow(0, 7)
+	for i := 0; i < 25; i++ {
+		if _, err := f.tree.Run(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.tree.Stats()
+	if st.StaleSkips != 0 {
+		t.Fatalf("serial run skipped %d updates as stale", st.StaleSkips)
+	}
+	if st.NodeUpdates == 0 {
+		t.Fatal("workload produced no node updates; stale-skip check is vacuous")
+	}
+}
+
+// TestCalibratorWiredIntoTree: the Laplace branch prices through the
+// memoized calibrator, so repeated cold windows of the same split shape
+// hit the memo instead of re-simulating.
+func TestCalibratorWiredIntoTree(t *testing.T) {
+	f := newFix(t, func(c *Config) {
+		// NeverReady forces every node through the Laplace branch.
+		c.Heuristic = func() heuristic.Heuristic { return heuristic.NeverReady{} }
+	}, 1e6, 8)
+	q := query.MustNew(f.dom, map[int][]int{0: {1}}).WithWindow(0, 5)
+	for i := 0; i < 4; i++ {
+		if _, err := f.tree.Run(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.tree.Calibrator().Stats()
+	if st.Misses == 0 {
+		t.Fatal("Laplace branch never consulted the calibrator")
+	}
+	if st.Hits == 0 {
+		t.Fatal("repeat windows of the same shape did not hit the calibration memo")
+	}
+}

@@ -30,6 +30,19 @@
 // (parallel composition is exactly what makes this sound — partitions are
 // independent until budget accounting).
 //
+// Run holds its shard locks for two short phases rather than its whole
+// duration. The claim phase (locked) probes node caches, resolves routing,
+// initializes and pays the shared SV, and snapshots each touched node's
+// histogram together with its update epoch. The execute phase (unlocked)
+// runs every data-plane operation — true-value scans, Laplace payments and
+// DP releases — against the independently thread-safe dataset and
+// accountant. The commit phase (locked again) performs the SV test and
+// applies multiplicative-weights updates, but only to nodes whose update
+// epoch is unchanged since claim: a node advanced by a concurrent query
+// between the phases is skipped (counted in Stats.StaleSkips) rather than
+// updated from a stale estimate. Payments always precede the releases they
+// cover, so interleavings can skip updates but can never double-spend.
+//
 // # Accounting modes
 //
 // By default every mechanism pays scalar pure-DP budget against the
@@ -46,7 +59,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/accountant"
 	"repro/internal/cache"
@@ -167,6 +182,14 @@ type Stats struct {
 	CacheHits    int // node exact-cache hits
 	NodeUpdates  int // purposeful histogram updates across all nodes
 	NodesCreated int
+	StaleSkips   int // commit-phase MW updates skipped: node advanced mid-flight
+}
+
+// counters is Stats as lock-free atomics, bumped from the hot path.
+type counters struct {
+	queries, svPasses, svFailures, laplaceSubs atomic.Int64
+	cacheHits, nodeUpdates, nodesCreated       atomic.Int64
+	staleSkips                                 atomic.Int64
 }
 
 // stateShard owns the node and sparse-vector state of a contiguous run of
@@ -197,7 +220,11 @@ type Tree struct {
 	// it, and its block mirrors converted spend into block.
 	admit *accountant.ConcurrentRDPFilter
 	rng   *noise.Rng
-	mcRng *noise.Rng
+	// calib memoizes the Monte-Carlo Laplace calibration (exact by the
+	// ε·n rescaling law; see noise.LaplaceCalibrator), so steady-state
+	// queries price their Laplace branch with a map probe instead of a
+	// per-query simulation.
+	calib *noise.LaplaceCalibrator
 
 	// shardWidth is the number of partitions per state shard; 0 means a
 	// single shard owning every partition.
@@ -207,8 +234,14 @@ type Tree struct {
 
 	cache *cache.Exact
 
-	statsMu sync.Mutex
-	stats   Stats
+	// vectorized selects the sparse-support kernels (default); off keeps
+	// the dense per-query walks as the property-tested oracle, mirroring
+	// the dataset engine's toggle. Both produce bit-identical state.
+	vectorized atomic.Bool
+
+	scratch sync.Pool // of *runScratch
+
+	stats counters
 }
 
 // New creates a tree over exec's dataset, paying against block. be is the
@@ -226,8 +259,10 @@ func New(cfg Config, exec *dataset.Executor, block *accountant.Block, be store.B
 		exec:  exec,
 		block: block,
 		rng:   rng,
-		mcRng: rng.Fork(),
 	}
+	t.calib = noise.NewLaplaceCalibrator(rng.Fork().Uint64(), cfg.MCSamples)
+	t.vectorized.Store(true)
+	t.scratch.New = func() any { return new(runScratch) }
 	if cfg.Gaussian {
 		t.admit = accountant.NewConcurrentRDPFilter(accountant.NewRDPBlockForDP(
 			accountant.DefaultOrders, block.Global(), cfg.DeltaGlobal, block.Partitions(), block))
@@ -248,6 +283,17 @@ func New(cfg Config, exec *dataset.Executor, block *accountant.Block, be store.B
 	}
 	return t, nil
 }
+
+// SetVectorized toggles the sparse-support kernels; false falls back to
+// the dense per-query walks (the property-tested oracle). Both paths
+// produce bit-identical histograms and answers.
+func (t *Tree) SetVectorized(on bool) { t.vectorized.Store(on) }
+
+// Vectorized reports whether the sparse-support kernels are active.
+func (t *Tree) Vectorized() bool { return t.vectorized.Load() }
+
+// Calibrator exposes the memoized Laplace calibration for telemetry.
+func (t *Tree) Calibrator() *noise.LaplaceCalibrator { return t.calib }
 
 // shardIndex maps a partition to its state shard.
 func (t *Tree) shardIndex(p int) int {
@@ -278,8 +324,9 @@ func (t *Tree) shardAt(i int) *stateShard {
 	return t.shards[i]
 }
 
-// ownerShard returns the shard owning partition p's state. During Run the
-// caller holds its lock by the window-locking discipline.
+// ownerShard returns the shard owning partition p's state. During the
+// locked phases of Run the caller holds its lock by the window-locking
+// discipline.
 func (t *Tree) ownerShard(p int) *stateShard { return t.shardAt(t.shardIndex(p)) }
 
 // lockWindow acquires, in ascending order, every shard a query over
@@ -288,18 +335,22 @@ func (t *Tree) ownerShard(p int) *stateShard { return t.shardAt(t.shardIndex(p))
 // acquiring it later, out of order, could deadlock against a query locking
 // ascending from a lower shard.
 func (t *Tree) lockWindow(start, end int) []*stateShard {
+	return t.lockWindowInto(nil, start, end)
+}
+
+// lockWindowInto is lockWindow appending into a reused scratch slice.
+func (t *Tree) lockWindowInto(dst []*stateShard, start, end int) []*stateShard {
 	lo := start
 	if t.cfg.WarmStart && lo > 0 {
 		lo--
 	}
 	loIdx, hiIdx := t.shardIndex(lo), t.shardIndex(end)
-	locked := make([]*stateShard, 0, hiIdx-loIdx+1)
 	for i := loIdx; i <= hiIdx; i++ {
 		s := t.shardAt(i)
 		s.mu.Lock()
-		locked = append(locked, s)
+		dst = append(dst, s)
 	}
-	return locked
+	return dst
 }
 
 // unlockAll releases shards locked by lockWindow.
@@ -309,16 +360,16 @@ func unlockAll(shards []*stateShard) {
 	}
 }
 
-// split decomposes a window according to the configured structure.
-func (t *Tree) split(start, end int) []interval.Node {
+// appendSplit decomposes a window according to the configured structure,
+// appending into a reused scratch slice.
+func (t *Tree) appendSplit(dst []interval.Node, start, end int) []interval.Node {
 	if t.cfg.Structure == Flat {
-		out := make([]interval.Node, 0, end-start+1)
 		for i := start; i <= end; i++ {
-			out = append(out, interval.Node{Start: i, End: i})
+			dst = append(dst, interval.Node{Start: i, End: i})
 		}
-		return out
+		return dst
 	}
-	return interval.Split(start, end)
+	return interval.AppendSplit(dst, start, end)
 }
 
 // getNode returns (creating lazily, with warm-start when enabled) the state
@@ -341,9 +392,7 @@ func (t *Tree) getNode(iv interval.Node) *node {
 		t.warmStart(n)
 	}
 	sh.nodes[iv] = n
-	t.statsMu.Lock()
-	t.stats.NodesCreated++
-	t.statsMu.Unlock()
+	t.stats.nodesCreated.Add(1)
 	return n
 }
 
@@ -466,13 +515,23 @@ func (t *Tree) Admission() *accountant.ConcurrentRDPFilter { return t.admit }
 // so the session can register it as its own snapshot section.
 func (t *Tree) Cache() *cache.Exact { return t.cache }
 
+// appendSVKey appends the canonical SV-registry key of a node set — the
+// concatenation of the nodes' [a,b] renderings — into a reused scratch
+// buffer. Byte-identical to the string svKey builds.
+func appendSVKey(dst []byte, nodes []interval.Node) []byte {
+	for _, n := range nodes {
+		dst = append(dst, '[')
+		dst = strconv.AppendInt(dst, int64(n.Start), 10)
+		dst = append(dst, ',')
+		dst = strconv.AppendInt(dst, int64(n.End), 10)
+		dst = append(dst, ']')
+	}
+	return dst
+}
+
 // svKey canonicalizes a node set for the shared-SV registry.
 func svKey(nodes []interval.Node) string {
-	key := ""
-	for _, n := range nodes {
-		key += n.String()
-	}
-	return key
+	return string(appendSVKey(nil, nodes))
 }
 
 // Result reports one answered range query.
@@ -487,9 +546,70 @@ type Result struct {
 	SVFailed bool
 }
 
+// component is one n-weighted contribution to the final AGG.
+type component struct {
+	value float64
+	n     int
+}
+
+// nodeClaim snapshots one split node during the locked claim phase: its
+// state pointer, public row count, data version, and histogram update
+// epoch (for commit-time revalidation). est is the node's claim-time
+// histogram estimate; commit reuses it for the τα rule and as the
+// renormalization mass of MW updates, which is sound because updates only
+// apply when the epoch is untouched — the histogram is then exactly as
+// claimed. value carries the execute-phase Laplace release for lapNodes.
+type nodeClaim struct {
+	iv      interval.Node
+	nd      *node
+	ni      int
+	version int
+	epoch   int
+	est     float64
+	value   float64
+}
+
+// runScratch carries one Run's plan between its phases and is pooled
+// across queries, so the steady-state cache-hit path allocates nothing.
+type runScratch struct {
+	start, end int
+	vec        bool
+	res        Result
+
+	shards    []*stateShard
+	split     []interval.Node
+	remaining []interval.Node
+	nis       []int
+	vers      []int
+	nds       []*node
+	ready     []interval.Node
+	svNodes   []nodeClaim
+	lapNodes  []nodeClaim
+	comps     []component
+
+	key      []byte
+	svKeyBuf []byte
+	sup      *query.Support
+
+	// Shared-SV claim state.
+	spanStart, spanEnd int
+	nSV                int
+	epsSV              float64
+	rH, rTrue          float64
+
+	// Laplace claim state.
+	nLap   int
+	epsLap float64
+}
+
 // Run answers one linear range query through Alg. 2. The query's window
 // defaults to the full store. On budget exhaustion it returns
 // accountant.ErrBudgetExhausted (wrapped) and releases nothing new.
+//
+// Run is three-phase: a locked claim (cache probes, routing, SV
+// initialization, node snapshots), an unlocked execute (scans, payments,
+// DP releases), and a locked commit (SV test, epoch-revalidated MW
+// updates, cache fills). See the package comment.
 func (t *Tree) Run(q *query.Query) (Result, error) {
 	ds := t.exec.Dataset()
 	start, end := 0, ds.Partitions()-1
@@ -504,121 +624,340 @@ func (t *Tree) Run(q *query.Query) (Result, error) {
 			start, end, t.cfg.MaxWindow)
 	}
 
-	locked := t.lockWindow(start, end)
-	defer unlockAll(locked)
+	sc := t.scratch.Get().(*runScratch)
+	defer t.scratch.Put(sc)
 
-	split := t.split(start, end)
-	var res Result
-
-	// Component accumulators for the final n-weighted AGG.
-	type component struct {
-		value float64
-		n     int
+	if err := t.claim(q, start, end, sc); err != nil {
+		return Result{}, err
 	}
-	var components []component
+	if err := t.execute(q, sc); err != nil {
+		return Result{}, err
+	}
+	if err := t.commit(q, sc); err != nil {
+		return Result{}, err
+	}
+
+	// Final aggregation (AGG): n-weighted average of components.
+	totalN := 0
+	weighted := 0.0
+	for _, c := range sc.comps {
+		weighted += float64(c.n) * c.value
+		totalN += c.n
+	}
+	if totalN > 0 {
+		sc.res.Value = weighted / float64(totalN)
+	}
+	t.stats.queries.Add(1)
+	return sc.res, nil
+}
+
+// claim is Run's first locked phase: split the window, serve qualified
+// node-cache hits, route the remaining nodes between the shared-SV and
+// Laplace branches, initialize (and pay) the shared SV, and snapshot every
+// touched node's update epoch and claim-time estimate.
+func (t *Tree) claim(q *query.Query, start, end int, sc *runScratch) error {
+	ds := t.exec.Dataset()
+	sc.start, sc.end = start, end
+	sc.vec = t.vectorized.Load()
+	sc.res = Result{}
+	sc.comps = sc.comps[:0]
+	sc.remaining = sc.remaining[:0]
+	sc.nis = sc.nis[:0]
+	sc.vers = sc.vers[:0]
+	sc.nds = sc.nds[:0]
+	sc.ready = sc.ready[:0]
+	sc.svNodes = sc.svNodes[:0]
+	sc.lapNodes = sc.lapNodes[:0]
+	sc.nSV, sc.nLap = 0, 0
+	sc.rH, sc.rTrue = 0, 0
+	sc.sup = nil
+
+	sc.shards = t.lockWindowInto(sc.shards[:0], start, end)
+	defer unlockAll(sc.shards)
+
+	sc.split = t.appendSplit(sc.split[:0], start, end)
+	mMax := t.maxSplit()
 
 	// 1. Node exact caches (Fig. 1 "Exact-Cache Tree"): qualified hits
 	// contribute directly and leave the PMW machinery untouched.
-	remaining := split[:0:0]
-	mMax := t.maxSplit()
-	for _, iv := range split {
-		ni, err := ds.NRows(iv.Start, iv.End)
+	for _, iv := range sc.split {
+		version, ni, err := ds.WindowMeta(iv.Start, iv.End)
 		if err != nil {
-			return Result{}, err
+			return err
 		}
 		if ni == 0 {
 			continue // empty partitions contribute nothing
 		}
 		if t.cache != nil {
-			nq := q.WithWindow(iv.Start, iv.End)
-			version, err := ds.RangeVersion(iv.Start, iv.End)
-			if err != nil {
-				return Result{}, err
-			}
-			if e, ok := t.cache.Get(nq, version); ok &&
+			sc.key = q.AppendWindowKey(sc.key[:0], iv.Start, iv.End)
+			if e, ok := t.cache.GetKey(sc.key, iv.Start, version); ok &&
 				e.Eps >= noise.EpsilonForAccuracy(t.cfg.Alpha, t.cfg.Beta/float64(mMax), ni) {
-				components = append(components, component{e.Value, ni})
-				res.CachedNodes++
-				t.statsMu.Lock()
-				t.stats.CacheHits++
-				t.statsMu.Unlock()
+				sc.comps = append(sc.comps, component{e.Value, ni})
+				sc.res.CachedNodes++
+				t.stats.cacheHits.Add(1)
 				continue
 			}
 		}
-		remaining = append(remaining, iv)
+		sc.remaining = append(sc.remaining, iv)
+		sc.nis = append(sc.nis, ni)
+		sc.vers = append(sc.vers, version)
+	}
+	if len(sc.remaining) == 0 {
+		return nil
+	}
+
+	if sc.vec {
+		sc.sup = q.ResolvedSupport()
 	}
 
 	// 2. Partition the remaining nodes into the shared-SV set (ready,
 	// contiguous) and the Laplace set.
-	var readySet []interval.Node
-	for _, iv := range remaining {
-		if t.getNode(iv).ready(q.WithWindow(iv.Start, iv.End)) {
-			readySet = append(readySet, iv)
+	for _, iv := range sc.remaining {
+		nd := t.getNode(iv)
+		sc.nds = append(sc.nds, nd)
+		var rdy bool
+		if sc.vec {
+			rdy = nd.readyS(q, sc.sup)
+		} else {
+			rdy = nd.ready(q)
+		}
+		if rdy {
+			sc.ready = append(sc.ready, iv)
 		}
 	}
-	svSet, _ := interval.LargestContiguousSubset(readySet)
-	inSV := make(map[interval.Node]bool, len(svSet))
-	for _, iv := range svSet {
-		inSV[iv] = true
-	}
-	var lapSet []interval.Node
-	for _, iv := range remaining {
-		if !inSV[iv] {
-			lapSet = append(lapSet, iv)
-		}
-	}
-
-	// 3. Shared-SV branch over the contiguous ready set.
+	svSet, _ := interval.LargestContiguousSubset(sc.ready)
+	spanStart, spanEnd := 0, -1
 	if len(svSet) > 0 {
-		value, paid, failed, err := t.runSVBranch(q, svSet)
-		if err != nil {
-			return Result{}, err
+		spanStart, spanEnd = svSet[0].Start, svSet[len(svSet)-1].End
+	}
+	// The SV span is tiled entirely by ready nodes, so span containment
+	// is exact membership in svSet.
+	for i, iv := range sc.remaining {
+		c := nodeClaim{iv: iv, nd: sc.nds[i], ni: sc.nis[i], version: sc.vers[i]}
+		c.epoch = c.nd.hist.Updates()
+		if iv.Start >= spanStart && iv.End <= spanEnd {
+			sc.svNodes = append(sc.svNodes, c)
+			sc.nSV += c.ni
+		} else {
+			// Snapshot the estimate alongside the epoch: commit's τα rule
+			// consumes it only on the epoch-intact path.
+			if sc.vec {
+				c.est = c.nd.estimateS(sc.sup)
+			} else {
+				c.est = c.nd.estimate(q)
+			}
+			sc.lapNodes = append(sc.lapNodes, c)
+			sc.nLap += c.ni
 		}
-		nSV := t.rangeRows(svSet)
-		components = append(components, component{value, nSV})
-		res.SVNodes = len(svSet)
-		res.Paid += paid
-		res.SVFailed = failed
 	}
 
-	// 4. Laplace branch for the rest, jointly calibrated.
-	if len(lapSet) > 0 {
-		values, paid, err := t.runLaplaceBranch(q, lapSet)
-		if err != nil {
-			return Result{}, err
+	// 3. Shared-SV claim: initialize (paying 3ε) if no live SV covers the
+	// set, and compute the combined histogram estimate r_H from the
+	// claim-time snapshots.
+	if len(sc.svNodes) > 0 {
+		sc.spanStart, sc.spanEnd = spanStart, spanEnd
+		sc.epsSV = noise.SVEpsilonForAggregate(t.cfg.Alpha, t.cfg.Beta, sc.nSV)
+		sc.svKeyBuf = appendSVKey(sc.svKeyBuf[:0], svSet)
+		owner := t.ownerShard(spanStart)
+		sv, ok := owner.svs[string(sc.svKeyBuf)]
+		if !ok || !sv.Live() {
+			if err := t.svInitLocked(owner, sc); err != nil {
+				return err
+			}
 		}
-		for i, iv := range lapSet {
-			ni, _ := ds.NRows(iv.Start, iv.End)
-			components = append(components, component{values[i], ni})
+		rH := 0.0
+		for i := range sc.svNodes {
+			c := &sc.svNodes[i]
+			// The per-node estimate doubles as the claim-time snapshot for
+			// a commit-phase directed update (consumed only epoch-intact).
+			if sc.vec {
+				c.est = c.nd.estimateS(sc.sup)
+			} else {
+				c.est = c.nd.estimate(q)
+			}
+			w := float64(c.ni) / float64(sc.nSV)
+			rH += w * c.est
 		}
-		res.LaplaceNodes = len(lapSet)
-		res.Paid += paid
+		sc.rH = rH
 	}
-
-	// 5. Final aggregation (AGG): n-weighted average of components.
-	totalN := 0
-	weighted := 0.0
-	for _, c := range components {
-		weighted += float64(c.n) * c.value
-		totalN += c.n
-	}
-	if totalN > 0 {
-		res.Value = weighted / float64(totalN)
-	}
-	t.statsMu.Lock()
-	t.stats.Queries++
-	t.statsMu.Unlock()
-	return res, nil
+	return nil
 }
 
-// rangeRows sums public row counts over a node set.
-func (t *Tree) rangeRows(nodes []interval.Node) int {
-	total := 0
-	for _, iv := range nodes {
-		n, _ := t.exec.Dataset().NRows(iv.Start, iv.End)
-		total += n
+// svInitLocked creates, registers, and pays for a fresh shared SV for the
+// claim's node set. The caller holds the owning shard's lock.
+func (t *Tree) svInitLocked(owner *stateShard, sc *runScratch) error {
+	epsSV, spanStart, spanEnd := sc.epsSV, sc.spanStart, sc.spanEnd
+	if t.admit == nil {
+		if err := t.block.PayRange(spanStart, spanEnd, 3*epsSV); err != nil {
+			return err
+		}
+	} else {
+		// The SV is a long-lived interactive mechanism: admitted here,
+		// retired when consumed (on SV failure in commit). A stale handle
+		// for this key belongs to a finished run, so it is retired before
+		// — not contingent on — the new registration.
+		if old, live := owner.svHandles[string(sc.svKeyBuf)]; live {
+			t.admit.Retire(old)
+			delete(owner.svHandles, string(sc.svKeyBuf))
+		}
+		h, err := t.admit.Register(accountant.RDPMechanism{
+			Cost:  accountant.SVInitCurve(t.admit.Block().Orders(), epsSV),
+			Start: spanStart, End: spanEnd,
+		})
+		if err != nil {
+			return err
+		}
+		owner.svHandles[string(sc.svKeyBuf)] = h
 	}
-	return total
+	sv := sparse.New(epsSV, t.cfg.Alpha, sc.nSV, t.rng)
+	sv.Reset()
+	owner.svs[string(sc.svKeyBuf)] = sv
+	sc.res.Paid += 3 * epsSV * float64(spanEnd-spanStart+1)
+	return nil
+}
+
+// execute is Run's unlocked phase: every data-plane operation. The
+// dataset, executor, accountant, and RNG are independently thread-safe,
+// so no shard lock is held while scanning rows, calibrating budget, or
+// releasing DP results. Payments precede the releases they cover.
+func (t *Tree) execute(q *query.Query, sc *runScratch) error {
+	// Shared-SV branch: true value r*_SV over the claim set, n-weighted
+	// in the same order the estimate was.
+	if len(sc.svNodes) > 0 {
+		rTrue := 0.0
+		for i := range sc.svNodes {
+			c := &sc.svNodes[i]
+			tv, err := t.exec.ExecuteNP(q, c.iv.Start, c.iv.End)
+			if err != nil {
+				return err
+			}
+			w := float64(c.ni) / float64(sc.nSV)
+			rTrue += w * tv
+		}
+		sc.rTrue = rTrue
+	}
+
+	// Laplace branch: jointly-calibrated per-node releases. The memoized
+	// calibration runs here — unlocked — so even a memo miss's
+	// Monte-Carlo simulation never extends lock hold time.
+	if len(sc.lapNodes) > 0 {
+		sc.epsLap = t.calib.Epsilon(t.cfg.Alpha, t.cfg.Beta/2, len(sc.lapNodes), sc.nLap)
+		for i := range sc.lapNodes {
+			c := &sc.lapNodes[i]
+			if err := t.payLaplace(c.iv.Start, c.iv.End, sc.epsLap); err != nil {
+				return err
+			}
+			sc.res.Paid += sc.epsLap * float64(c.iv.Len())
+			ri, err := t.exec.ExecuteDP(q, c.iv.Start, c.iv.End, sc.epsLap, math.NaN())
+			if err != nil {
+				return err
+			}
+			c.value = ri
+			t.stats.laplaceSubs.Add(1)
+		}
+	}
+	return nil
+}
+
+// commit is Run's second locked phase: consume the shared SV, apply MW
+// updates to nodes whose update epoch is unchanged since claim (skipping
+// — and counting — nodes a concurrent query advanced in between), and
+// fill the node caches with the claim-time data versions.
+func (t *Tree) commit(q *query.Query, sc *runScratch) error {
+	if len(sc.svNodes) == 0 && len(sc.lapNodes) == 0 {
+		return nil
+	}
+	sc.shards = t.lockWindowInto(sc.shards[:0], sc.start, sc.end)
+	defer unlockAll(sc.shards)
+
+	// Shared-SV consume (Alg. 2 ll.18-26).
+	if len(sc.svNodes) > 0 {
+		owner := t.ownerShard(sc.spanStart)
+		sv, ok := owner.svs[string(sc.svKeyBuf)]
+		if !ok || !sv.Live() {
+			// A concurrent query consumed the SV between our phases: pay a
+			// fresh initialization so the test below is backed by live
+			// budget, exactly as if this query had arrived after the
+			// consumer.
+			if err := t.svInitLocked(owner, sc); err != nil {
+				return err
+			}
+			sv = owner.svs[string(sc.svKeyBuf)]
+		}
+		if sv.Test(sc.rH, sc.rTrue) {
+			t.stats.svPasses.Add(1)
+			sc.comps = append(sc.comps, component{sc.rH, sc.nSV})
+		} else {
+			// SV failed: pay for the Laplace release, drop the SV from the
+			// live set (a future query on this node set pays a fresh init),
+			// update all non-advanced member histograms in the shared
+			// direction, and penalize their heuristics.
+			t.stats.svFailures.Add(1)
+			delete(owner.svs, string(sc.svKeyBuf))
+			if t.admit != nil {
+				if h, live := owner.svHandles[string(sc.svKeyBuf)]; live {
+					t.admit.Retire(h)
+					delete(owner.svHandles, string(sc.svKeyBuf))
+				}
+			}
+			if err := t.payLaplace(sc.spanStart, sc.spanEnd, sc.epsSV); err != nil {
+				return err
+			}
+			sc.res.Paid += sc.epsSV * float64(sc.spanEnd-sc.spanStart+1)
+			rSV := sc.rTrue + t.rng.Laplace(1/(sc.epsSV*float64(sc.nSV)))
+			positive := rSV > sc.rH
+			for i := range sc.svNodes {
+				c := &sc.svNodes[i]
+				if c.nd.hist.Updates() != c.epoch {
+					t.stats.staleSkips.Add(1)
+					continue
+				}
+				if sc.vec {
+					c.nd.directedUpdateS(sc.sup, positive, c.est)
+					c.nd.penalizeS(q, sc.sup)
+				} else {
+					c.nd.directedUpdate(q, positive, c.est)
+					c.nd.penalize(q)
+				}
+				t.stats.nodeUpdates.Add(1)
+			}
+			sc.comps = append(sc.comps, component{rSV, sc.nSV})
+			sc.res.SVFailed = true
+		}
+		sc.res.SVNodes = len(sc.svNodes)
+	}
+
+	// Laplace commit (Alg. 2 ll.32-33): τα-guarded external updates and
+	// node-cache fills. Fills record the claim-time version: if the data
+	// advanced mid-flight the entry is born stale and the monotone version
+	// check rejects it, rather than a fresh version laundering a result
+	// computed over older rows.
+	if len(sc.lapNodes) > 0 {
+		for i := range sc.lapNodes {
+			c := &sc.lapNodes[i]
+			if c.nd.hist.Updates() != c.epoch {
+				t.stats.staleSkips.Add(1)
+			} else {
+				var applied bool
+				if sc.vec {
+					applied = c.nd.externalUpdateS(sc.sup, c.value, c.est)
+				} else {
+					applied = c.nd.externalUpdate(q, c.value, c.est)
+				}
+				if applied {
+					t.stats.nodeUpdates.Add(1)
+				}
+			}
+			sc.comps = append(sc.comps, component{c.value, c.ni})
+			if t.cache != nil {
+				sc.key = q.AppendWindowKey(sc.key[:0], c.iv.Start, c.iv.End)
+				// A failed fill is indistinguishable from a miss later.
+				_ = t.cache.PutKey(sc.key, c.iv.Start, c.version, c.value, sc.epsLap)
+			}
+		}
+		sc.res.LaplaceNodes = len(sc.lapNodes)
+	}
+	return nil
 }
 
 // maxSplit is the worst-case split size at the current partition count.
@@ -634,164 +973,18 @@ func (t *Tree) maxSplit() int {
 	return interval.MaxSplitNodes(m)
 }
 
-// runSVBranch executes Alg. 2 ll.10-26 over the contiguous ready set:
-// combined histogram estimate, one shared SV check at (α, β/2), Laplace
-// release plus directed updates on failure. The caller holds every shard
-// overlapping the query window; the SV registry entry lives in the shard
-// owning the set's first node, which is among them.
-func (t *Tree) runSVBranch(q *query.Query, svSet []interval.Node) (value, paid float64, failed bool, err error) {
-	ds := t.exec.Dataset()
-	spanStart, spanEnd := svSet[0].Start, svSet[len(svSet)-1].End
-	nSV, err := ds.NRows(spanStart, spanEnd)
-	if err != nil {
-		return 0, 0, false, err
-	}
-	epsSV := noise.SVEpsilonForAggregate(t.cfg.Alpha, t.cfg.Beta, nSV)
-
-	owner := t.ownerShard(spanStart)
-	key := svKey(svSet)
-	sv, ok := owner.svs[key]
-	if !ok || !sv.Live() {
-		if t.admit == nil {
-			if err := t.block.PayRange(spanStart, spanEnd, 3*epsSV); err != nil {
-				return 0, 0, false, err
-			}
-		} else {
-			// The SV is a long-lived interactive mechanism: admitted
-			// here, retired when consumed (on SV failure below). A
-			// stale handle for this key belongs to a finished run, so
-			// it is retired before — not contingent on — the new
-			// registration.
-			if old, live := owner.svHandles[key]; live {
-				t.admit.Retire(old)
-				delete(owner.svHandles, key)
-			}
-			h, err := t.admit.Register(accountant.RDPMechanism{
-				Cost:  accountant.SVInitCurve(t.admit.Block().Orders(), epsSV),
-				Start: spanStart, End: spanEnd,
-			})
-			if err != nil {
-				return 0, 0, false, err
-			}
-			owner.svHandles[key] = h
-		}
-		sv = sparse.New(epsSV, t.cfg.Alpha, nSV, t.rng)
-		sv.Reset()
-		owner.svs[key] = sv
-		paid += 3 * epsSV * float64(spanEnd-spanStart+1)
-	}
-
-	// Combined estimate r_H and true value r*_SV, n-weighted.
-	rH, rTrue := 0.0, 0.0
-	for _, iv := range svSet {
-		ni, _ := ds.NRows(iv.Start, iv.End)
-		if ni == 0 {
-			continue
-		}
-		nq := q.WithWindow(iv.Start, iv.End)
-		est := t.getNode(iv).estimate(nq)
-		tv, err := t.exec.ExecuteNP(nq, iv.Start, iv.End)
-		if err != nil {
-			return 0, 0, false, err
-		}
-		w := float64(ni) / float64(nSV)
-		rH += w * est
-		rTrue += w * tv
-	}
-
-	if sv.Test(rH, rTrue) {
-		t.statsMu.Lock()
-		t.stats.SVPasses++
-		t.statsMu.Unlock()
-		return rH, paid, false, nil
-	}
-
-	// SV failed: pay for the Laplace release, drop the SV from the live
-	// set (a future query on this node set pays a fresh init), update all
-	// member histograms in the shared direction, and penalize their
-	// heuristics.
-	t.statsMu.Lock()
-	t.stats.SVFailures++
-	t.statsMu.Unlock()
-	delete(owner.svs, key)
-	if t.admit != nil {
-		if h, live := owner.svHandles[key]; live {
-			t.admit.Retire(h)
-			delete(owner.svHandles, key)
-		}
-	}
-	if err := t.payLaplace(spanStart, spanEnd, epsSV); err != nil {
-		return 0, 0, false, err
-	}
-	paid += epsSV * float64(spanEnd-spanStart+1)
-	rSV := rTrue + t.rng.Laplace(1/(epsSV*float64(nSV)))
-	positive := rSV > rH
-	updates := 0
-	for _, iv := range svSet {
-		nq := q.WithWindow(iv.Start, iv.End)
-		n := t.getNode(iv)
-		n.directedUpdate(nq, positive)
-		n.penalize(nq)
-		updates++
-	}
-	t.statsMu.Lock()
-	t.stats.NodeUpdates += updates
-	t.statsMu.Unlock()
-	return rSV, paid, true, nil
-}
-
-// runLaplaceBranch executes Alg. 2 ll.27-33: per-node Laplace at a jointly
-// calibrated ε, external updates, and node-cache fills.
-func (t *Tree) runLaplaceBranch(q *query.Query, lapSet []interval.Node) (values []float64, paid float64, err error) {
-	ds := t.exec.Dataset()
-	nLap := t.rangeRows(lapSet)
-	if nLap == 0 {
-		return make([]float64, len(lapSet)), 0, nil
-	}
-	epsLap := noise.CalibrateLaplaceAggregate(
-		t.cfg.Alpha, t.cfg.Beta/2, len(lapSet), nLap, t.mcRng, t.cfg.MCSamples)
-
-	values = make([]float64, len(lapSet))
-	subs, updates := 0, 0
-	defer func() {
-		t.statsMu.Lock()
-		t.stats.LaplaceSubs += subs
-		t.stats.NodeUpdates += updates
-		t.statsMu.Unlock()
-	}()
-	for i, iv := range lapSet {
-		ni, _ := ds.NRows(iv.Start, iv.End)
-		if ni == 0 {
-			continue
-		}
-		nq := q.WithWindow(iv.Start, iv.End)
-		if err := t.payLaplace(iv.Start, iv.End, epsLap); err != nil {
-			return nil, paid, err
-		}
-		paid += epsLap * float64(iv.Len())
-		ri, err := t.exec.ExecuteDP(nq, iv.Start, iv.End, epsLap, math.NaN())
-		if err != nil {
-			return nil, paid, err
-		}
-		values[i] = ri
-		n := t.getNode(iv)
-		if n.externalUpdate(nq, ri) {
-			updates++
-		}
-		subs++
-		if t.cache != nil {
-			version, _ := ds.RangeVersion(iv.Start, iv.End)
-			_ = t.cache.Put(nq, version, ri, epsLap)
-		}
-	}
-	return values, paid, nil
-}
-
 // Stats returns cumulative counters.
 func (t *Tree) Stats() Stats {
-	t.statsMu.Lock()
-	defer t.statsMu.Unlock()
-	return t.stats
+	return Stats{
+		Queries:      int(t.stats.queries.Load()),
+		SVPasses:     int(t.stats.svPasses.Load()),
+		SVFailures:   int(t.stats.svFailures.Load()),
+		LaplaceSubs:  int(t.stats.laplaceSubs.Load()),
+		CacheHits:    int(t.stats.cacheHits.Load()),
+		NodeUpdates:  int(t.stats.nodeUpdates.Load()),
+		NodesCreated: int(t.stats.nodesCreated.Load()),
+		StaleSkips:   int(t.stats.staleSkips.Load()),
+	}
 }
 
 // forEachShard visits every materialized shard, holding its lock for the
